@@ -1,0 +1,67 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! experiments [--quick] [--out DIR] [ids...]
+//! ```
+//!
+//! With no ids, runs every experiment (T1–T5, F1–F6 of DESIGN.md §5).
+//! Prints aligned tables to stdout and writes one CSV per experiment
+//! into `--out DIR` (default `results/`).
+
+use delta_coloring_bench::experiments::{run, Scale, ALL};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [--out DIR] [ids...]");
+                eprintln!("ids: {}", ALL.join(" "));
+                return;
+            }
+            other => ids.push(other.to_lowercase()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    let scale = Scale { quick };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    for id in &ids {
+        let start = std::time::Instant::now();
+        match run(id, scale) {
+            Some(table) => {
+                println!("{}", table.render());
+                let path = out_dir.join(format!("{id}.csv"));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                }
+                println!(
+                    "[{}] done in {:.1}s -> {}\n",
+                    id,
+                    start.elapsed().as_secs_f64(),
+                    path.display()
+                );
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {})", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment harness for the Δ-coloring reproduction.
+//!
+//! The paper is a theory paper with no empirical section; DESIGN.md §5
+//! defines the table/figure set this harness regenerates (T1–T5,
+//! F1–F6), one experiment per theorem or structural lemma. Each
+//! experiment here returns structured rows and can print itself as an
+//! aligned text table and as CSV.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,148 @@
+//! One-call entry point: pick the right algorithm for the instance.
+//!
+//! * `Δ = 3` → the small-Δ randomized version (Theorem 1 regime),
+//! * `Δ >= 4` → the large-Δ randomized version (Theorem 3),
+//! * deterministic requested → Theorem 4.
+//!
+//! This is the API a downstream user who "just wants a Δ-coloring"
+//! should reach for.
+
+use crate::list_coloring::ListColorMethod;
+use crate::palette::{ColoringError, PartialColoring};
+use delta_graphs::Graph;
+use local_model::RoundLedger;
+
+/// Which algorithm family [`delta_color`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Choose automatically from Δ (randomized; Theorems 1/3).
+    #[default]
+    Auto,
+    /// Force the randomized large-Δ version (Theorem 3).
+    RandomizedLarge,
+    /// Force the randomized small-Δ version (Theorem 1).
+    RandomizedSmall,
+    /// Deterministic (Theorem 4).
+    Deterministic,
+    /// Deterministic via network decomposition (Theorem 21).
+    NetworkDecomposition,
+    /// The Panconesi–Srinivasan-style baseline (for comparisons).
+    PsBaseline,
+}
+
+impl Strategy {
+    /// Parses a strategy name (as used by the `delta-color` CLI).
+    pub fn parse(s: &str) -> Option<Strategy> {
+        Some(match s {
+            "auto" => Strategy::Auto,
+            "rand" | "rand-large" => Strategy::RandomizedLarge,
+            "rand-small" => Strategy::RandomizedSmall,
+            "det" | "deterministic" => Strategy::Deterministic,
+            "netdecomp" => Strategy::NetworkDecomposition,
+            "ps" | "baseline" => Strategy::PsBaseline,
+            _ => return None,
+        })
+    }
+
+    /// All CLI-facing names.
+    pub const NAMES: &'static [&'static str] =
+        &["auto", "rand-large", "rand-small", "det", "netdecomp", "ps"];
+}
+
+/// Δ-colors a nice graph with the selected [`Strategy`], charging
+/// `ledger` and verifying the result before returning it.
+///
+/// # Errors
+///
+/// [`ColoringError::Unsolvable`] for non-nice inputs (paths, cycles,
+/// cliques, disconnected graphs, `Δ < 3`).
+///
+/// # Example
+///
+/// ```
+/// use delta_coloring::delta::{delta_color, Strategy};
+/// use delta_graphs::generators;
+/// use local_model::RoundLedger;
+///
+/// let g = generators::torus(8, 8);
+/// let mut ledger = RoundLedger::new();
+/// let coloring = delta_color(&g, Strategy::Auto, 7, &mut ledger)?;
+/// assert!(coloring.is_total());
+/// # Ok::<(), delta_coloring::ColoringError>(())
+/// ```
+pub fn delta_color(
+    g: &Graph,
+    strategy: Strategy,
+    seed: u64,
+    ledger: &mut RoundLedger,
+) -> Result<PartialColoring, ColoringError> {
+    let coloring = match strategy {
+        Strategy::Auto => {
+            if g.max_degree() <= 3 {
+                let cfg = super::RandConfig::small_delta(g, seed);
+                super::delta_color_rand(g, cfg, ledger)?.0
+            } else {
+                let cfg = super::RandConfig::large_delta(g, seed);
+                super::delta_color_rand(g, cfg, ledger)?.0
+            }
+        }
+        Strategy::RandomizedLarge => {
+            let cfg = super::RandConfig::large_delta(g, seed);
+            super::delta_color_rand(g, cfg, ledger)?.0
+        }
+        Strategy::RandomizedSmall => {
+            let cfg = super::RandConfig::small_delta(g, seed);
+            super::delta_color_rand(g, cfg, ledger)?.0
+        }
+        Strategy::Deterministic => {
+            let cfg = super::DetConfig { method: ListColorMethod::Deterministic, seed };
+            super::delta_color_det(g, cfg, ledger)?.0
+        }
+        Strategy::NetworkDecomposition => {
+            super::delta_color_netdecomp(g, ListColorMethod::Randomized, seed, ledger)?.0
+        }
+        Strategy::PsBaseline => crate::baseline::ps_style_delta(g, seed, ledger)?.0,
+    };
+    crate::verify::check_delta_coloring(g, &coloring)?;
+    Ok(coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_graphs::generators;
+
+    #[test]
+    fn every_strategy_produces_valid_colorings() {
+        let g = generators::random_regular(300, 4, 2);
+        for &s in &[
+            Strategy::Auto,
+            Strategy::RandomizedLarge,
+            Strategy::RandomizedSmall,
+            Strategy::Deterministic,
+            Strategy::NetworkDecomposition,
+            Strategy::PsBaseline,
+        ] {
+            let mut ledger = RoundLedger::new();
+            let c = delta_color(&g, s, 3, &mut ledger).unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            crate::verify::check_delta_coloring(&g, &c).unwrap();
+        }
+    }
+
+    #[test]
+    fn auto_picks_small_for_cubic() {
+        let g = generators::random_regular(200, 3, 5);
+        let mut ledger = RoundLedger::new();
+        let c = delta_color(&g, Strategy::Auto, 1, &mut ledger).unwrap();
+        crate::verify::check_delta_coloring(&g, &c).unwrap();
+    }
+
+    #[test]
+    fn strategy_names_parse() {
+        for name in Strategy::NAMES {
+            assert!(Strategy::parse(name).is_some(), "{name}");
+        }
+        assert_eq!(Strategy::parse("nope"), None);
+        assert_eq!(Strategy::parse("det"), Some(Strategy::Deterministic));
+    }
+}

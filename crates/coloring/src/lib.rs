@@ -1,0 +1,64 @@
+//! # delta-coloring
+//!
+//! A faithful implementation of **"Improved Distributed Δ-Coloring"**
+//! (Ghaffari, Hirvonen, Kuhn, Maus; PODC 2018) on top of a LOCAL-model
+//! round simulator.
+//!
+//! By Brooks' theorem, every connected graph that is neither a complete
+//! graph nor an odd cycle admits a coloring with Δ colors (the maximum
+//! degree) — one color fewer than the trivial greedy bound. Computing
+//! such a coloring *distributively* is fundamentally harder than
+//! `(Δ+1)`-coloring: partial Δ-colorings cannot always be extended
+//! without recoloring. This crate implements the paper's algorithms and
+//! every substrate they stand on:
+//!
+//! | Module | Contents | Paper reference |
+//! |---|---|---|
+//! | [`palette`] | colors, partial colorings, lists, validity checks | — |
+//! | [`linial`] | `O(Δ²)` coloring in `O(log* n)` rounds | \[Lin92\], used for symmetry breaking |
+//! | [`reduce`] | color-class reduction to `Δ+1` | — |
+//! | [`mis`] | Luby's MIS (plus power graphs) | Lemma 20 substrate |
+//! | [`ruling`] | ruling sets and ruling forests | Lemma 20 |
+//! | [`list_coloring`] | `(deg+1)`-list coloring, randomized & deterministic | Theorems 18, 19 |
+//! | [`gallai`] | degree-choosable components, Gallai trees, the degree-list solver | Definitions 6–9, Theorem 8 |
+//! | [`brooks`] | sequential Brooks & the distributed Brooks repair | Theorem 5, Lemma 16 |
+//! | [`layering`] | the layering technique | Section 3 |
+//! | [`marking`] | the marking process and T-nodes | Section 2.2, phase (4) |
+//! | [`decomp`] | MPX network decomposition | \[PS92\]/\[AGLP89\] substitute |
+//! | [`delta`] | the headline algorithms | Theorems 1, 3, 4 |
+//! | [`baseline`] | `(Δ+1)` baseline and a PS-style Δ-coloring baseline | \[PS92, PS95\] |
+//! | [`verify`] | end-to-end validity checking | — |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use delta_coloring::delta::{delta_color_rand, RandConfig};
+//! use delta_coloring::verify::check_delta_coloring;
+//! use delta_graphs::generators;
+//! use local_model::RoundLedger;
+//!
+//! // A random 4-regular graph: Δ-colorable with 4 colors by Brooks.
+//! let g = generators::random_regular(500, 4, 42);
+//! let mut ledger = RoundLedger::new();
+//! let config = RandConfig::large_delta(&g, 42);
+//! let (coloring, stats) = delta_color_rand(&g, config, &mut ledger).unwrap();
+//! check_delta_coloring(&g, &coloring).unwrap();
+//! println!("colored in {} simulated LOCAL rounds ({} attempts)", ledger.total(), stats.attempts);
+//! ```
+
+pub mod baseline;
+pub mod brooks;
+pub mod decomp;
+pub mod delta;
+pub mod gallai;
+pub mod layering;
+pub mod linial;
+pub mod list_coloring;
+pub mod marking;
+pub mod mis;
+pub mod palette;
+pub mod reduce;
+pub mod ruling;
+pub mod verify;
+
+pub use palette::{Color, ColoringError, Lists, PartialColoring};

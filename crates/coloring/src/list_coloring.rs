@@ -1,0 +1,307 @@
+//! Distributed `(deg+1)`-list coloring.
+//!
+//! Every node has a color list with `|L(v)| >= deg(v) + 1`; the goal is
+//! a proper coloring from the lists. This is the workhorse the layering
+//! technique calls once per layer (Sections 3 and 4.1 of the paper).
+//!
+//! Two solvers are provided (see DESIGN.md §4 for the substitution
+//! rationale):
+//!
+//! * [`list_color_randomized`] — each round, every uncolored node
+//!   proposes a uniformly random available color and keeps it unless a
+//!   conflicting neighbor with smaller id proposed the same color.
+//!   `O(log n)` rounds w.h.p., with guaranteed termination (the minimum
+//!   uncolored id always makes progress). Stand-in for Theorem 19
+//!   \[Gha16\].
+//! * [`list_color_deterministic`] — iterate over the classes of a
+//!   proper schedule coloring (from Linial's algorithm): class members
+//!   are independent, so each class can pick greedily in one round.
+//!   `O(Δ² + log* n)` rounds. Stand-in for Theorem 18 \[FHK16+BEG17\].
+
+use crate::palette::{Color, ColoringError, Lists, PartialColoring};
+use delta_graphs::{Graph, NodeId};
+use local_model::RoundLedger;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which list-coloring engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListColorMethod {
+    /// Randomized trial coloring (Theorem 19 stand-in).
+    Randomized,
+    /// Deterministic schedule-class iteration (Theorem 18 stand-in).
+    Deterministic,
+}
+
+/// Solves a `(deg+1)`-list-coloring instance on `g` with the chosen
+/// method, starting from `partial` (already-colored nodes are kept and
+/// constrain their neighbors).
+///
+/// # Errors
+///
+/// Returns [`ColoringError::Unsolvable`] if some node runs out of
+/// available colors — impossible when the `(deg+1)` precondition holds
+/// on the uncolored subgraph, so an error indicates a malformed
+/// instance.
+pub fn list_color(
+    g: &Graph,
+    lists: &Lists,
+    partial: PartialColoring,
+    method: ListColorMethod,
+    seed: u64,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Result<PartialColoring, ColoringError> {
+    match method {
+        ListColorMethod::Randomized => {
+            list_color_randomized(g, lists, partial, seed, ledger, phase)
+        }
+        ListColorMethod::Deterministic => {
+            list_color_deterministic(g, lists, partial, ledger, phase)
+        }
+    }
+}
+
+/// Randomized trial list coloring; see module docs.
+///
+/// # Errors
+///
+/// [`ColoringError::Unsolvable`] when a node's available list empties
+/// (malformed instance).
+pub fn list_color_randomized(
+    g: &Graph,
+    lists: &Lists,
+    mut coloring: PartialColoring,
+    seed: u64,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Result<PartialColoring, ColoringError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut uncolored: Vec<NodeId> = coloring.uncolored().collect();
+    // Guaranteed termination: per round, the smallest-id uncolored node
+    // in every conflict neighborhood keeps its proposal.
+    let cap = 4 * g.n() as u64 + 16;
+    let mut rounds = 0u64;
+    while !uncolored.is_empty() {
+        if rounds >= cap {
+            return Err(ColoringError::Unsolvable {
+                context: "randomized list coloring exceeded round cap".into(),
+            });
+        }
+        rounds += 1;
+        // Propose: uniform available color (list minus colored-neighbor
+        // colors).
+        let mut proposal: Vec<Option<Color>> = vec![None; g.n()];
+        for &v in &uncolored {
+            let avail = available(g, lists, &coloring, v);
+            if avail.is_empty() {
+                return Err(ColoringError::Unsolvable {
+                    context: format!("node {v} has an empty available list"),
+                });
+            }
+            proposal[v.index()] = Some(avail[rng.random_range(0..avail.len())]);
+        }
+        // Resolve: keep unless a smaller-id uncolored neighbor proposed
+        // the same color (one exchange).
+        let mut kept: Vec<(NodeId, Color)> = Vec::new();
+        for &v in &uncolored {
+            let mine = proposal[v.index()].expect("proposed above");
+            let beaten = g
+                .neighbors(v)
+                .iter()
+                .any(|&w| w < v && proposal[w.index()] == Some(mine));
+            if !beaten {
+                kept.push((v, mine));
+            }
+        }
+        for &(v, c) in &kept {
+            coloring.set(v, c);
+        }
+        uncolored.retain(|&v| !coloring.is_colored(v));
+        ledger.charge(phase, 1);
+    }
+    debug_assert!(coloring.validate_proper(g).is_ok());
+    Ok(coloring)
+}
+
+/// Deterministic list coloring by schedule-class iteration; computes a
+/// Linial schedule coloring internally. See module docs.
+///
+/// # Errors
+///
+/// [`ColoringError::Unsolvable`] when a node's available list empties
+/// (malformed instance).
+pub fn list_color_deterministic(
+    g: &Graph,
+    lists: &Lists,
+    mut coloring: PartialColoring,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Result<PartialColoring, ColoringError> {
+    let schedule = crate::linial::linial_coloring(g, ledger, phase);
+    let classes = crate::reduce::color_classes(&schedule);
+    for class in &classes {
+        let picks: Vec<(NodeId, Color)> = {
+            let mut out = Vec::new();
+            for &v in class {
+                if coloring.is_colored(v) {
+                    continue;
+                }
+                let avail = available(g, lists, &coloring, v);
+                let Some(&c) = avail.first() else {
+                    return Err(ColoringError::Unsolvable {
+                        context: format!("node {v} has an empty available list"),
+                    });
+                };
+                out.push((v, c));
+            }
+            out
+        };
+        for &(v, c) in &picks {
+            coloring.set(v, c);
+        }
+        ledger.charge(phase, 1);
+    }
+    debug_assert!(coloring.validate_proper(g).is_ok());
+    Ok(coloring)
+}
+
+/// The available colors of `v`: its list minus the colors of its
+/// *colored* neighbors.
+pub fn available(g: &Graph, lists: &Lists, coloring: &PartialColoring, v: NodeId) -> Vec<Color> {
+    let used = coloring.neighbor_colors(g, v);
+    lists
+        .of(v)
+        .iter()
+        .copied()
+        .filter(|c| used.binary_search(c).is_err())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::palette::check_list_coloring;
+    use delta_graphs::generators;
+
+    fn deg_plus_one_lists(g: &Graph, extra: usize) -> Lists {
+        Lists::new(
+            g.nodes()
+                .map(|v| crate::palette::palette(g.degree(v) + 1 + extra))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn randomized_solves_deg_plus_one() {
+        for (i, g) in [
+            generators::random_regular(300, 4, 3),
+            generators::torus(7, 8),
+            generators::random_tree(200, 2),
+            generators::complete(6),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let lists = deg_plus_one_lists(g, 0);
+            let mut ledger = RoundLedger::new();
+            let c = list_color_randomized(
+                g,
+                &lists,
+                PartialColoring::new(g.n()),
+                i as u64,
+                &mut ledger,
+                "lc",
+            )
+            .unwrap();
+            check_list_coloring(g, &c, &lists).unwrap();
+            assert!(ledger.total() < 100, "rounds {}", ledger.total());
+        }
+    }
+
+    #[test]
+    fn deterministic_solves_deg_plus_one() {
+        for g in [
+            generators::random_regular(300, 4, 5),
+            generators::torus(7, 8),
+            generators::hypercube(5),
+        ] {
+            let lists = deg_plus_one_lists(&g, 0);
+            let mut ledger = RoundLedger::new();
+            let c = list_color_deterministic(
+                &g,
+                &lists,
+                PartialColoring::new(g.n()),
+                &mut ledger,
+                "lc",
+            )
+            .unwrap();
+            check_list_coloring(&g, &c, &lists).unwrap();
+        }
+    }
+
+    #[test]
+    fn respects_existing_partial_coloring() {
+        let g = generators::cycle(8);
+        let lists = deg_plus_one_lists(&g, 0);
+        let mut partial = PartialColoring::new(8);
+        partial.set(NodeId(0), Color(2));
+        partial.set(NodeId(4), Color(1));
+        let mut ledger = RoundLedger::new();
+        let c = list_color(
+            &g,
+            &lists,
+            partial,
+            ListColorMethod::Randomized,
+            9,
+            &mut ledger,
+            "lc",
+        )
+        .unwrap();
+        assert_eq!(c.get(NodeId(0)), Some(Color(2)));
+        assert_eq!(c.get(NodeId(4)), Some(Color(1)));
+        check_list_coloring(&g, &c, &lists).unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_lists() {
+        // Path with disjoint-ish lists still deg+1.
+        let g = generators::path(4);
+        let lists = Lists::new(vec![
+            vec![Color(0), Color(9)],
+            vec![Color(0), Color(5), Color(9)],
+            vec![Color(5), Color(7), Color(9)],
+            vec![Color(7), Color(9)],
+        ]);
+        assert!(lists.satisfies_deg_plus_one(&g));
+        for method in [ListColorMethod::Randomized, ListColorMethod::Deterministic] {
+            let mut ledger = RoundLedger::new();
+            let c = list_color(&g, &lists, PartialColoring::new(4), method, 1, &mut ledger, "lc")
+                .unwrap();
+            check_list_coloring(&g, &c, &lists).unwrap();
+        }
+    }
+
+    #[test]
+    fn unsolvable_instance_is_reported() {
+        // Two adjacent nodes with identical singleton lists.
+        let g = generators::path(2);
+        let lists = Lists::new(vec![vec![Color(0)], vec![Color(0)]]);
+        let mut ledger = RoundLedger::new();
+        let r = list_color_randomized(&g, &lists, PartialColoring::new(2), 0, &mut ledger, "lc");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_graph_trivially_colored() {
+        let g = Graph::empty(0);
+        let lists = Lists::new(vec![]);
+        let mut ledger = RoundLedger::new();
+        let c = list_color_randomized(&g, &lists, PartialColoring::new(0), 0, &mut ledger, "lc")
+            .unwrap();
+        assert!(c.is_total());
+        assert_eq!(ledger.total(), 0);
+    }
+
+    use delta_graphs::Graph;
+}

@@ -1,0 +1,210 @@
+//! Luby's randomized maximal independent set, including execution on
+//! power graphs (the substrate of randomized ruling sets, Lemma 20).
+
+use delta_graphs::power::power_graph;
+use delta_graphs::{Graph, NodeId};
+use local_model::{RoundLedger, Simulator};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Node status during and after MIS computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MisState {
+    Undecided,
+    In,
+    Out,
+}
+
+#[derive(Clone, Copy)]
+struct S {
+    state: MisState,
+    /// Random draw, with the node id as a deterministic tie-breaker.
+    draw: (u64, u32),
+}
+
+/// Computes a maximal independent set with Luby's algorithm.
+///
+/// Per iteration (2 LOCAL rounds): every undecided node draws a random
+/// value (a local computation, free in the LOCAL model); values are
+/// exchanged and local minima join the set; new members announce
+/// themselves and their neighbors drop out. Terminates in `O(log n)`
+/// iterations w.h.p.; a deterministic greedy cleanup guarantees
+/// termination in the (vanishing-probability) event the iteration cap is
+/// hit.
+///
+/// Returns the membership mask.
+///
+/// # Example
+///
+/// ```
+/// use delta_coloring::mis::{is_mis, luby_mis};
+/// use delta_graphs::generators;
+/// use local_model::RoundLedger;
+///
+/// let g = generators::cycle(10);
+/// let mut ledger = RoundLedger::new();
+/// let mis = luby_mis(&g, 7, &mut ledger, "mis");
+/// assert!(is_mis(&g, &mis));
+/// ```
+pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim = Simulator::new(g, seed, |v| S { state: MisState::Undecided, draw: (0, v.0) });
+    let cap = 8 * ((g.n() as u64).max(2).ilog2() as u64 + 2) + 64;
+    let mut iterations = 0;
+    while sim.states().iter().any(|s| s.state == MisState::Undecided) && iterations < cap {
+        iterations += 1;
+        // Local step (0 rounds): undecided nodes draw fresh values.
+        for s in sim.states_mut() {
+            if s.state == MisState::Undecided {
+                s.draw.0 = rng.random_range(0..u64::MAX);
+            }
+        }
+        // Round 1: exchange draws; strict local minima join.
+        sim.round(
+            ledger,
+            phase,
+            |_, s: &S| if s.state == MisState::Undecided { Some(s.draw) } else { None },
+            |_, s, inbox| {
+                if s.state == MisState::Undecided && inbox.iter().all(|&(_, d)| s.draw < d) {
+                    s.state = MisState::In;
+                }
+            },
+        );
+        // Round 2: new members announce; neighbors drop out.
+        sim.round(
+            ledger,
+            phase,
+            |_, s: &S| if s.state == MisState::In { Some(()) } else { None },
+            |_, s, inbox| {
+                if s.state == MisState::Undecided && !inbox.is_empty() {
+                    s.state = MisState::Out;
+                }
+            },
+        );
+    }
+    // Deterministic cleanup (unreachable w.h.p.): greedily add remaining
+    // undecided nodes in id order.
+    let mut member: Vec<bool> = sim.states().iter().map(|s| s.state == MisState::In).collect();
+    for v in g.nodes() {
+        if sim.states()[v.index()].state == MisState::Undecided
+            && !g.neighbors(v).iter().any(|&w| member[w.index()])
+        {
+            member[v.index()] = true;
+        }
+    }
+    member
+}
+
+/// Runs Luby's MIS on the power graph `G^k`; one simulated round costs
+/// `k` rounds in `G`, so the ledger is charged `k×`.
+///
+/// The result is an independent set of `G^k` (pairwise distance `> k` in
+/// `G`) that dominates every node within distance `k` — i.e. a
+/// `(k+1, k)` ruling set of `G` (Lemma 20 (4) in spirit).
+pub fn luby_mis_on_power(
+    g: &Graph,
+    k: usize,
+    seed: u64,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<bool> {
+    assert!(k >= 1);
+    let gk = power_graph(g, k);
+    let mut sub = RoundLedger::new();
+    let member = luby_mis(&gk, seed, &mut sub, phase);
+    ledger.charge(phase, sub.total() * k as u64);
+    member
+}
+
+/// Verifies the MIS properties: independence and maximality.
+pub fn is_mis(g: &Graph, member: &[bool]) -> bool {
+    let independent = g
+        .edges()
+        .all(|(u, v)| !(member[u.index()] && member[v.index()]));
+    let maximal = g
+        .nodes()
+        .all(|v| member[v.index()] || g.neighbors(v).iter().any(|&w| member[w.index()]));
+    independent && maximal
+}
+
+/// Collects the member node ids from a membership mask.
+pub fn members(mask: &[bool]) -> Vec<NodeId> {
+    mask.iter()
+        .enumerate()
+        .filter(|&(_, &m)| m)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_graphs::generators;
+
+    #[test]
+    fn mis_on_families() {
+        for (i, g) in [
+            generators::cycle(20),
+            generators::torus(6, 6),
+            generators::random_regular(300, 4, 5),
+            generators::complete(7),
+            generators::star(9),
+            generators::path(2),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut ledger = RoundLedger::new();
+            let m = luby_mis(g, i as u64, &mut ledger, "mis");
+            assert!(is_mis(g, &m), "family {i}");
+            assert!(ledger.total() > 0);
+        }
+    }
+
+    #[test]
+    fn mis_round_count_logarithmic() {
+        let g = generators::random_regular(2000, 6, 1);
+        let mut ledger = RoundLedger::new();
+        let m = luby_mis(&g, 3, &mut ledger, "mis");
+        assert!(is_mis(&g, &m));
+        assert!(ledger.total() < 120, "rounds {}", ledger.total());
+    }
+
+    #[test]
+    fn mis_on_power_graph_separation() {
+        let g = generators::cycle(30);
+        let mut ledger = RoundLedger::new();
+        let m = luby_mis_on_power(&g, 3, 9, &mut ledger, "ruling");
+        let sel = members(&m);
+        assert!(!sel.is_empty());
+        // Pairwise distance > 3 on the cycle.
+        for (i, &u) in sel.iter().enumerate() {
+            for &v in &sel[i + 1..] {
+                let d = delta_graphs::bfs::distances(&g, u)[v.index()];
+                assert!(d > 3, "{u} and {v} at distance {d}");
+            }
+        }
+        // Domination within 3.
+        let dist = delta_graphs::bfs::multi_source_distances(&g, &sel);
+        assert!(dist.iter().all(|&d| d <= 3));
+    }
+
+    #[test]
+    fn empty_graph_mis() {
+        let g = Graph::empty(5);
+        let mut ledger = RoundLedger::new();
+        let m = luby_mis(&g, 0, &mut ledger, "mis");
+        assert!(m.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::random_regular(200, 4, 8);
+        let mut l1 = RoundLedger::new();
+        let mut l2 = RoundLedger::new();
+        let a = luby_mis(&g, 5, &mut l1, "mis");
+        let b = luby_mis(&g, 5, &mut l2, "mis");
+        assert_eq!(a, b);
+        assert_eq!(l1.total(), l2.total());
+    }
+}

@@ -1,0 +1,175 @@
+//! Iterated color-class reduction: shrink a proper `m`-coloring to a
+//! `(Δ+1)`-coloring (or solve list instances) by processing one color
+//! class per round.
+//!
+//! Because every color class is an independent set, all its nodes can
+//! simultaneously re-pick a free color in one round. This is the
+//! standard `O(m)`-round reduction used as our stand-in for the
+//! locally-iterative list-coloring subroutines the paper cites (see
+//! DESIGN.md §4 on substitutions).
+
+use crate::palette::PartialColoring;
+use delta_graphs::Graph;
+use local_model::RoundLedger;
+
+/// Reduces a proper coloring with colors `>= target` down to colors
+/// `< target`, one class per round, charged to `phase`.
+///
+/// Requires `target >= Δ+1` so that a free color always exists.
+///
+/// # Panics
+///
+/// Panics (debug assertions) if the input coloring is improper or
+/// `target <= Δ`.
+pub fn reduce_colors(
+    g: &Graph,
+    colors: &mut [u32],
+    target: usize,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) {
+    debug_assert!(target > g.max_degree(), "target must be at least Δ+1");
+    let m = colors.iter().max().map(|&c| c as usize + 1).unwrap_or(0);
+    if m <= target {
+        return;
+    }
+    for class in (target..m).rev() {
+        // All nodes of this class re-pick simultaneously (independent set).
+        let picks: Vec<(usize, u32)> = colors
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c as usize == class)
+            .map(|(i, _)| {
+                let v = delta_graphs::NodeId::from_index(i);
+                let mut used = vec![false; target];
+                for &w in g.neighbors(v) {
+                    let cw = colors[w.index()] as usize;
+                    if cw < target {
+                        used[cw] = true;
+                    }
+                }
+                let free = used
+                    .iter()
+                    .position(|&u| !u)
+                    .expect("free color exists since target > Δ");
+                (i, free as u32)
+            })
+            .collect();
+        for (i, c) in picks {
+            colors[i] = c;
+        }
+        ledger.charge(phase, 1);
+    }
+}
+
+/// Converts a per-node `u32` color slice into a total [`PartialColoring`].
+pub fn to_partial(colors: &[u32]) -> PartialColoring {
+    PartialColoring::from_total(colors)
+}
+
+/// Computes a `(Δ+1)`-coloring deterministically: Linial to `O(Δ²)`
+/// colors, then class-by-class reduction. `O(Δ²+ log* n)` rounds.
+pub fn deterministic_delta_plus_one(
+    g: &Graph,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> PartialColoring {
+    let mut colors = crate::linial::linial_coloring(g, ledger, phase);
+    reduce_colors(g, &mut colors, g.max_degree() + 1, ledger, phase);
+    let out = PartialColoring::from_total(&colors);
+    debug_assert!(out.validate_proper(g).is_ok());
+    out
+}
+
+/// Groups nodes by color, producing the round schedule used by the
+/// deterministic list-coloring subroutine: class `c` at index `c`.
+pub fn color_classes(colors: &[u32]) -> Vec<Vec<delta_graphs::NodeId>> {
+    let m = colors.iter().max().map(|&c| c as usize + 1).unwrap_or(0);
+    let mut classes = vec![Vec::new(); m];
+    for (i, &c) in colors.iter().enumerate() {
+        classes[c as usize].push(delta_graphs::NodeId::from_index(i));
+    }
+    classes
+}
+
+/// Checks that `colors` is a proper coloring (test helper, exported for
+/// integration tests and benches).
+pub fn is_proper(g: &Graph, colors: &[u32]) -> bool {
+    g.edges().all(|(u, v)| colors[u.index()] != colors[v.index()])
+}
+
+/// Largest color index plus one (0 for empty input).
+pub fn color_count(colors: &[u32]) -> usize {
+    colors.iter().max().map(|&c| c as usize + 1).unwrap_or(0)
+}
+
+/// Extension trait: number of *distinct* colors in use.
+pub fn distinct_colors(colors: &[u32]) -> usize {
+    let mut sorted: Vec<u32> = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_graphs::generators;
+    use local_model::RoundLedger;
+
+    #[test]
+    fn reduce_from_ids() {
+        let g = generators::torus(5, 5);
+        let mut colors: Vec<u32> = (0..g.n() as u32).collect();
+        let mut ledger = RoundLedger::new();
+        reduce_colors(&g, &mut colors, 5, &mut ledger, "reduce");
+        assert!(is_proper(&g, &colors));
+        assert!(color_count(&colors) <= 5);
+        assert_eq!(ledger.total(), (g.n() - 5) as u64);
+    }
+
+    #[test]
+    fn reduce_noop_if_already_small() {
+        let g = generators::cycle(6);
+        let mut colors = vec![0, 1, 0, 1, 0, 1];
+        let mut ledger = RoundLedger::new();
+        reduce_colors(&g, &mut colors, 3, &mut ledger, "reduce");
+        assert_eq!(colors, vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(ledger.total(), 0);
+    }
+
+    #[test]
+    fn deterministic_delta_plus_one_on_families() {
+        for g in [
+            generators::random_regular(400, 4, 2),
+            generators::torus(8, 9),
+            generators::random_tree(300, 7),
+            generators::hypercube(5),
+        ] {
+            let mut ledger = RoundLedger::new();
+            let c = deterministic_delta_plus_one(&g, &mut ledger, "d1");
+            crate::palette::check_k_coloring(&g, &c, g.max_degree() + 1).unwrap();
+            // Rounds: O(Δ² + log* n), independent of n.
+            let bound = crate::linial::linial_color_bound(g.max_degree()) as u64 + 32;
+            assert!(ledger.total() < bound, "rounds {} vs bound {bound}", ledger.total());
+        }
+    }
+
+    #[test]
+    fn classes_partition_nodes() {
+        let colors = vec![2, 0, 1, 0];
+        let classes = color_classes(&colors);
+        assert_eq!(classes.len(), 3);
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+        assert_eq!(classes[0].len(), 2);
+    }
+
+    #[test]
+    fn distinct_and_count() {
+        let colors = vec![5, 5, 2];
+        assert_eq!(color_count(&colors), 6);
+        assert_eq!(distinct_colors(&colors), 2);
+        assert_eq!(color_count(&[]), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Ruling sets and ruling forests (Lemma 20 of the paper).
+//!
+//! An `(α, β)` ruling set of `G` is a set `M` with pairwise distance
+//! `>= α` between members and every node within distance `β` of `M`.
+//!
+//! * [`ruling_set_randomized`]: Luby MIS on `G^{α-1}` — an
+//!   `(α, α-1)` ruling set in `O((α-1)·log n)` rounds w.h.p. (stand-in
+//!   for Lemma 20 (3)/(4)).
+//! * [`ruling_set_deterministic`]: the classical bit-halving
+//!   construction on node identifiers — a `(2, O(log n))` ruling set in
+//!   `O(log n)` rounds, lifted to `(α, O(α·log n))` via the power graph
+//!   (stand-in for Lemma 20 (1)/(2), see DESIGN.md §4).
+//! * [`ruling_forest`]: the assignment of every node to its closest
+//!   ruling node — the base-layer structure of the layering technique.
+
+use delta_graphs::bfs;
+use delta_graphs::{Graph, NodeId};
+use local_model::RoundLedger;
+
+/// Computes an `(alpha, alpha-1)` ruling set via Luby MIS on
+/// `G^{alpha-1}`; rounds charged with the `×(alpha-1)` simulation factor.
+///
+/// # Example
+///
+/// ```
+/// use delta_coloring::ruling::{is_ruling_set, ruling_set_randomized};
+/// use delta_graphs::generators;
+/// use local_model::RoundLedger;
+///
+/// let g = generators::cycle(40);
+/// let mut ledger = RoundLedger::new();
+/// let set = ruling_set_randomized(&g, 4, 7, &mut ledger, "ruling");
+/// assert!(is_ruling_set(&g, &set, 4, 3)); // distance >= 4, domination <= 3
+/// ```
+///
+/// # Panics
+///
+/// Panics if `alpha < 2`.
+pub fn ruling_set_randomized(
+    g: &Graph,
+    alpha: usize,
+    seed: u64,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<NodeId> {
+    assert!(alpha >= 2, "alpha must be at least 2");
+    let mask = crate::mis::luby_mis_on_power(g, alpha - 1, seed, ledger, phase);
+    crate::mis::members(&mask)
+}
+
+/// Deterministic `(2, O(log n))` ruling set by recursive id-bit
+/// halving: split nodes by the highest differing id bit, recurse in
+/// parallel, and keep the second half's ruling nodes only if they are
+/// not adjacent to (within distance 1 of) the first half's.
+///
+/// Charges `O(log n)` rounds (3 per bit level).
+pub fn ruling_set_deterministic(g: &Graph, ledger: &mut RoundLedger, phase: &str) -> Vec<NodeId> {
+    if g.n() == 0 {
+        return Vec::new();
+    }
+    let bits = (usize::BITS - (g.n() - 1).max(1).leading_zeros()) as usize;
+    let all: Vec<NodeId> = g.nodes().collect();
+    let mut set = rec_ruling(g, all, bits as i32 - 1);
+    set.sort_unstable();
+    // 3 rounds per recursion level (filtering needs one exchange;
+    // bookkeeping two more), matching the classical analysis.
+    ledger.charge(phase, 3 * bits as u64 + 1);
+    set
+}
+
+fn rec_ruling(g: &Graph, nodes: Vec<NodeId>, bit: i32) -> Vec<NodeId> {
+    if nodes.len() <= 1 || bit < 0 {
+        // Unique dense ids guarantee singletons by bit < 0.
+        return nodes;
+    }
+    let (v0, v1): (Vec<NodeId>, Vec<NodeId>) =
+        nodes.into_iter().partition(|v| v.0 & (1 << bit) == 0);
+    let mut r0 = rec_ruling(g, v0, bit - 1);
+    let r1 = rec_ruling(g, v1, bit - 1);
+    // Keep second-half ruling nodes only if not adjacent to the first
+    // half's result; dropped nodes stay dominated within +1.
+    let in_r0: std::collections::HashSet<NodeId> = r0.iter().copied().collect();
+    for v in r1 {
+        if !g.neighbors(v).iter().any(|w| in_r0.contains(w)) {
+            r0.push(v);
+        }
+    }
+    r0
+}
+
+/// Deterministic `(alpha, O(alpha·log n))` ruling set: bit-halving where
+/// adjacency is "distance < alpha in G" — logically the recursion on
+/// `G^{alpha-1}`, but implemented with truncated multi-source BFS so the
+/// power graph is never materialized. Rounds charged `×(alpha-1)` per
+/// level, matching the power-graph simulation cost.
+///
+/// # Panics
+///
+/// Panics if `alpha < 2`.
+pub fn ruling_set_deterministic_alpha(
+    g: &Graph,
+    alpha: usize,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<NodeId> {
+    assert!(alpha >= 2);
+    if alpha == 2 {
+        return ruling_set_deterministic(g, ledger, phase);
+    }
+    if g.n() == 0 {
+        return Vec::new();
+    }
+    let bits = (usize::BITS - (g.n() - 1).max(1).leading_zeros()) as usize;
+    let all: Vec<NodeId> = g.nodes().collect();
+    let mut set = rec_ruling_dist(g, all, bits as i32 - 1, alpha);
+    set.sort_unstable();
+    ledger.charge(phase, (3 * bits as u64 + 1) * (alpha - 1) as u64);
+    set
+}
+
+fn rec_ruling_dist(g: &Graph, nodes: Vec<NodeId>, bit: i32, alpha: usize) -> Vec<NodeId> {
+    if nodes.len() <= 1 || bit < 0 {
+        return nodes;
+    }
+    let (v0, v1): (Vec<NodeId>, Vec<NodeId>) =
+        nodes.into_iter().partition(|v| v.0 & (1 << bit) == 0);
+    let mut r0 = rec_ruling_dist(g, v0, bit - 1, alpha);
+    let r1 = rec_ruling_dist(g, v1, bit - 1, alpha);
+    if r0.is_empty() {
+        return r1;
+    }
+    if r1.is_empty() {
+        return r0;
+    }
+    // Nodes within distance alpha-1 of r0 (truncated multi-source BFS;
+    // cost proportional to the region visited, not to n).
+    let near = within_distance(g, &r0, alpha - 1);
+    for v in r1 {
+        if !near.contains(&v) {
+            r0.push(v);
+        }
+    }
+    r0
+}
+
+/// The set of nodes within distance `d` of `sources` (inclusive).
+fn within_distance(g: &Graph, sources: &[NodeId], d: usize) -> std::collections::HashSet<NodeId> {
+    let mut seen: std::collections::HashSet<NodeId> = sources.iter().copied().collect();
+    let mut frontier: Vec<NodeId> = sources.to_vec();
+    for _ in 1..=d {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &w in g.neighbors(u) {
+                if seen.insert(w) {
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    seen
+}
+
+/// A ruling forest: every node assigned to its closest ruling node
+/// (ties by smaller id), with the distance to it.
+#[derive(Debug, Clone)]
+pub struct RulingForest {
+    /// Distance to the assigned root ([`delta_graphs::bfs::UNREACHABLE`]
+    /// if no root reaches the node).
+    pub dist: Vec<u32>,
+    /// Assigned root per node (`None` if unreachable).
+    pub root: Vec<Option<NodeId>>,
+    /// The ruling nodes.
+    pub roots: Vec<NodeId>,
+}
+
+impl RulingForest {
+    /// The maximum finite assignment distance (the forest's depth).
+    pub fn depth(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != bfs::UNREACHABLE).max().copied().unwrap_or(0) as usize
+    }
+}
+
+/// Builds the ruling forest of `roots` by multi-source BFS; costs
+/// `depth` rounds, charged to `phase`.
+pub fn ruling_forest(
+    g: &Graph,
+    roots: &[NodeId],
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> RulingForest {
+    let (dist, root) = bfs::multi_source_assignment(g, roots);
+    let forest = RulingForest { dist, root, roots: roots.to_vec() };
+    ledger.charge(phase, forest.depth() as u64);
+    forest
+}
+
+/// Verifies the `(alpha, beta)` ruling properties (test/bench helper).
+pub fn is_ruling_set(g: &Graph, set: &[NodeId], alpha: usize, beta: usize) -> bool {
+    if g.n() == 0 {
+        return set.is_empty();
+    }
+    if set.is_empty() {
+        return false;
+    }
+    // Separation: pairwise distance >= alpha.
+    for &u in set {
+        let d = bfs::distances(g, u);
+        for &v in set {
+            if v != u && (d[v.index()] as usize) < alpha {
+                return false;
+            }
+        }
+    }
+    // Domination: every node within beta (within its component; nodes in
+    // components without ruling nodes fail the check).
+    let dist = bfs::multi_source_distances(g, set);
+    dist.iter().all(|&d| d != bfs::UNREACHABLE && (d as usize) <= beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_graphs::generators;
+
+    #[test]
+    fn randomized_ruling_set_properties() {
+        for alpha in [2usize, 3, 5] {
+            let g = generators::random_regular(300, 4, 11);
+            let mut ledger = RoundLedger::new();
+            let set = ruling_set_randomized(&g, alpha, 3, &mut ledger, "rs");
+            assert!(is_ruling_set(&g, &set, alpha, alpha - 1), "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn deterministic_ruling_set_properties() {
+        for g in [
+            generators::cycle(64),
+            generators::random_regular(400, 4, 2),
+            generators::random_tree(200, 3),
+        ] {
+            let mut ledger = RoundLedger::new();
+            let set = ruling_set_deterministic(&g, &mut ledger, "rs");
+            let beta = 2 * (g.n().ilog2() as usize + 1);
+            assert!(is_ruling_set(&g, &set, 2, beta));
+            assert!(ledger.total() <= 3 * (g.n().ilog2() as u64 + 2) + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_alpha_ruling_set() {
+        let g = generators::cycle(100);
+        let mut ledger = RoundLedger::new();
+        let set = ruling_set_deterministic_alpha(&g, 4, &mut ledger, "rs");
+        let beta = 3 * 2 * (g.n().ilog2() as usize + 1) + 3;
+        assert!(is_ruling_set(&g, &set, 4, beta));
+    }
+
+    #[test]
+    fn forest_assigns_everyone() {
+        let g = generators::torus(8, 8);
+        let mut ledger = RoundLedger::new();
+        let set = ruling_set_randomized(&g, 3, 1, &mut ledger, "rs");
+        let forest = ruling_forest(&g, &set, &mut ledger, "forest");
+        assert!(forest.root.iter().all(Option::is_some));
+        assert!(forest.depth() <= 2); // (3,2) ruling set
+        for &r in &forest.roots {
+            assert_eq!(forest.dist[r.index()], 0);
+            assert_eq!(forest.root[r.index()], Some(r));
+        }
+    }
+
+    #[test]
+    fn is_ruling_set_rejects_bad_sets() {
+        let g = generators::path(6);
+        // Adjacent pair violates alpha=2... it doesn't; alpha=2 means
+        // distance >= 2, i.e. non-adjacent.
+        assert!(!is_ruling_set(&g, &[NodeId(0), NodeId(1)], 2, 5));
+        // Far-apart singleton dominates only within 5.
+        assert!(is_ruling_set(&g, &[NodeId(0)], 2, 5));
+        assert!(!is_ruling_set(&g, &[NodeId(0)], 2, 3));
+        assert!(!is_ruling_set(&g, &[], 2, 3));
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = Graph::empty(1);
+        let mut ledger = RoundLedger::new();
+        let set = ruling_set_deterministic(&g, &mut ledger, "rs");
+        assert_eq!(set, vec![NodeId(0)]);
+    }
+}

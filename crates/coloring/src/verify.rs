@@ -1,0 +1,112 @@
+//! End-to-end validity checks shared by tests, examples, and benches.
+
+use crate::palette::{check_k_coloring, ColoringError, PartialColoring};
+use delta_graphs::props;
+use delta_graphs::{Graph, NodeId};
+
+/// Validates a total proper Δ-coloring, with Δ taken from the graph.
+///
+/// # Errors
+///
+/// The first violation (uncolored node, palette overflow, or
+/// monochromatic edge).
+pub fn check_delta_coloring(g: &Graph, coloring: &PartialColoring) -> Result<(), ColoringError> {
+    check_k_coloring(g, coloring, g.max_degree())
+}
+
+/// Why a graph is not *nice* (and hence outside the paper's scope).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotNice {
+    /// The graph is empty or disconnected.
+    Disconnected,
+    /// The graph is a path.
+    Path,
+    /// The graph is a cycle.
+    Cycle,
+    /// The graph is a complete graph.
+    Clique,
+    /// The maximum degree is below 3.
+    DegreeTooSmall,
+}
+
+impl std::fmt::Display for NotNice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NotNice::Disconnected => "graph is empty or disconnected",
+            NotNice::Path => "graph is a path",
+            NotNice::Cycle => "graph is a cycle",
+            NotNice::Clique => "graph is a complete graph",
+            NotNice::DegreeTooSmall => "maximum degree is below 3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Checks the paper's standing assumption: connected, not a path, not a
+/// cycle, not a clique, `Δ >= 3`.
+///
+/// # Errors
+///
+/// Returns which niceness condition fails.
+pub fn assert_nice(g: &Graph) -> Result<(), NotNice> {
+    if g.n() == 0 || !delta_graphs::components::is_connected(g) {
+        return Err(NotNice::Disconnected);
+    }
+    if props::is_path(g) {
+        return Err(NotNice::Path);
+    }
+    if props::is_cycle(g) {
+        return Err(NotNice::Cycle);
+    }
+    if props::is_clique(g) {
+        return Err(NotNice::Clique);
+    }
+    if g.max_degree() < 3 {
+        return Err(NotNice::DegreeTooSmall);
+    }
+    Ok(())
+}
+
+/// Number of distinct colors used by a (partial) coloring.
+pub fn colors_used(coloring: &PartialColoring) -> usize {
+    let mut seen: Vec<u32> = (0..coloring.len())
+        .filter_map(|i| coloring.get(NodeId::from_index(i)).map(|c| c.0))
+        .collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::palette::Color;
+    use delta_graphs::generators;
+
+    #[test]
+    fn nice_classification() {
+        assert_eq!(assert_nice(&generators::path(5)), Err(NotNice::Path));
+        assert_eq!(assert_nice(&generators::cycle(6)), Err(NotNice::Cycle));
+        assert_eq!(assert_nice(&generators::complete(5)), Err(NotNice::Clique));
+        assert_eq!(
+            assert_nice(&generators::cycle(3).disjoint_union(&generators::cycle(3))),
+            Err(NotNice::Disconnected)
+        );
+        assert!(assert_nice(&generators::torus(4, 5)).is_ok());
+        assert!(assert_nice(&generators::random_regular(50, 3, 1)).is_ok());
+    }
+
+    #[test]
+    fn delta_coloring_check() {
+        let g = generators::star(3);
+        let mut c = PartialColoring::new(4);
+        c.set(NodeId(0), Color(0));
+        for i in 1..4 {
+            c.set(NodeId(i), Color(1));
+        }
+        assert!(check_delta_coloring(&g, &c).is_ok());
+        assert_eq!(colors_used(&c), 2);
+        c.set(NodeId(1), Color(3)); // Δ = 3, palette {0,1,2}
+        assert!(check_delta_coloring(&g, &c).is_err());
+    }
+}

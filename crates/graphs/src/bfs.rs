@@ -1,0 +1,316 @@
+//! Breadth-first search utilities: distances, layers, BFS trees, and
+//! radius-limited balls.
+//!
+//! Balls ([`Ball`]) are the central LOCAL-model device: after `r`
+//! communication rounds a node knows exactly the subgraph induced by its
+//! radius-`r` neighborhood, which is what [`ball`] materializes.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances; unreachable nodes get [`UNREACHABLE`].
+pub fn distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    multi_source_distances(g, std::slice::from_ref(&src))
+}
+
+/// Multi-source BFS distances (distance to the nearest source).
+pub fn multi_source_distances(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut q = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()] == UNREACHABLE {
+            dist[s.index()] = 0;
+            q.push_back(s);
+        }
+    }
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()];
+        for &w in g.neighbors(u) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = du + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Multi-source BFS returning, for every node, the distance to the
+/// nearest source *and* which source it was assigned to (ties broken by
+/// BFS order, i.e. by smaller source id first, matching the paper's
+/// "assign to the closest, break ties by identifiers").
+pub fn multi_source_assignment(g: &Graph, sources: &[NodeId]) -> (Vec<u32>, Vec<Option<NodeId>>) {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut root: Vec<Option<NodeId>> = vec![None; g.n()];
+    let mut q = VecDeque::new();
+    let mut sorted = sources.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for &s in &sorted {
+        dist[s.index()] = 0;
+        root[s.index()] = Some(s);
+        q.push_back(s);
+    }
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()];
+        for &w in g.neighbors(u) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = du + 1;
+                root[w.index()] = root[u.index()];
+                q.push_back(w);
+            }
+        }
+    }
+    (dist, root)
+}
+
+/// A BFS tree rooted at `root`: parent pointers and per-level node lists.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// The root of the tree.
+    pub root: NodeId,
+    /// `parent[v]` is `None` for the root and for unreachable nodes.
+    pub parent: Vec<Option<NodeId>>,
+    /// `levels[t]` lists the nodes at distance exactly `t`, in visit order.
+    pub levels: Vec<Vec<NodeId>>,
+    /// BFS distance per node ([`UNREACHABLE`] if unreachable).
+    pub dist: Vec<u32>,
+}
+
+impl BfsTree {
+    /// Number of children of `v` in the tree.
+    pub fn child_count(&self, g: &Graph, v: NodeId) -> usize {
+        g.neighbors(v)
+            .iter()
+            .filter(|&&w| self.parent[w.index()] == Some(v))
+            .count()
+    }
+
+    /// Nodes at distance exactly `t` (empty slice if `t` exceeds depth).
+    pub fn level(&self, t: usize) -> &[NodeId] {
+        self.levels.get(t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Depth of the tree (distance of the farthest reachable node).
+    pub fn depth(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+}
+
+/// Builds the BFS tree rooted at `root`, optionally truncated at
+/// `max_depth`.
+pub fn bfs_tree(g: &Graph, root: NodeId, max_depth: Option<usize>) -> BfsTree {
+    let cap = max_depth.unwrap_or(usize::MAX);
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut parent = vec![None; g.n()];
+    let mut levels: Vec<Vec<NodeId>> = vec![vec![root]];
+    dist[root.index()] = 0;
+    let mut frontier = vec![root];
+    let mut d = 0usize;
+    while !frontier.is_empty() && d < cap {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &w in g.neighbors(u) {
+                if dist[w.index()] == UNREACHABLE {
+                    dist[w.index()] = (d + 1) as u32;
+                    parent[w.index()] = Some(u);
+                    next.push(w);
+                }
+            }
+        }
+        d += 1;
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next.clone());
+        frontier = next;
+    }
+    BfsTree { root, parent, levels, dist }
+}
+
+/// The radius-`r` ball around a center node: the node-induced subgraph on
+/// all nodes within distance `r`, with a local/global id mapping.
+///
+/// In the LOCAL model this is exactly the information the center can
+/// gather in `r` rounds.
+#[derive(Debug, Clone)]
+pub struct Ball {
+    /// The induced subgraph on the ball, with local ids `0..k`.
+    pub graph: Graph,
+    /// `globals[i]` is the global id of local node `i` (sorted).
+    pub globals: Vec<NodeId>,
+    /// Local id of the center.
+    pub center: NodeId,
+    /// Distance from the center, indexed by local id.
+    pub dist: Vec<u32>,
+    /// The radius this ball was collected with.
+    pub radius: usize,
+}
+
+impl Ball {
+    /// Translates a local id to its global id.
+    #[inline]
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.globals[local.index()]
+    }
+
+    /// Translates a global id to its local id, if the node is in the ball.
+    pub fn to_local(&self, global: NodeId) -> Option<NodeId> {
+        self.globals
+            .binary_search(&global)
+            .ok()
+            .map(NodeId::from_index)
+    }
+
+    /// Number of nodes in the ball.
+    pub fn len(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Whether the ball contains only its center.
+    pub fn is_empty(&self) -> bool {
+        self.globals.len() <= 1
+    }
+}
+
+/// Collects the radius-`r` ball around `center`.
+///
+/// The LOCAL-model cost of this operation is `r` rounds; callers charge
+/// the round ledger accordingly (see the `local-model` crate).
+pub fn ball(g: &Graph, center: NodeId, r: usize) -> Ball {
+    let mut members = Vec::new();
+    let mut dist_global = vec![UNREACHABLE; g.n()];
+    let mut q = VecDeque::new();
+    dist_global[center.index()] = 0;
+    q.push_back(center);
+    members.push(center);
+    while let Some(u) = q.pop_front() {
+        let du = dist_global[u.index()];
+        if du as usize >= r {
+            continue;
+        }
+        for &w in g.neighbors(u) {
+            if dist_global[w.index()] == UNREACHABLE {
+                dist_global[w.index()] = du + 1;
+                members.push(w);
+                q.push_back(w);
+            }
+        }
+    }
+    let (graph, globals) = g.induced(&members);
+    let dist = globals.iter().map(|v| dist_global[v.index()]).collect();
+    let center_local = NodeId::from_index(globals.binary_search(&center).expect("center in ball"));
+    Ball { graph, globals, center: center_local, dist, radius: r }
+}
+
+/// Eccentricity of `v` within its connected component.
+pub fn eccentricity(g: &Graph, v: NodeId) -> usize {
+    distances(g, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0) as usize
+}
+
+/// Radius of a (connected) graph: minimum eccentricity over all nodes.
+///
+/// For disconnected graphs this is the minimum over nodes of the
+/// eccentricity within the node's component, which is rarely meaningful;
+/// callers should ensure connectivity. Runs `n` BFS passes.
+pub fn radius(g: &Graph) -> usize {
+    g.nodes().map(|v| eccentricity(g, v)).min().unwrap_or(0)
+}
+
+/// Diameter of a (connected) graph: maximum eccentricity.
+pub fn diameter(g: &Graph) -> usize {
+    g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_path() {
+        let g = generators::path(5);
+        let d = distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn distances_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let d = distances(&g, NodeId(0));
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = generators::path(7);
+        let d = multi_source_distances(&g, &[NodeId(0), NodeId(6)]);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn assignment_breaks_ties_by_id() {
+        let g = generators::path(5);
+        let (d, root) = multi_source_assignment(&g, &[NodeId(4), NodeId(0)]);
+        assert_eq!(d, vec![0, 1, 2, 1, 0]);
+        assert_eq!(root[2], Some(NodeId(0))); // tie at distance 2, smaller id wins
+    }
+
+    #[test]
+    fn bfs_tree_levels() {
+        let g = generators::cycle(6);
+        let t = bfs_tree(&g, NodeId(0), None);
+        assert_eq!(t.level(0), &[NodeId(0)]);
+        assert_eq!(t.level(1).len(), 2);
+        assert_eq!(t.level(2).len(), 2);
+        assert_eq!(t.level(3).len(), 1);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.child_count(&g, NodeId(0)), 2);
+    }
+
+    #[test]
+    fn bfs_tree_truncation() {
+        let g = generators::path(10);
+        let t = bfs_tree(&g, NodeId(0), Some(3));
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.dist[5], UNREACHABLE);
+    }
+
+    #[test]
+    fn ball_of_cycle() {
+        let g = generators::cycle(8);
+        let b = ball(&g, NodeId(0), 2);
+        assert_eq!(b.len(), 5); // 0, 1, 2, 7, 6
+        assert_eq!(b.dist[b.center.index()], 0);
+        assert_eq!(b.graph.m(), 4); // induced path of 5 nodes
+        let g1 = b.to_local(NodeId(1)).unwrap();
+        assert_eq!(b.to_global(g1), NodeId(1));
+        assert!(b.to_local(NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn ball_radius_zero() {
+        let g = generators::cycle(5);
+        let b = ball(&g, NodeId(2), 0);
+        assert_eq!(b.len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn radius_diameter_cycle() {
+        let g = generators::cycle(7);
+        assert_eq!(radius(&g), 3);
+        assert_eq!(diameter(&g), 3);
+        let p = generators::path(5);
+        assert_eq!(radius(&p), 2);
+        assert_eq!(diameter(&p), 4);
+    }
+}

@@ -1,0 +1,327 @@
+//! Connectivity and block (biconnected-component) decomposition.
+//!
+//! Blocks are the maximal 2-connected subgraphs (plus bridge edges) of a
+//! graph. They are central to the paper: a graph is a *Gallai tree* iff
+//! every block is a clique or an odd cycle (Theorem 8), and a block that
+//! is neither is a *degree-choosable component* (Definition 9).
+
+use crate::graph::{Graph, NodeId};
+
+/// Connected components: returns `(component_id_per_node, component_count)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.n()];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for v in g.nodes() {
+        if comp[v.index()] != u32::MAX {
+            continue;
+        }
+        comp[v.index()] = count;
+        stack.push(v);
+        while let Some(u) = stack.pop() {
+            for &w in g.neighbors(u) {
+                if comp[w.index()] == u32::MAX {
+                    comp[w.index()] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Lists the node sets of all connected components.
+pub fn component_node_sets(g: &Graph) -> Vec<Vec<NodeId>> {
+    let (comp, count) = connected_components(g);
+    let mut sets = vec![Vec::new(); count];
+    for v in g.nodes() {
+        sets[comp[v.index()] as usize].push(v);
+    }
+    sets
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() <= 1 || connected_components(g).1 == 1
+}
+
+/// The block decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct Blocks {
+    /// Node sets of each block, sorted. A block is either a bridge edge
+    /// (2 nodes) or a maximal 2-connected subgraph (>= 3 nodes).
+    /// Isolated nodes form no block.
+    pub blocks: Vec<Vec<NodeId>>,
+    /// Articulation points (cut vertices) of the graph.
+    pub cut_vertices: Vec<NodeId>,
+}
+
+impl Blocks {
+    /// Indices of blocks containing node `v`. Non-cut vertices appear in
+    /// exactly one block; cut vertices in several.
+    pub fn blocks_of(&self, v: NodeId) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.binary_search(&v).is_ok())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Computes the block decomposition (biconnected components) and
+/// articulation points via an iterative Hopcroft–Tarjan DFS.
+pub fn blocks(g: &Graph) -> Blocks {
+    let n = g.n();
+    let mut num = vec![u32::MAX; n]; // discovery index
+    let mut low = vec![0u32; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut is_cut = vec![false; n];
+    let mut edge_stack: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut blocks_out: Vec<Vec<NodeId>> = Vec::new();
+    let mut counter = 0u32;
+
+    // Iterative DFS frame: (node, index into adjacency list).
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.nodes() {
+        if num[root.index()] != u32::MAX {
+            continue;
+        }
+        num[root.index()] = counter;
+        low[root.index()] = counter;
+        counter += 1;
+        let mut root_children = 0usize;
+        stack.push((root, 0));
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            let nbrs = g.neighbors(u);
+            if *i < nbrs.len() {
+                let w = nbrs[*i];
+                *i += 1;
+                if num[w.index()] == u32::MAX {
+                    // Tree edge.
+                    parent[w.index()] = Some(u);
+                    if u == root {
+                        root_children += 1;
+                    }
+                    edge_stack.push((u, w));
+                    num[w.index()] = counter;
+                    low[w.index()] = counter;
+                    counter += 1;
+                    stack.push((w, 0));
+                } else if Some(w) != parent[u.index()] && num[w.index()] < num[u.index()] {
+                    // Back edge.
+                    edge_stack.push((u, w));
+                    low[u.index()] = low[u.index()].min(num[w.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p.index()] = low[p.index()].min(low[u.index()]);
+                    if low[u.index()] >= num[p.index()] {
+                        // p is a cut vertex (or the root); pop the block.
+                        if p != root || root_children > 1 {
+                            is_cut[p.index()] = true;
+                        }
+                        // Pop every edge discovered in u's subtree that is
+                        // still on the stack; the tree edge (p, u) closes
+                        // the block.
+                        let mut members = Vec::new();
+                        while let Some((a, b)) = edge_stack.pop() {
+                            members.push(a);
+                            members.push(b);
+                            if (a, b) == (p, u) {
+                                break;
+                            }
+                        }
+                        members.sort_unstable();
+                        members.dedup();
+                        if !members.is_empty() {
+                            blocks_out.push(members);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let cut_vertices = g.nodes().filter(|v| is_cut[v.index()]).collect();
+    Blocks { blocks: blocks_out, cut_vertices }
+}
+
+/// Whether the whole graph is 2-connected (n >= 3, connected, and no cut
+/// vertex).
+pub fn is_biconnected(g: &Graph) -> bool {
+    if g.n() < 3 || !is_connected(g) {
+        return false;
+    }
+    let b = blocks(g);
+    b.cut_vertices.is_empty() && b.blocks.len() == 1
+}
+
+/// The block-cut tree: blocks (by index into `blocks.blocks`) attached to
+/// cut vertices, in a rooted traversal order.
+///
+/// Returns a list of `(block_index, attachment)` pairs in an order such
+/// that every block appears after the block through which it attaches;
+/// `attachment` is the cut vertex shared with an earlier block (`None`
+/// for the first block of each connected component).
+pub fn block_order(g: &Graph, b: &Blocks) -> Vec<(usize, Option<NodeId>)> {
+    let nblocks = b.blocks.len();
+    // Map: for each node, the blocks containing it.
+    let mut blocks_at: Vec<Vec<usize>> = vec![Vec::new(); g.n()];
+    for (i, blk) in b.blocks.iter().enumerate() {
+        for &v in blk {
+            blocks_at[v.index()].push(i);
+        }
+    }
+    let mut visited = vec![false; nblocks];
+    let mut order = Vec::with_capacity(nblocks);
+    for start in 0..nblocks {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        order.push((start, None));
+        // BFS over the block-cut structure.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        while let Some(bi) = queue.pop_front() {
+            let members = b.blocks[bi].clone();
+            for v in members {
+                for &bj in &blocks_at[v.index()] {
+                    if !visited[bj] {
+                        visited[bj] = true;
+                        order.push((bj, Some(v)));
+                        queue.push_back(bj);
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn components_of_disjoint_union() {
+        let g = generators::cycle(4).disjoint_union(&generators::path(3));
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+        assert!(!is_connected(&g));
+        let sets = component_node_sets(&g);
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].len(), 4);
+        assert_eq!(sets[1].len(), 3);
+    }
+
+    #[test]
+    fn single_cycle_is_one_block() {
+        let g = generators::cycle(5);
+        let b = blocks(&g);
+        assert_eq!(b.blocks.len(), 1);
+        assert_eq!(b.blocks[0].len(), 5);
+        assert!(b.cut_vertices.is_empty());
+        assert!(is_biconnected(&g));
+    }
+
+    #[test]
+    fn path_blocks_are_edges() {
+        let g = generators::path(4);
+        let b = blocks(&g);
+        assert_eq!(b.blocks.len(), 3);
+        assert!(b.blocks.iter().all(|blk| blk.len() == 2));
+        assert_eq!(b.cut_vertices, vec![NodeId(1), NodeId(2)]);
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // Nodes 0,1,2 triangle; 2,3,4 triangle; 2 is the cut vertex.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]).unwrap();
+        let b = blocks(&g);
+        assert_eq!(b.blocks.len(), 2);
+        assert_eq!(b.cut_vertices, vec![NodeId(2)]);
+        for blk in &b.blocks {
+            assert_eq!(blk.len(), 3);
+            assert!(blk.contains(&NodeId(2)));
+        }
+    }
+
+    #[test]
+    fn bridge_between_cycles() {
+        // C4 on 0..4, C4 on 5..9, bridge 3-5.
+        let g = Graph::from_edges(
+            9,
+            [(0, 1), (1, 2), (2, 3), (3, 0), (5, 6), (6, 7), (7, 8), (8, 5), (3, 5)],
+        )
+        .unwrap();
+        let b = blocks(&g);
+        assert_eq!(b.blocks.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = b.blocks.iter().map(Vec::len).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![2, 4, 4]);
+        let mut cuts = b.cut_vertices.clone();
+        cuts.sort_unstable();
+        assert_eq!(cuts, vec![NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn blocks_of_cut_vertex() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]).unwrap();
+        let b = blocks(&g);
+        assert_eq!(b.blocks_of(NodeId(2)).len(), 2);
+        assert_eq!(b.blocks_of(NodeId(0)).len(), 1);
+    }
+
+    #[test]
+    fn clique_is_biconnected() {
+        let g = generators::complete(5);
+        assert!(is_biconnected(&g));
+        let b = blocks(&g);
+        assert_eq!(b.blocks.len(), 1);
+        assert_eq!(b.blocks[0].len(), 5);
+    }
+
+    #[test]
+    fn block_order_respects_attachment() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]).unwrap();
+        let b = blocks(&g);
+        let order = block_order(&g, &b);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0].1, None);
+        assert_eq!(order[1].1, Some(NodeId(2)));
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let g = Graph::empty(1);
+        let b = blocks(&g);
+        assert!(b.blocks.is_empty());
+        assert!(b.cut_vertices.is_empty());
+        assert!(is_connected(&g));
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn theta_graph_is_one_block() {
+        // Two vertices joined by three internally disjoint paths.
+        // 0 - 1 - 5, 0 - 2 - 5, 0 - 3 - 4 - 5.
+        let g = Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)])
+            .unwrap();
+        let b = blocks(&g);
+        assert_eq!(b.blocks.len(), 1);
+        assert_eq!(b.blocks[0].len(), 6);
+        assert!(is_biconnected(&g));
+    }
+}

@@ -1,0 +1,674 @@
+//! Graph generators for every family used by the experiments.
+//!
+//! Deterministic families: paths, cycles, cliques, stars, complete
+//! bipartite graphs, grids/tori, hypercubes, balanced trees.
+//! Randomized families (seeded): G(n,p), random d-regular graphs
+//! (configuration model with rejection/repair), random trees, Gallai
+//! trees (random block trees of cliques and odd cycles), and "nice"
+//! near-regular perturbations.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{RngExt, SeedableRng};
+
+/// Path on `n` nodes (`n >= 1`).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as u32, i as u32);
+    }
+    b.build()
+}
+
+/// Cycle on `n` nodes (`n >= 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as u32, ((i + 1) % n) as u32);
+    }
+    b.build()
+}
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i as u32, j as u32);
+        }
+    }
+    b.build()
+}
+
+/// Star K_{1,k}: node 0 is the center, nodes 1..=k the leaves.
+pub fn star(k: usize) -> Graph {
+    let mut b = GraphBuilder::new(k + 1);
+    for i in 1..=k {
+        b.add_edge(0, i as u32);
+    }
+    b.build()
+}
+
+/// Complete bipartite graph K_{a,b}.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            builder.add_edge(i as u32, (a + j) as u32);
+        }
+    }
+    builder.build()
+}
+
+/// 2-dimensional torus (wrap-around grid) of `rows × cols` nodes; it is
+/// 4-regular when both dimensions are >= 3.
+///
+/// # Panics
+///
+/// Panics if `rows < 2` or `cols < 2`.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 2 && cols >= 2, "torus needs both dimensions >= 2");
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+        }
+    }
+    b.build()
+}
+
+/// 2-dimensional grid (no wrap-around) of `rows × cols` nodes.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube on `2^d` nodes (d-regular).
+pub fn hypercube(d: usize) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b.add_edge(v as u32, w as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Balanced `k`-ary tree with the given number of `levels` (a single
+/// root for `levels == 1`).
+pub fn balanced_tree(k: usize, levels: usize) -> Graph {
+    assert!(levels >= 1);
+    let mut count = 1usize;
+    let mut level_size = 1usize;
+    for _ in 1..levels {
+        level_size *= k;
+        count += level_size;
+    }
+    let mut b = GraphBuilder::new(count);
+    for v in 1..count {
+        let parent = (v - 1) / k;
+        b.add_edge(parent as u32, v as u32);
+    }
+    b.build()
+}
+
+/// Erdős–Rényi G(n, p) with a seeded RNG.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random::<f64>() < p {
+                b.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-regular simple graph via the configuration model with edge
+/// repair; retries with fresh randomness until simple and (optionally)
+/// connected.
+///
+/// Random regular graphs have high girth with high probability, which
+/// makes them locally tree-like and essentially free of small
+/// degree-choosable components — the paper's hard regime.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or `d >= n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
+    assert!(d < n, "degree must be < n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..50 {
+        // Stubs: d copies of each node, paired after a shuffle.
+        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut edges: Vec<(u32, u32)> =
+            stubs.chunks(2).map(|p| (p[0], p[1])).collect();
+        // The raw pairing has Θ(d²) self-loops/multi-edges in
+        // expectation; repair them with double-edge swaps (the standard
+        // technique — resampling everything would almost never produce
+        // a simple graph for d >= 6).
+        if !repair_to_simple(&mut edges, &mut rng) {
+            continue;
+        }
+        let g = Graph::from_edges(n, &edges).expect("valid edges");
+        if g.is_regular(d) && crate::components::is_connected(&g) {
+            return g;
+        }
+    }
+    // Unreachable in practice (connectivity of random d-regular graphs,
+    // d >= 3, holds w.h.p.; the swap repair converges); deterministic
+    // fallback keeps the function total for degenerate parameters.
+    circulant(n, d)
+}
+
+/// Repairs a stub pairing into a simple graph by double-edge swaps:
+/// a bad pair `(a, b)` (loop or duplicate) and a random partner `(c, d)`
+/// are rewired to `(a, c), (b, d)` when that introduces no new
+/// violation. Returns false if the swap process stalls.
+fn repair_to_simple(edges: &mut [(u32, u32)], rng: &mut StdRng) -> bool {
+    use std::collections::HashSet;
+    let canon = |(a, b): (u32, u32)| (a.min(b), a.max(b));
+    let m = edges.len();
+    let mut present: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+    let mut bad: Vec<usize> = Vec::new();
+    for (i, &e) in edges.iter().enumerate() {
+        if e.0 == e.1 || !present.insert(canon(e)) {
+            bad.push(i);
+        }
+    }
+    let mut budget = 200 * (bad.len() + 1) * (bad.len() + 1) + 10_000;
+    while let Some(&i) = bad.last() {
+        if budget == 0 {
+            return false;
+        }
+        budget -= 1;
+        let j = rng.random_range(0..m);
+        if j == i {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (c, d) = edges[j];
+        // Proposed rewiring: (a, c), (b, d).
+        if a == c || b == d {
+            continue;
+        }
+        let e1 = canon((a, c));
+        let e2 = canon((b, d));
+        if e1 == e2 || present.contains(&e1) || present.contains(&e2) {
+            continue;
+        }
+        // The partner edge must currently be a good (registered) edge;
+        // otherwise accounting gets tangled — skip bad partners.
+        if c == d || bad.contains(&j) {
+            continue;
+        }
+        // Apply: remove the partner's registration, register new edges.
+        present.remove(&canon((c, d)));
+        present.insert(e1);
+        present.insert(e2);
+        edges[i] = (a, c);
+        edges[j] = (b, d);
+        bad.pop();
+    }
+    true
+}
+
+/// Circulant graph: node `v` adjacent to `v ± 1, ..., v ± d/2` (and the
+/// antipode for odd `d`). A deterministic `d`-regular fallback.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or `d >= n`.
+pub fn circulant(n: usize, d: usize) -> Graph {
+    assert!((n * d).is_multiple_of(2) && d < n);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for k in 1..=(d / 2) {
+            b.add_edge(v as u32, ((v + k) % n) as u32);
+        }
+        if d % 2 == 1 {
+            let w = (v + n / 2) % n;
+            if v < w {
+                b.add_edge(v as u32, w as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The Petersen graph: 3-regular, girth 5, 10 nodes — a classic
+/// Δ-regular, vertex-transitive stress instance.
+pub fn petersen_like() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    for i in 0..5u32 {
+        b.add_edge(i, (i + 1) % 5); // outer cycle
+        b.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+        b.add_edge(i, 5 + i); // spokes
+    }
+    b.build()
+}
+
+/// Uniformly random labelled tree on `n` nodes (Prüfer sequence).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    if n == 1 {
+        return Graph::empty(1);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prufer: Vec<u32> = (0..n - 2).map(|_| rng.random_range(0..n as u32)).collect();
+    let mut degree = vec![1u32; n];
+    for &x in &prufer {
+        degree[x as usize] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Min-heap of current leaves.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
+        .filter(|&v| degree[v as usize] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &x in &prufer {
+        let std::cmp::Reverse(leaf) = heap.pop().expect("leaf available");
+        b.add_edge(leaf, x);
+        degree[x as usize] -= 1;
+        if degree[x as usize] == 1 {
+            heap.push(std::cmp::Reverse(x));
+        }
+    }
+    let std::cmp::Reverse(a) = heap.pop().unwrap();
+    let std::cmp::Reverse(c) = heap.pop().unwrap();
+    b.add_edge(a, c);
+    b.build()
+}
+
+/// A random Gallai tree: a tree of blocks, each block a random clique
+/// (size `2..=max_clique`) or odd cycle (length in `{3, 5, 7}`), glued at
+/// cut vertices. Every block is a clique or odd cycle by construction,
+/// so the result is never degree-choosable (Theorem 8).
+pub fn random_gallai_tree(num_blocks: usize, max_clique: usize, seed: u64) -> Graph {
+    assert!(num_blocks >= 1 && max_clique >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut nodes: Vec<u32> = vec![0];
+    let mut next = 1u32;
+    for _ in 0..num_blocks {
+        // Attach a new block at a uniformly random existing node.
+        let attach = *nodes.choose(&mut rng).unwrap();
+        if rng.random::<bool>() {
+            // Clique block of size s (attach + s-1 new nodes).
+            let s = rng.random_range(2..=max_clique.max(2));
+            let mut members = vec![attach];
+            for _ in 1..s {
+                members.push(next);
+                nodes.push(next);
+                next += 1;
+            }
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    edges.push((members[i], members[j]));
+                }
+            }
+        } else {
+            // Odd cycle block of length l (attach + l-1 new nodes).
+            let l = *[3usize, 5, 7].choose(&mut rng).unwrap();
+            let mut members = vec![attach];
+            for _ in 1..l {
+                members.push(next);
+                nodes.push(next);
+                next += 1;
+            }
+            for i in 0..l {
+                edges.push((members[i], members[(i + 1) % l]));
+            }
+        }
+    }
+    Graph::from_edges(next as usize, &edges).expect("valid gallai tree")
+}
+
+/// A "nice perturbed regular" graph: a random `d`-regular graph where a
+/// `frac` fraction of random edges have been deleted, leaving some nodes
+/// with degree `< d` (slack). Mirrors graphs with boundary.
+pub fn perturbed_regular(n: usize, d: usize, frac: f64, seed: u64) -> Graph {
+    let g = random_regular(n, d, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let keep: Vec<(u32, u32)> = g
+        .edges()
+        .filter(|_| rng.random::<f64>() >= frac)
+        .map(|(u, v)| (u.0, v.0))
+        .collect();
+    Graph::from_edges(n, &keep).unwrap()
+}
+
+/// A tree plus random chords: take a random tree and add `extra` random
+/// non-tree edges. With few chords these graphs are sparse with scattered
+/// degree-choosable components (even cycles appear where chords land).
+pub fn tree_with_chords(n: usize, extra: usize, seed: u64) -> Graph {
+    let t = random_tree(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x1234_5677));
+    let mut edges: Vec<(u32, u32)> = t.edges().map(|(u, v)| (u.0, v.0)).collect();
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra && guard < 100 * extra + 100 {
+        guard += 1;
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v && !t.has_edge(NodeId(u), NodeId(v)) {
+            edges.push((u, v));
+            added += 1;
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::props;
+
+    #[test]
+    fn basic_families() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(complete(5).m(), 10);
+        assert_eq!(star(4).m(), 4);
+        assert_eq!(complete_bipartite(2, 3).m(), 6);
+        assert_eq!(hypercube(3).n(), 8);
+        assert!(hypercube(3).is_regular(3));
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert!(g.is_regular(4));
+        assert!(is_connected(&g));
+        assert_eq!(g.n(), 20);
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid(3, 3);
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.min_degree(), 2);
+    }
+
+    #[test]
+    fn balanced_tree_sizes() {
+        let g = balanced_tree(2, 3); // 1 + 2 + 4
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 6);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected() {
+        for seed in 0..5 {
+            let g = random_regular(50, 3, seed);
+            assert!(g.is_regular(3), "seed {seed}");
+            assert!(is_connected(&g), "seed {seed}");
+        }
+        let g = random_regular(64, 4, 7);
+        assert!(g.is_regular(4));
+    }
+
+    #[test]
+    fn random_regular_larger_degrees() {
+        let g = random_regular(100, 8, 3);
+        assert!(g.is_regular(8));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn circulant_regular() {
+        assert!(circulant(10, 4).is_regular(4));
+        assert!(circulant(10, 3).is_regular(3));
+        assert!(is_connected(&circulant(12, 4)));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_tree(30, seed);
+            assert_eq!(g.m(), 29);
+            assert!(is_connected(&g));
+        }
+        assert_eq!(random_tree(1, 0).n(), 1);
+        assert_eq!(random_tree(2, 0).m(), 1);
+    }
+
+    #[test]
+    fn gnp_seeded_reproducible() {
+        let a = gnp(30, 0.2, 42);
+        let b = gnp(30, 0.2, 42);
+        assert_eq!(a, b);
+        let c = gnp(30, 0.2, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gallai_tree_generator_is_gallai() {
+        for seed in 0..8 {
+            let g = random_gallai_tree(6, 4, seed);
+            assert!(is_connected(&g), "seed {seed}");
+            assert!(props::is_gallai_forest(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn perturbed_regular_has_slack() {
+        let g = perturbed_regular(60, 4, 0.1, 1);
+        assert!(g.max_degree() <= 4);
+        assert!(g.min_degree() < 4);
+    }
+
+    #[test]
+    fn tree_with_chords_counts() {
+        let g = tree_with_chords(40, 5, 9);
+        assert!(g.m() >= 39 && g.m() <= 44);
+        assert!(is_connected(&g));
+    }
+}
+
+/// Random geometric graph: `n` points uniform in the unit square,
+/// edges between pairs within Euclidean distance `radius`. The classic
+/// wireless-interference model (used by the frequency-assignment
+/// example).
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.random(), rng.random())).collect();
+    let mut b = GraphBuilder::new(n);
+    let r2 = radius * radius;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The incidence (Levi) graph of the projective plane `PG(2, q)` for a
+/// prime `q`: bipartite on `q²+q+1` points and `q²+q+1` lines, edges
+/// between incident pairs. It is `(q+1)`-regular with **girth 6** — a
+/// deterministic high-girth family, locally tree-like for two hops, so
+/// radius-2 balls contain no degree-choosable components anywhere
+/// (useful for the expansion experiments F2/F3).
+///
+/// # Panics
+///
+/// Panics if `q` is not prime.
+pub fn projective_plane_incidence(q: u32) -> Graph {
+    assert!(is_prime(q), "q must be prime");
+    // Points and lines of PG(2, q): nonzero triples over F_q up to
+    // scalar multiples; canonical representatives have first nonzero
+    // coordinate equal to 1.
+    let reps: Vec<[u32; 3]> = {
+        let mut v = Vec::new();
+        // (1, y, z), (0, 1, z), (0, 0, 1)
+        for y in 0..q {
+            for z in 0..q {
+                v.push([1, y, z]);
+            }
+        }
+        for z in 0..q {
+            v.push([0, 1, z]);
+        }
+        v.push([0, 0, 1]);
+        v
+    };
+    let m = reps.len(); // q^2 + q + 1
+    let mut b = GraphBuilder::new(2 * m);
+    for (pi, p) in reps.iter().enumerate() {
+        for (li, l) in reps.iter().enumerate() {
+            let dot = (p[0] * l[0] + p[1] * l[1] + p[2] * l[2]) % q;
+            if dot == 0 {
+                b.add_edge(pi as u32, (m + li) as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+fn is_prime(q: u32) -> bool {
+    if q < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= q {
+        if q.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Barbell graph: two cliques `K_k` joined by a path of `bridge` edges.
+/// Mixes dense (clique) and sparse (path) regimes in one instance.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 3 && bridge >= 1);
+    let n = 2 * k + bridge.saturating_sub(1);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(i as u32, j as u32);
+            b.add_edge((k + bridge - 1 + i) as u32, (k + bridge - 1 + j) as u32);
+        }
+    }
+    // Path from node k-1 through bridge-1 internal nodes to the second
+    // clique's node (k + bridge - 1).
+    let mut prev = (k - 1) as u32;
+    for step in 0..bridge {
+        let next = (k + step) as u32;
+        b.add_edge(prev, next);
+        prev = next;
+    }
+    b.build()
+}
+
+/// Caterpillar tree: a spine path of `spine` nodes, each with `legs`
+/// pendant leaves. Gallai tree with high-degree internal nodes.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1);
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    for i in 1..spine {
+        b.add_edge((i - 1) as u32, i as u32);
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(s as u32, (spine + s * legs + l) as u32);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::props;
+
+    #[test]
+    fn geometric_graph_reproducible() {
+        let a = random_geometric(100, 0.2, 5);
+        let b = random_geometric(100, 0.2, 5);
+        assert_eq!(a, b);
+        // Larger radius, more edges.
+        let c = random_geometric(100, 0.4, 5);
+        assert!(c.m() > a.m());
+    }
+
+    #[test]
+    fn projective_plane_structure() {
+        for q in [2u32, 3, 5] {
+            let g = projective_plane_incidence(q);
+            let m = (q * q + q + 1) as usize;
+            assert_eq!(g.n(), 2 * m);
+            assert!(g.is_regular((q + 1) as usize), "q={q}");
+            assert!(is_connected(&g), "q={q}");
+            assert_eq!(props::girth(&g), Some(6), "q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prime")]
+    fn projective_plane_rejects_composite() {
+        let _ = projective_plane_incidence(4);
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 3);
+        assert!(is_connected(&g));
+        assert_eq!(g.max_degree(), 4); // clique node with bridge
+        // Barbell = two cliques + path: every block is a clique, so it
+        // is a Gallai forest.
+        assert!(props::is_gallai_forest(&g));
+        // Two K4s contribute 12 edges, bridge 3 edges.
+        assert_eq!(g.m(), 15);
+    }
+
+    #[test]
+    fn caterpillar_is_gallai_tree() {
+        let g = caterpillar(5, 3);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 19);
+        assert!(is_connected(&g));
+        assert!(props::is_gallai_forest(&g));
+        assert_eq!(g.max_degree(), 5); // spine interior: 2 spine + 3 legs
+    }
+}

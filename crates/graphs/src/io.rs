@@ -1,0 +1,287 @@
+//! Graph file formats: whitespace edge lists and DIMACS `.col`.
+//!
+//! * **Edge list**: one `u v` pair per line; `#` comments; an optional
+//!   first line `n <count>` fixes the node count (otherwise it is
+//!   `max id + 1`).
+//! * **DIMACS coloring format** (`.col`): `c` comment lines, one
+//!   `p edge <n> <m>` line, then `e <u> <v>` lines with **1-based** node
+//!   ids — the standard benchmark format for graph-coloring instances.
+
+use crate::graph::{Graph, GraphBuilder};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors from parsing graph files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// An edge referenced a node outside the declared range, or was a
+    /// self-loop.
+    BadEdge {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The DIMACS header (`p edge n m`) is missing or malformed.
+    MissingHeader,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine { line, content } => {
+                write!(f, "line {line}: cannot parse {content:?}")
+            }
+            ParseError::BadEdge { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::MissingHeader => write!(f, "missing DIMACS 'p edge n m' header"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whitespace edge list (see module docs).
+///
+/// # Errors
+///
+/// [`ParseError`] on malformed lines, out-of-range endpoints, or
+/// self-loops.
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(u32, u32, usize)> = Vec::new();
+    let mut max_id = 0u32;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().expect("non-empty");
+        if first == "n" && declared_n.is_none() && edges.is_empty() {
+            let n = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError::BadLine { line: i + 1, content: raw.to_string() })?;
+            declared_n = Some(n);
+            continue;
+        }
+        let u: u32 = first
+            .parse()
+            .map_err(|_| ParseError::BadLine { line: i + 1, content: raw.to_string() })?;
+        let v: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseError::BadLine { line: i + 1, content: raw.to_string() })?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v, i + 1));
+    }
+    let n = declared_n.unwrap_or(max_id as usize + 1);
+    let mut b = GraphBuilder::new(n);
+    for (u, v, line) in edges {
+        b.add_edge_checked(u, v)
+            .map_err(|e| ParseError::BadEdge { line, reason: e.to_string() })?;
+    }
+    Ok(b.build())
+}
+
+/// Serializes a graph as an edge list (with an `n` header so isolated
+/// trailing nodes round-trip).
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "n {}", g.n());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses DIMACS `.col` text (1-based `e u v` lines).
+///
+/// # Errors
+///
+/// [`ParseError`] on missing header, malformed lines, or bad edges.
+pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let mut parts = rest.split_whitespace();
+            let kind = parts.next();
+            let n: Option<usize> = parts.next().and_then(|s| s.parse().ok());
+            match (kind, n) {
+                (Some("edge") | Some("edges") | Some("col"), Some(n)) => {
+                    builder = Some(GraphBuilder::new(n));
+                }
+                _ => {
+                    return Err(ParseError::BadLine { line: i + 1, content: raw.to_string() })
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("e ") {
+            let b = builder.as_mut().ok_or(ParseError::MissingHeader)?;
+            let mut parts = rest.split_whitespace();
+            let u: u32 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError::BadLine { line: i + 1, content: raw.to_string() })?;
+            let v: u32 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError::BadLine { line: i + 1, content: raw.to_string() })?;
+            if u == 0 || v == 0 {
+                return Err(ParseError::BadEdge {
+                    line: i + 1,
+                    reason: "DIMACS node ids are 1-based".into(),
+                });
+            }
+            if u != v {
+                // DIMACS instances routinely list both orientations and
+                // occasional self-loops; duplicates dedup in the builder
+                // and self-loops are ignored (standard tool behavior).
+                b.add_edge_checked(u - 1, v - 1)
+                    .map_err(|e| ParseError::BadEdge { line: i + 1, reason: e.to_string() })?;
+            }
+            continue;
+        }
+        return Err(ParseError::BadLine { line: i + 1, content: raw.to_string() });
+    }
+    builder.map(GraphBuilder::build).ok_or(ParseError::MissingHeader)
+}
+
+/// Serializes a graph in DIMACS `.col` format.
+pub fn to_dimacs(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "c generated by delta-graphs");
+    let _ = writeln!(out, "p edge {} {}", g.n(), g.m());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "e {} {}", u.0 + 1, v.0 + 1);
+    }
+    out
+}
+
+/// Loads a graph from a path, dispatching on extension: `.col` is
+/// DIMACS, anything else is an edge list.
+///
+/// # Errors
+///
+/// IO errors and [`ParseError`]s (boxed).
+pub fn load(path: &Path) -> Result<Graph, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let g = if path.extension().and_then(|e| e.to_str()) == Some("col") {
+        parse_dimacs(&text)?
+    } else {
+        parse_edge_list(&text)?
+    };
+    Ok(g)
+}
+
+/// Renders a Graphviz DOT representation; if `colors` is given (one
+/// entry per node), nodes are filled from a qualitative palette.
+pub fn to_dot(g: &Graph, colors: Option<&[u32]>) -> String {
+    const PALETTE: &[&str] = &[
+        "#4c72b0", "#dd8452", "#55a868", "#c44e52", "#8172b3", "#937860", "#da8bc3", "#8c8c8c",
+        "#ccb974", "#64b5cd",
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "graph g {{");
+    let _ = writeln!(out, "  node [shape=circle style=filled];");
+    for v in g.nodes() {
+        match colors.and_then(|c| c.get(v.index())) {
+            Some(&c) => {
+                let fill = PALETTE[(c as usize) % PALETTE.len()];
+                let _ = writeln!(out, "  {} [fillcolor=\"{}\" label=\"{}:{}\"];", v.0, fill, v.0, c);
+            }
+            None => {
+                let _ = writeln!(out, "  {};", v.0);
+            }
+        }
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", u.0, v.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = generators::torus(4, 5);
+        let text = to_edge_list(&g);
+        let h = parse_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn edge_list_with_comments_and_implicit_n() {
+        let text = "# a square\n0 1\n1 2 # chord next\n2 3\n3 0\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+    }
+
+    #[test]
+    fn edge_list_errors() {
+        assert!(parse_edge_list("0 x").is_err());
+        assert!(parse_edge_list("n 2\n0 5").is_err());
+        assert!(parse_edge_list("1 1").is_err()); // self loop
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let g = generators::petersen_like();
+        let text = to_dimacs(&g);
+        let h = parse_dimacs(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn dimacs_parsing_details() {
+        let text = "c demo\np edge 3 2\ne 1 2\ne 2 3\ne 3 2\n";
+        let g = parse_dimacs(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2); // duplicate orientation deduped
+        assert!(parse_dimacs("e 1 2\n").is_err()); // header first
+        assert!(parse_dimacs("p edge 2 1\ne 0 1\n").is_err()); // 1-based
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let g = generators::cycle(3);
+        let plain = to_dot(&g, None);
+        assert!(plain.contains("0 -- 1"));
+        let colored = to_dot(&g, Some(&[0, 1, 2]));
+        assert!(colored.contains("fillcolor"));
+        assert!(colored.contains("label=\"2:2\""));
+    }
+
+    #[test]
+    fn load_dispatches_on_extension() {
+        let dir = std::env::temp_dir();
+        let col = dir.join("delta_graphs_test.col");
+        std::fs::write(&col, to_dimacs(&generators::cycle(5))).unwrap();
+        let g = load(&col).unwrap();
+        assert_eq!(g.n(), 5);
+        let el = dir.join("delta_graphs_test.edges");
+        std::fs::write(&el, to_edge_list(&generators::cycle(6))).unwrap();
+        let h = load(&el).unwrap();
+        assert_eq!(h.n(), 6);
+        let _ = std::fs::remove_file(col);
+        let _ = std::fs::remove_file(el);
+    }
+}

@@ -1,0 +1,38 @@
+//! Static undirected graphs and structural algorithms.
+//!
+//! This crate is the graph substrate for the reproduction of *Improved
+//! Distributed Δ-Coloring* (Ghaffari, Hirvonen, Kuhn, Maus; PODC 2018). It
+//! provides:
+//!
+//! * a compact CSR-backed undirected [`Graph`] with a [`GraphBuilder`],
+//! * breadth-first search utilities ([`bfs`]) including radius-limited
+//!   ball extraction, the workhorse of LOCAL-model simulation,
+//! * connectivity and block (biconnected component) decomposition
+//!   ([`components`]), which underlies degree-choosable-component
+//!   detection,
+//! * structural predicates ([`props`]): cliques, odd cycles, Gallai
+//!   trees, "nice" graphs in the paper's sense,
+//! * graph generators ([`generators`]) for every family used by the
+//!   experiments, and
+//! * power graphs ([`power`]) `G^k` used by ruling-set algorithms.
+//!
+//! # Example
+//!
+//! ```
+//! use delta_graphs::generators;
+//! use delta_graphs::props;
+//!
+//! let g = generators::cycle(5);
+//! assert!(props::is_odd_cycle(&g));
+//! assert!(!props::is_nice(&g)); // cycles are not "nice" graphs
+//! ```
+
+pub mod bfs;
+pub mod components;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod power;
+pub mod props;
+
+pub use graph::{Graph, GraphBuilder, GraphError, NodeId};

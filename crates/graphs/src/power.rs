@@ -1,0 +1,92 @@
+//! Power graphs `G^k`: nodes of `G`, edges between distinct nodes at
+//! distance at most `k` in `G`.
+//!
+//! Ruling-set algorithms compute an independent set on `G^{α-1}` to get
+//! an `(α, ·)` ruling set of `G`; one round on `G^k` costs `k` rounds in
+//! `G` (the simulation charge).
+
+use crate::bfs;
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Computes the power graph `G^k`. For `k == 1` this is a copy of `G`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn power_graph(g: &Graph, k: usize) -> Graph {
+    assert!(k >= 1, "power must be >= 1");
+    if k == 1 {
+        return g.clone();
+    }
+    let mut b = GraphBuilder::new(g.n());
+    // BFS to depth k from every node; add edges to all discovered nodes.
+    for v in g.nodes() {
+        let ball = bfs::ball(g, v, k);
+        for (i, &w) in ball.globals.iter().enumerate() {
+            if w > v && ball.dist[i] > 0 {
+                b.add_edge(v.0, w.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Nodes within distance `k` of `v` in `G`, excluding `v` itself:
+/// the `G^k`-neighborhood computed on demand (avoids materializing the
+/// full power graph for large `k`).
+pub fn power_neighbors(g: &Graph, v: NodeId, k: usize) -> Vec<NodeId> {
+    let ball = bfs::ball(g, v, k);
+    ball.globals
+        .iter()
+        .zip(ball.dist.iter())
+        .filter(|&(_, &d)| d > 0)
+        .map(|(&w, _)| w)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn square_of_cycle() {
+        let g = generators::cycle(8);
+        let g2 = power_graph(&g, 2);
+        assert!(g2.is_regular(4));
+        assert!(g2.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g2.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = generators::torus(3, 3);
+        assert_eq!(power_graph(&g, 1), g);
+    }
+
+    #[test]
+    fn cube_of_path() {
+        let g = generators::path(6);
+        let g3 = power_graph(&g, 3);
+        assert!(g3.has_edge(NodeId(0), NodeId(3)));
+        assert!(!g3.has_edge(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn power_neighbors_match_power_graph() {
+        let g = generators::torus(4, 4);
+        let g2 = power_graph(&g, 2);
+        for v in g.nodes() {
+            let mut a = power_neighbors(&g, v, 2);
+            a.sort_unstable();
+            assert_eq!(a.as_slice(), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn large_power_saturates() {
+        let g = generators::path(4);
+        let gp = power_graph(&g, 10);
+        assert!(crate::props::is_clique(&gp));
+    }
+}

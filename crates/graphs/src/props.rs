@@ -1,0 +1,210 @@
+//! Structural predicates used throughout the paper: cliques, odd cycles,
+//! paths, Gallai trees, and "nice" graphs.
+//!
+//! A connected graph is *nice* (Panconesi–Srinivasan, Section 2.1 of the
+//! paper) if it is neither a path, a cycle, nor a clique. Nice graphs are
+//! Δ-colorable.
+
+use crate::components::{blocks, is_connected};
+use crate::graph::{Graph, NodeId};
+
+/// Whether the graph is a complete graph on all its nodes (K_1 and K_2
+/// count as complete).
+pub fn is_clique(g: &Graph) -> bool {
+    let n = g.n();
+    n == 0 || g.nodes().all(|v| g.degree(v) == n - 1)
+}
+
+/// Whether a *subset* of nodes induces a clique.
+pub fn is_clique_subset(g: &Graph, nodes: &[NodeId]) -> bool {
+    for (i, &u) in nodes.iter().enumerate() {
+        for &v in &nodes[i + 1..] {
+            if u != v && !g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the graph is a single cycle covering all nodes.
+pub fn is_cycle(g: &Graph) -> bool {
+    g.n() >= 3 && g.is_regular(2) && is_connected(g)
+}
+
+/// Whether the graph is a single odd cycle.
+pub fn is_odd_cycle(g: &Graph) -> bool {
+    is_cycle(g) && g.n() % 2 == 1
+}
+
+/// Whether the graph is a simple path covering all nodes (single nodes
+/// and single edges count as paths).
+pub fn is_path(g: &Graph) -> bool {
+    if !is_connected(g) {
+        return false;
+    }
+    match g.n() {
+        0 => false,
+        1 => true,
+        n => {
+            let deg1 = g.nodes().filter(|&v| g.degree(v) == 1).count();
+            let deg2 = g.nodes().filter(|&v| g.degree(v) == 2).count();
+            deg1 == 2 && deg2 == n - 2
+        }
+    }
+}
+
+/// Whether the connected graph is *nice*: neither a path, nor a cycle,
+/// nor a clique. Nice graphs with maximum degree Δ >= 3 are Δ-colorable
+/// (Brooks' theorem).
+pub fn is_nice(g: &Graph) -> bool {
+    is_connected(g) && !is_path(g) && !is_cycle(g) && !is_clique(g)
+}
+
+/// Whether the graph is a Gallai tree: every block is a clique or an odd
+/// cycle (Definition 7). Gallai trees are exactly the connected graphs
+/// that are **not** degree-choosable (Theorem 8). Disconnected graphs are
+/// a Gallai *forest* if every component is a Gallai tree; this predicate
+/// checks the block condition, which covers both.
+pub fn is_gallai_forest(g: &Graph) -> bool {
+    let b = blocks(g);
+    b.blocks.iter().all(|blk| {
+        let (sub, _) = g.induced(blk);
+        is_clique(&sub) || is_odd_cycle(&sub)
+    })
+}
+
+/// Girth of the graph (length of a shortest cycle), or `None` if acyclic.
+///
+/// BFS from every node; `O(n·m)`, intended for test/verification use.
+pub fn girth(g: &Graph) -> Option<usize> {
+    use std::collections::VecDeque;
+    let mut best: Option<usize> = None;
+    for src in g.nodes() {
+        let mut dist = vec![u32::MAX; g.n()];
+        let mut parent: Vec<Option<NodeId>> = vec![None; g.n()];
+        dist[src.index()] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &w in g.neighbors(u) {
+                if dist[w.index()] == u32::MAX {
+                    dist[w.index()] = dist[u.index()] + 1;
+                    parent[w.index()] = Some(u);
+                    q.push_back(w);
+                } else if parent[u.index()] != Some(w) {
+                    // Non-tree edge closes a cycle through src of length
+                    // at most dist[u] + dist[w] + 1.
+                    let len = (dist[u.index()] + dist[w.index()] + 1) as usize;
+                    if best.is_none_or(|b| len < b) {
+                        best = Some(len);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Counts nodes at each BFS distance from `v` (index `t` = number of
+/// nodes at distance exactly `t`); used by the expansion experiments
+/// (Lemmas 12, 14, 15).
+pub fn level_sizes(g: &Graph, v: NodeId) -> Vec<usize> {
+    let d = crate::bfs::distances(g, v);
+    let max = d.iter().filter(|&&x| x != u32::MAX).max().copied().unwrap_or(0) as usize;
+    let mut out = vec![0usize; max + 1];
+    for &x in &d {
+        if x != u32::MAX {
+            out[x as usize] += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn clique_predicates() {
+        assert!(is_clique(&generators::complete(1)));
+        assert!(is_clique(&generators::complete(2)));
+        assert!(is_clique(&generators::complete(5)));
+        assert!(!is_clique(&generators::cycle(4)));
+        assert!(is_clique(&generators::cycle(3)));
+    }
+
+    #[test]
+    fn clique_subset() {
+        let g = generators::complete(4).disjoint_union(&generators::path(2));
+        assert!(is_clique_subset(&g, &[NodeId(0), NodeId(1), NodeId(2)]));
+        assert!(!is_clique_subset(&g, &[NodeId(0), NodeId(4)]));
+        assert!(is_clique_subset(&g, &[NodeId(0)]));
+        assert!(is_clique_subset(&g, &[]));
+    }
+
+    #[test]
+    fn cycle_predicates() {
+        assert!(is_cycle(&generators::cycle(4)));
+        assert!(is_odd_cycle(&generators::cycle(5)));
+        assert!(!is_odd_cycle(&generators::cycle(6)));
+        assert!(!is_cycle(&generators::path(4)));
+        // Two disjoint cycles are not "a cycle".
+        let g = generators::cycle(3).disjoint_union(&generators::cycle(3));
+        assert!(!is_cycle(&g));
+    }
+
+    #[test]
+    fn path_predicates() {
+        assert!(is_path(&generators::path(1)));
+        assert!(is_path(&generators::path(2)));
+        assert!(is_path(&generators::path(7)));
+        assert!(!is_path(&generators::cycle(4)));
+        assert!(!is_path(&generators::star(4)));
+    }
+
+    #[test]
+    fn nice_predicates() {
+        assert!(!is_nice(&generators::path(5)));
+        assert!(!is_nice(&generators::cycle(5)));
+        assert!(!is_nice(&generators::complete(4)));
+        assert!(is_nice(&generators::star(3)));
+        assert!(is_nice(&generators::torus(3, 4)));
+    }
+
+    #[test]
+    fn gallai_trees() {
+        // A tree: every block is an edge = K2 (a clique).
+        assert!(is_gallai_forest(&generators::path(6)));
+        assert!(is_gallai_forest(&generators::star(5)));
+        // Odd cycle: yes. Even cycle: no.
+        assert!(is_gallai_forest(&generators::cycle(5)));
+        assert!(!is_gallai_forest(&generators::cycle(6)));
+        // Clique: yes.
+        assert!(is_gallai_forest(&generators::complete(5)));
+        // Two triangles sharing a vertex: yes.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]).unwrap();
+        assert!(is_gallai_forest(&g));
+        // Theta graph: one block, neither clique nor odd cycle: no.
+        let theta =
+            Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)])
+                .unwrap();
+        assert!(!is_gallai_forest(&theta));
+    }
+
+    #[test]
+    fn girth_values() {
+        assert_eq!(girth(&generators::cycle(5)), Some(5));
+        assert_eq!(girth(&generators::cycle(8)), Some(8));
+        assert_eq!(girth(&generators::complete(4)), Some(3));
+        assert_eq!(girth(&generators::path(5)), None);
+        assert_eq!(girth(&generators::torus(4, 4)), Some(4));
+    }
+
+    #[test]
+    fn level_sizes_cycle() {
+        let g = generators::cycle(8);
+        assert_eq!(level_sizes(&g, NodeId(0)), vec![1, 2, 2, 2, 1]);
+    }
+}

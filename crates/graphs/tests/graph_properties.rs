@@ -1,0 +1,166 @@
+//! Property-based tests for the graph substrate.
+
+use delta_graphs::components::{blocks, component_node_sets, connected_components, is_connected};
+use delta_graphs::{bfs, generators, power, props, Graph, NodeId};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..(3 * n)).prop_map(
+            move |pairs| {
+                let edges: Vec<(u32, u32)> =
+                    pairs.into_iter().filter(|&(a, b)| a != b).collect();
+                Graph::from_edges(n, &edges).expect("valid")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn adjacency_is_symmetric_and_sorted(g in arb_graph(60)) {
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted adjacency");
+            for &w in nbrs {
+                prop_assert!(g.has_edge(w, v), "asymmetric edge ({v}, {w})");
+                prop_assert_ne!(w, v, "self loop");
+            }
+        }
+        let deg_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(deg_sum, 2 * g.m());
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality_on_edges(g in arb_graph(60)) {
+        let d = bfs::distances(&g, NodeId(0));
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u.index()], d[v.index()]);
+            if du != bfs::UNREACHABLE && dv != bfs::UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}) dist gap {du} vs {dv}");
+            } else {
+                prop_assert_eq!(du, dv, "edge between reachable and unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(g in arb_graph(60)) {
+        let (comp, count) = connected_components(&g);
+        prop_assert!(comp.iter().all(|&c| (c as usize) < count));
+        let sets = component_node_sets(&g);
+        let total: usize = sets.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.n());
+        // No edge crosses components.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comp[u.index()], comp[v.index()]);
+        }
+    }
+
+    #[test]
+    fn block_vertex_multiplicity_matches_cut_vertices(g in arb_graph(40)) {
+        let b = blocks(&g);
+        for v in g.nodes() {
+            let multiplicity = b.blocks_of(v).len();
+            let is_cut = b.cut_vertices.contains(&v);
+            if is_cut {
+                prop_assert!(multiplicity >= 2, "{v} cut vertex in {multiplicity} block(s)");
+            } else {
+                prop_assert!(multiplicity <= 1, "{v} non-cut in {multiplicity} blocks");
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges(g in arb_graph(50), keep_mod in 2usize..5) {
+        let keep: Vec<NodeId> = g.nodes().filter(|v| v.index() % keep_mod == 0).collect();
+        if keep.is_empty() {
+            return Ok(());
+        }
+        let (h, map) = g.induced(&keep);
+        prop_assert_eq!(h.n(), keep.len());
+        for (lu, lv) in h.edges() {
+            prop_assert!(g.has_edge(map[lu.index()], map[lv.index()]));
+        }
+        let expect: usize = g
+            .edges()
+            .filter(|&(u, v)| u.index() % keep_mod == 0 && v.index() % keep_mod == 0)
+            .count();
+        prop_assert_eq!(h.m(), expect);
+    }
+
+    #[test]
+    fn power_graph_matches_distance(g in arb_graph(30), k in 1usize..4) {
+        let gk = power::power_graph(&g, k);
+        for u in g.nodes() {
+            let d = bfs::distances(&g, u);
+            for v in g.nodes() {
+                let expected = u != v
+                    && d[v.index()] != bfs::UNREACHABLE
+                    && (d[v.index()] as usize) <= k;
+                prop_assert_eq!(gk.has_edge(u, v), expected, "{}-{} k={}", u, v, k);
+            }
+        }
+    }
+
+    #[test]
+    fn ball_is_induced_and_complete(g in arb_graph(50), r in 0usize..4) {
+        let ball = bfs::ball(&g, NodeId(1), r);
+        // Every edge of g between ball members appears in the ball graph.
+        for (i, &gu) in ball.globals.iter().enumerate() {
+            for (j, &gv) in ball.globals.iter().enumerate() {
+                if i < j {
+                    prop_assert_eq!(
+                        ball.graph.has_edge(NodeId::from_index(i), NodeId::from_index(j)),
+                        g.has_edge(gu, gv)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gallai_forest_iff_every_block_ok(g in arb_graph(30)) {
+        let b = blocks(&g);
+        let expected = b.blocks.iter().all(|blk| {
+            let (sub, _) = g.induced(blk);
+            props::is_clique(&sub) || props::is_odd_cycle(&sub)
+        });
+        prop_assert_eq!(props::is_gallai_forest(&g), expected);
+    }
+
+    #[test]
+    fn girth_matches_smallest_cycle_certificate(n in 3usize..30, extra in 0usize..10, seed in 0u64..50) {
+        // Tree + chords: girth is None for trees, and any reported girth
+        // must be consistent with m > n - c (cycles exist iff extra
+        // edges survive).
+        let g = generators::tree_with_chords(n, extra, seed);
+        let (_, comps) = connected_components(&g);
+        let has_cycle = g.m() > g.n() - comps;
+        prop_assert_eq!(props::girth(&g).is_some(), has_cycle);
+        if let Some(girth) = props::girth(&g) {
+            prop_assert!(girth >= 3);
+            prop_assert!(girth <= g.n());
+        }
+    }
+}
+
+#[test]
+fn regular_generators_cross_check() {
+    for &(n, d) in &[(64usize, 3usize), (100, 4), (200, 6), (128, 8), (500, 12)] {
+        for seed in 0..3u64 {
+            let g = generators::random_regular(n, d, seed);
+            assert!(g.is_regular(d), "n={n} d={d} seed={seed}");
+            assert!(is_connected(&g), "n={n} d={d} seed={seed}");
+            // Balls must expand like a tree at small radius (no circulant
+            // degeneration — regression test for the configuration-model
+            // repair path).
+            if d >= 4 && n >= 200 {
+                let ball = bfs::ball(&g, NodeId(0), 2);
+                assert!(ball.len() > 2 * d, "ball(2) of size {} too small", ball.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Round accounting for LOCAL-model executions.
+
+use std::fmt;
+
+/// Accumulates the number of LOCAL rounds an execution costs, broken
+/// down by named phase.
+///
+/// Primitives charge the rounds a real distributed execution would take:
+/// one synchronous message exchange costs 1 round, collecting a
+/// radius-`r` ball costs `r` rounds, one round on the power graph `G^k`
+/// costs `k` rounds, and so on.
+///
+/// # Example
+///
+/// ```
+/// use local_model::RoundLedger;
+/// let mut ledger = RoundLedger::new();
+/// ledger.charge("linial", 3);
+/// ledger.charge("list-coloring", 7);
+/// ledger.charge("linial", 1);
+/// assert_eq!(ledger.total(), 11);
+/// assert_eq!(ledger.phase_total("linial"), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundLedger {
+    entries: Vec<(String, u64)>,
+    total: u64,
+}
+
+impl RoundLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `rounds` LOCAL rounds to `phase`.
+    pub fn charge(&mut self, phase: &str, rounds: u64) {
+        if rounds == 0 {
+            return;
+        }
+        self.total += rounds;
+        if let Some(last) = self.entries.last_mut() {
+            if last.0 == phase {
+                last.1 += rounds;
+                return;
+            }
+        }
+        self.entries.push((phase.to_string(), rounds));
+    }
+
+    /// Total rounds charged so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Total rounds charged to phases with the given name.
+    pub fn phase_total(&self, phase: &str) -> u64 {
+        self.entries.iter().filter(|(p, _)| p == phase).map(|(_, r)| r).sum()
+    }
+
+    /// The (phase, rounds) entries in charge order; consecutive charges
+    /// to the same phase are merged.
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+
+    /// Collapses entries into per-phase totals, in first-seen order.
+    pub fn by_phase(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for (p, r) in &self.entries {
+            if let Some(e) = out.iter_mut().find(|(q, _)| q == p) {
+                e.1 += r;
+            } else {
+                out.push((p.clone(), *r));
+            }
+        }
+        out
+    }
+
+    /// Merges another ledger's entries into this one.
+    pub fn absorb(&mut self, other: &RoundLedger) {
+        for (p, r) in &other.entries {
+            self.charge(p, *r);
+        }
+    }
+}
+
+impl fmt::Display for RoundLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total rounds: {}", self.total)?;
+        for (p, r) in self.by_phase() {
+            writeln!(f, "  {p:<32} {r:>8}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut l = RoundLedger::new();
+        l.charge("a", 2);
+        l.charge("a", 3);
+        l.charge("b", 1);
+        l.charge("a", 1);
+        assert_eq!(l.total(), 7);
+        assert_eq!(l.phase_total("a"), 6);
+        assert_eq!(l.phase_total("b"), 1);
+        assert_eq!(l.phase_total("c"), 0);
+        // Consecutive same-phase charges merge into one entry.
+        assert_eq!(l.entries().len(), 3);
+    }
+
+    #[test]
+    fn zero_charge_is_noop() {
+        let mut l = RoundLedger::new();
+        l.charge("x", 0);
+        assert_eq!(l.total(), 0);
+        assert!(l.entries().is_empty());
+    }
+
+    #[test]
+    fn by_phase_collapses() {
+        let mut l = RoundLedger::new();
+        l.charge("a", 1);
+        l.charge("b", 2);
+        l.charge("a", 3);
+        assert_eq!(l.by_phase(), vec![("a".into(), 4), ("b".into(), 2)]);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = RoundLedger::new();
+        a.charge("x", 1);
+        let mut b = RoundLedger::new();
+        b.charge("x", 2);
+        b.charge("y", 5);
+        a.absorb(&b);
+        assert_eq!(a.total(), 8);
+        assert_eq!(a.phase_total("x"), 3);
+    }
+
+    #[test]
+    fn display_lists_phases() {
+        let mut l = RoundLedger::new();
+        l.charge("phase-1", 4);
+        let s = l.to_string();
+        assert!(s.contains("total rounds: 4"));
+        assert!(s.contains("phase-1"));
+    }
+}

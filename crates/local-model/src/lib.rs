@@ -1,0 +1,27 @@
+//! Synchronous LOCAL-model simulator.
+//!
+//! The LOCAL model (Linial; Peleg): the network is the graph itself,
+//! nodes compute in synchronous rounds, and per round every node may send
+//! one unbounded message to each neighbor. The complexity of an algorithm
+//! is the number of rounds. Equivalently, an `r`-round algorithm is a
+//! function from the radius-`r` neighborhood of a node to its output.
+//!
+//! This crate provides the two standard simulation devices:
+//!
+//! * [`Simulator`] — explicit synchronous message rounds with
+//!   per-node state and deterministic per-node randomness, and
+//! * ball collection through [`delta_graphs::bfs::ball`] with explicit
+//!   round charging on a [`RoundLedger`] (in `r` rounds a node learns
+//!   exactly its radius-`r` ball).
+//!
+//! Every algorithm in the `delta-coloring` crate charges the rounds a
+//! real LOCAL execution would take to a [`RoundLedger`], broken down by
+//! phase, which is what the experiments report.
+
+pub mod ledger;
+pub mod oracle;
+pub mod sim;
+
+pub use ledger::RoundLedger;
+pub use oracle::BallOracle;
+pub use sim::{NodeCtx, Simulator};

@@ -1,0 +1,164 @@
+//! Ball oracle: radius-`r` neighborhood views with automatic round
+//! charging.
+//!
+//! In the LOCAL model, `r` rounds of communication let a node learn
+//! exactly the subgraph induced by its radius-`r` ball (plus any state
+//! its members chose to share). [`BallOracle`] packages that device: it
+//! materializes ball views centrally and charges the ledger the rounds a
+//! real execution would take, with *batch* semantics for simultaneous
+//! collection by many nodes (all nodes collecting radius-`r` balls in
+//! parallel costs `r` rounds total, not `r` per node).
+
+use crate::ledger::RoundLedger;
+use delta_graphs::bfs::{self, Ball};
+use delta_graphs::{Graph, NodeId};
+
+/// Radius-limited neighborhood views over a graph, with LOCAL round
+/// accounting.
+///
+/// # Example
+///
+/// ```
+/// use delta_graphs::{generators, NodeId};
+/// use local_model::{BallOracle, RoundLedger};
+///
+/// let g = generators::torus(6, 6);
+/// let mut ledger = RoundLedger::new();
+/// let mut oracle = BallOracle::new(&g);
+/// // Every node inspects its radius-2 ball simultaneously: 2 rounds.
+/// let balls = oracle.collect_all(2, &mut ledger, "inspect");
+/// assert_eq!(balls.len(), g.n());
+/// assert_eq!(ledger.total(), 2);
+/// // One more node looks farther: the extra rounds are charged.
+/// let b = oracle.collect(NodeId(0), 4, &mut ledger, "deep-look");
+/// assert_eq!(b.radius, 4);
+/// assert_eq!(ledger.total(), 6);
+/// ```
+#[derive(Debug)]
+pub struct BallOracle<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> BallOracle<'g> {
+    /// Creates an oracle over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        BallOracle { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Collects the radius-`r` ball of a single node, charging `r`
+    /// rounds.
+    pub fn collect(
+        &mut self,
+        v: NodeId,
+        r: usize,
+        ledger: &mut RoundLedger,
+        phase: &str,
+    ) -> Ball {
+        ledger.charge(phase, r as u64);
+        bfs::ball(self.graph, v, r)
+    }
+
+    /// Collects radius-`r` balls for every node *simultaneously* (the
+    /// common pattern of phases that inspect all neighborhoods at once),
+    /// charging `r` rounds total.
+    pub fn collect_all(&mut self, r: usize, ledger: &mut RoundLedger, phase: &str) -> Vec<Ball> {
+        ledger.charge(phase, r as u64);
+        self.graph.nodes().map(|v| bfs::ball(self.graph, v, r)).collect()
+    }
+
+    /// Collects radius-`r` balls for a set of nodes simultaneously,
+    /// charging `r` rounds total.
+    pub fn collect_batch(
+        &mut self,
+        nodes: &[NodeId],
+        r: usize,
+        ledger: &mut RoundLedger,
+        phase: &str,
+    ) -> Vec<Ball> {
+        ledger.charge(phase, r as u64);
+        nodes.iter().map(|&v| bfs::ball(self.graph, v, r)).collect()
+    }
+
+    /// Doubling search: grows the radius (2, 4, 8, ...) until `found`
+    /// accepts the ball or `r_max` is reached; charges twice the final
+    /// radius (the geometric total of the doubling probes). Returns the
+    /// final ball and whether `found` accepted it.
+    pub fn collect_until(
+        &mut self,
+        v: NodeId,
+        r_max: usize,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        mut found: impl FnMut(&Ball) -> bool,
+    ) -> (Ball, bool) {
+        let mut r = 2usize.min(r_max.max(1));
+        loop {
+            let ball = bfs::ball(self.graph, v, r);
+            let ok = found(&ball);
+            if ok || r >= r_max || ball.len() >= self.graph.n() {
+                ledger.charge(phase, 2 * r as u64);
+                return (ball, ok);
+            }
+            r = (r * 2).min(r_max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_graphs::generators;
+
+    #[test]
+    fn batch_semantics_charge_once() {
+        let g = generators::cycle(20);
+        let mut ledger = RoundLedger::new();
+        let mut oracle = BallOracle::new(&g);
+        let nodes: Vec<NodeId> = g.nodes().take(5).collect();
+        let balls = oracle.collect_batch(&nodes, 3, &mut ledger, "b");
+        assert_eq!(balls.len(), 5);
+        assert!(balls.iter().all(|b| b.len() == 7));
+        assert_eq!(ledger.total(), 3);
+    }
+
+    #[test]
+    fn doubling_search_charges_final_radius() {
+        let g = generators::path(50);
+        let mut ledger = RoundLedger::new();
+        let mut oracle = BallOracle::new(&g);
+        // Look for a ball containing at least 10 nodes from an endpoint.
+        let (ball, ok) =
+            oracle.collect_until(NodeId(0), 32, &mut ledger, "s", |b| b.len() >= 10);
+        assert!(ok);
+        assert!(ball.len() >= 10);
+        // Radius needed: 9 -> doubling lands on 16; charge 32.
+        assert_eq!(ledger.total(), 32);
+    }
+
+    #[test]
+    fn doubling_search_caps_at_r_max() {
+        let g = generators::cycle(10);
+        let mut ledger = RoundLedger::new();
+        let mut oracle = BallOracle::new(&g);
+        let (_, ok) = oracle.collect_until(NodeId(0), 4, &mut ledger, "s", |_| false);
+        assert!(!ok);
+        assert_eq!(ledger.total(), 8);
+    }
+
+    #[test]
+    fn collect_all_returns_every_ball() {
+        let g = generators::torus(4, 4);
+        let mut ledger = RoundLedger::new();
+        let mut oracle = BallOracle::new(&g);
+        let balls = oracle.collect_all(1, &mut ledger, "x");
+        for (i, ball) in balls.iter().enumerate() {
+            assert_eq!(ball.to_global(ball.center), NodeId::from_index(i));
+            assert_eq!(ball.len(), 5); // self + 4 neighbors
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Explicit synchronous message-round simulation.
+//!
+//! [`Simulator`] drives a node program: per round, every node reads its
+//! state and produces an optional broadcast message; messages are then
+//! delivered simultaneously and every node updates its state from its
+//! inbox. This two-phase structure enforces LOCAL-model synchrony — a
+//! node cannot observe a neighbor's round-`t` message before round `t+1`.
+
+use crate::ledger::RoundLedger;
+use delta_graphs::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Per-node execution context handed to node programs: the node's
+/// identity, degree, and a deterministic private random generator.
+pub struct NodeCtx<'a> {
+    /// The node this context belongs to.
+    pub id: NodeId,
+    /// Degree of the node in the communication graph.
+    pub degree: usize,
+    /// The node's private randomness (deterministic per seed/node).
+    pub rng: &'a mut StdRng,
+}
+
+impl NodeCtx<'_> {
+    /// Draws a uniform `f64` in `[0, 1)`.
+    pub fn random_f64(&mut self) -> f64 {
+        self.rng.random()
+    }
+
+    /// Draws a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn random_below(&mut self, bound: u64) -> u64 {
+        self.rng.random_range(0..bound)
+    }
+}
+
+/// Synchronous message-passing executor over a graph.
+///
+/// `S` is the per-node state. Each [`Simulator::round`] call is exactly
+/// one LOCAL round and is charged to the ledger.
+///
+/// # Example
+///
+/// Flood the minimum id for 3 rounds:
+///
+/// ```
+/// use delta_graphs::generators;
+/// use local_model::{RoundLedger, Simulator};
+///
+/// let g = generators::cycle(8);
+/// let mut ledger = RoundLedger::new();
+/// let mut sim = Simulator::new(&g, 42, |v| v.0);
+/// for _ in 0..3 {
+///     sim.round(
+///         &mut ledger,
+///         "flood-min",
+///         |_, &s| Some(s),
+///         |_, s, inbox| {
+///             for (_, m) in inbox {
+///                 *s = (*s).min(*m);
+///             }
+///         },
+///     );
+/// }
+/// assert_eq!(ledger.total(), 3);
+/// assert!(sim.states().iter().filter(|&&s| s == 0).count() >= 7);
+/// ```
+pub struct Simulator<'g, S> {
+    graph: &'g Graph,
+    states: Vec<S>,
+    rngs: Vec<StdRng>,
+    rounds_run: u64,
+}
+
+impl<'g, S> Simulator<'g, S> {
+    /// Creates a simulator with per-node state from `init` and
+    /// deterministic per-node RNG streams derived from `seed`.
+    pub fn new(graph: &'g Graph, seed: u64, init: impl Fn(NodeId) -> S) -> Self {
+        let mut master = StdRng::seed_from_u64(seed);
+        let rngs = (0..graph.n())
+            .map(|_| StdRng::seed_from_u64(master.next_u64()))
+            .collect();
+        let states = graph.nodes().map(init).collect();
+        Simulator { graph, states, rngs, rounds_run: 0 }
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Immutable view of all node states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable view of all node states (for out-of-band initialization,
+    /// not for communication — use [`Simulator::round`] for that).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Consumes the simulator, returning the final states.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Executes one synchronous round, charged to `phase`:
+    ///
+    /// 1. every node runs `send` on its current state, producing an
+    ///    optional broadcast message to all neighbors;
+    /// 2. every node runs `recv` with its inbox (sender id + message),
+    ///    mutating its state.
+    ///
+    /// Message order in the inbox follows the sorted adjacency list.
+    pub fn round<M: Clone>(
+        &mut self,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        send: impl Fn(&mut NodeCtx<'_>, &S) -> Option<M>,
+        mut recv: impl FnMut(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]),
+    ) {
+        let n = self.graph.n();
+        let mut outbox: Vec<Option<M>> = Vec::with_capacity(n);
+        for v in self.graph.nodes() {
+            let mut ctx = NodeCtx {
+                id: v,
+                degree: self.graph.degree(v),
+                rng: &mut self.rngs[v.index()],
+            };
+            outbox.push(send(&mut ctx, &self.states[v.index()]));
+        }
+        let mut inbox: Vec<(NodeId, M)> = Vec::new();
+        for v in self.graph.nodes() {
+            inbox.clear();
+            for &w in self.graph.neighbors(v) {
+                if let Some(m) = &outbox[w.index()] {
+                    inbox.push((w, m.clone()));
+                }
+            }
+            let mut ctx = NodeCtx {
+                id: v,
+                degree: self.graph.degree(v),
+                rng: &mut self.rngs[v.index()],
+            };
+            recv(&mut ctx, &mut self.states[v.index()], &inbox);
+        }
+        self.rounds_run += 1;
+        ledger.charge(phase, 1);
+    }
+
+    /// Runs rounds until `done` holds for all states or `max_rounds` is
+    /// reached; returns the number of rounds executed.
+    ///
+    /// Convenience wrapper over [`Simulator::round`] for fixed-point
+    /// node programs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_until<M: Clone>(
+        &mut self,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        max_rounds: u64,
+        send: impl Fn(&mut NodeCtx<'_>, &S) -> Option<M> + Copy,
+        mut recv: impl FnMut(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]),
+        done: impl Fn(&S) -> bool,
+    ) -> u64 {
+        let mut executed = 0;
+        while executed < max_rounds && !self.states.iter().all(&done) {
+            self.round(ledger, phase, send, &mut recv);
+            executed += 1;
+        }
+        executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_graphs::generators;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::torus(4, 4);
+        let run = |seed: u64| {
+            let mut ledger = RoundLedger::new();
+            let mut sim = Simulator::new(&g, seed, |_| 0u64);
+            for _ in 0..4 {
+                sim.round(
+                    &mut ledger,
+                    "t",
+                    |ctx, _| Some(ctx.random_below(1000)),
+                    |_, s, inbox| {
+                        *s = inbox.iter().map(|&(_, m)| m).sum();
+                    },
+                );
+            }
+            sim.into_states()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn synchrony_one_hop_per_round() {
+        // Node 0 injects a token; after r rounds exactly nodes within
+        // distance r have seen it.
+        let g = generators::path(10);
+        let mut ledger = RoundLedger::new();
+        let mut sim = Simulator::new(&g, 0, |v| v.0 == 0);
+        for r in 1..=3u32 {
+            sim.round(
+                &mut ledger,
+                "spread",
+                |_, &has| if has { Some(()) } else { None },
+                |_, has, inbox| {
+                    if !inbox.is_empty() {
+                        *has = true;
+                    }
+                },
+            );
+            let reach = sim.states().iter().filter(|&&h| h).count();
+            assert_eq!(reach, (r + 1) as usize);
+        }
+        assert_eq!(ledger.total(), 3);
+    }
+
+    #[test]
+    fn run_until_stops_at_fixpoint() {
+        let g = generators::path(5);
+        let mut ledger = RoundLedger::new();
+        let mut sim = Simulator::new(&g, 0, |v| v.0);
+        let rounds = sim.run_until(
+            &mut ledger,
+            "min",
+            100,
+            |_, &s| Some(s),
+            |_, s, inbox| {
+                for &(_, m) in inbox {
+                    *s = (*s).min(m);
+                }
+            },
+            |&s| s == 0,
+        );
+        assert!(rounds <= 5);
+        assert!(sim.states().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn inbox_is_sorted_by_sender() {
+        let g = generators::star(4);
+        let mut ledger = RoundLedger::new();
+        let mut sim = Simulator::new(&g, 0, |v| v.0);
+        sim.round(
+            &mut ledger,
+            "t",
+            |_, &s| Some(s),
+            |ctx, _, inbox| {
+                if ctx.id == NodeId(0) {
+                    let senders: Vec<u32> = inbox.iter().map(|&(w, _)| w.0).collect();
+                    assert_eq!(senders, vec![1, 2, 3, 4]);
+                }
+            },
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Register allocation as Δ-coloring: a second domain scenario.
+//!
+//! A compiler models "which values are live at the same time" as an
+//! *interference graph*; assigning machine registers is coloring it.
+//! When the target has exactly Δ registers (the maximum number of
+//! simultaneous interferences), greedy allocation can paint itself into
+//! a corner — Brooks' theorem says a Δ-register assignment still exists
+//! unless some value interferes with everything (a clique).
+//!
+//! This example synthesizes interference graphs from random "program
+//! traces" (interval-overlap graphs with bounded live-range width plus
+//! cross-block conflicts), allocates registers with the automatic
+//! strategy, and reports spills avoided relative to greedy `Δ+1`
+//! allocation.
+//!
+//! ```text
+//! cargo run --example register_allocation --release
+//! ```
+
+use delta_coloring::delta::{delta_color, Strategy};
+use delta_coloring::verify;
+use delta_graphs::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Synthesizes an interference graph: `n` values with random live
+/// intervals over a timeline, at most `width` alive at once, plus a few
+/// random cross-block interference edges to break interval structure.
+fn interference_graph(n: usize, width: usize, extra: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Live intervals via a running multiset: at each step a value is
+    // born; it dies after a random number of steps, never exceeding the
+    // width bound.
+    let mut starts = vec![0usize; n];
+    let mut ends = vec![0usize; n];
+    let mut alive: Vec<usize> = Vec::new();
+    for (v, _) in starts.clone().iter().enumerate() {
+        // Kill until below width.
+        while alive.len() >= width {
+            let k = rng.random_range(0..alive.len());
+            let dead = alive.swap_remove(k);
+            ends[dead] = v;
+        }
+        starts[v] = v;
+        alive.push(v);
+    }
+    for &v in &alive {
+        ends[v] = n;
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if starts[v] < ends[u] && starts[u] < ends[v] {
+                b.add_edge(u as u32, v as u32);
+            }
+        }
+    }
+    // Cross-block conflicts.
+    let mut added = 0;
+    while added < extra {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+fn main() {
+    for seed in 0..3u64 {
+        let g = interference_graph(400, 5, 60, seed);
+        let registers = g.max_degree();
+        if verify::assert_nice(&g).is_err() {
+            println!("trace {seed}: degenerate interference graph, skipping");
+            continue;
+        }
+        let mut ledger = local_model::RoundLedger::new();
+        match delta_color(&g, Strategy::Auto, seed, &mut ledger) {
+            Ok(assignment) => {
+                verify::check_delta_coloring(&g, &assignment).expect("valid allocation");
+                let used = verify::colors_used(&assignment);
+                println!(
+                    "trace {seed}: {} values, {} interferences, max pressure {registers} \
+                     -> allocated with {used} registers ({} simulated rounds)",
+                    g.n(),
+                    g.m(),
+                    ledger.total()
+                );
+                println!(
+                    "  greedy would have needed up to {} registers; Δ-coloring saves the spill",
+                    registers + 1
+                );
+            }
+            Err(e) => println!("trace {seed}: allocation failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Workspace root for the reproduction of *Improved Distributed
+//! Δ-Coloring* (Ghaffari, Hirvonen, Kuhn, Maus; PODC 2018).
+//!
+//! This crate only re-exports the member crates so the repository-level
+//! `examples/` and `tests/` can use a single dependency. The actual
+//! library code lives in:
+//!
+//! * [`delta_graphs`] — graphs, generators, structural algorithms;
+//! * [`local_model`] — the LOCAL-model round simulator;
+//! * [`delta_coloring`] — the paper's algorithms.
+
+pub use delta_coloring;
+pub use delta_graphs;
+pub use local_model;

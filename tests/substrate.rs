@@ -1,0 +1,117 @@
+//! Cross-crate substrate tests: the LOCAL simulator against the graph
+//! algorithms, and round-accounting coherence.
+
+use delta_graphs::{bfs, generators, NodeId};
+use local_model::{RoundLedger, Simulator};
+
+#[test]
+fn simulator_flooding_equals_bfs_distances() {
+    // Distance-vector flooding in the simulator must converge to BFS
+    // distances in exactly `eccentricity` rounds — the definition of the
+    // LOCAL model's information propagation.
+    let g = generators::torus(9, 11);
+    let src = NodeId(17);
+    let mut ledger = RoundLedger::new();
+    let mut sim = Simulator::new(&g, 0, |v| if v == src { 0u32 } else { u32::MAX });
+    let ecc = bfs::eccentricity(&g, src) as u64;
+    for _ in 0..ecc {
+        sim.round(
+            &mut ledger,
+            "flood",
+            |_, &d| if d != u32::MAX { Some(d) } else { None },
+            |_, d, inbox| {
+                for &(_, m) in inbox {
+                    *d = (*d).min(m.saturating_add(1));
+                }
+            },
+        );
+    }
+    let expect = bfs::distances(&g, src);
+    assert_eq!(sim.states(), expect.as_slice());
+    assert_eq!(ledger.total(), ecc);
+}
+
+#[test]
+fn ball_views_match_r_round_knowledge() {
+    // After r rounds a node can know exactly its r-ball: simulate
+    // gossiping of node ids and compare the learned set to bfs::ball.
+    let g = generators::random_regular(200, 3, 5);
+    let r = 3;
+    let mut ledger = RoundLedger::new();
+    let mut sim = Simulator::new(&g, 0, |v| vec![v]);
+    for _ in 0..r {
+        sim.round(
+            &mut ledger,
+            "gossip",
+            |_, s: &Vec<NodeId>| Some(s.clone()),
+            |_, s, inbox| {
+                for (_, m) in inbox {
+                    s.extend(m.iter().copied());
+                }
+                s.sort_unstable();
+                s.dedup();
+            },
+        );
+    }
+    for v in g.nodes().take(20) {
+        let ball = bfs::ball(&g, v, r);
+        assert_eq!(
+            sim.states()[v.index()],
+            ball.globals,
+            "round-{r} knowledge of {v} differs from its {r}-ball"
+        );
+    }
+    assert_eq!(ledger.total(), r as u64);
+}
+
+#[test]
+fn power_graph_rounds_match_simulation_factor() {
+    // One round on G^k simulates in k rounds on G: verify the MIS round
+    // accounting reflects the factor.
+    let g = generators::cycle(64);
+    let mut l1 = RoundLedger::new();
+    let mut l2 = RoundLedger::new();
+    let m1 = delta_coloring::mis::luby_mis(&delta_graphs::power::power_graph(&g, 3), 9, &mut l1, "x");
+    let m2 = delta_coloring::mis::luby_mis_on_power(&g, 3, 9, &mut l2, "x");
+    assert_eq!(m1, m2);
+    assert_eq!(l2.total(), 3 * l1.total());
+}
+
+#[test]
+fn ledger_phases_partition_total() {
+    let g = generators::random_regular(300, 4, 2);
+    let cfg = delta_coloring::delta::RandConfig::large_delta(&g, 3);
+    let mut ledger = RoundLedger::new();
+    delta_coloring::delta::delta_color_rand(&g, cfg, &mut ledger).unwrap();
+    let by_phase: u64 = ledger.by_phase().iter().map(|&(_, r)| r).sum();
+    assert_eq!(by_phase, ledger.total());
+    let entries: u64 = ledger.entries().iter().map(|&(_, r)| r).sum();
+    assert_eq!(entries, ledger.total());
+}
+
+#[test]
+fn simulator_rng_is_node_private_and_stable() {
+    // Adding a node's randomness consumption must not perturb other
+    // nodes' streams (needed for reproducible distributed randomness).
+    let g = generators::path(6);
+    let draw_all = |consume_extra: bool| -> Vec<u64> {
+        let mut ledger = RoundLedger::new();
+        let mut sim = Simulator::new(&g, 42, |_| 0u64);
+        sim.round(
+            &mut ledger,
+            "draw",
+            |_, _| Some(()),
+            |ctx, s, _| {
+                if consume_extra && ctx.id == NodeId(0) {
+                    let _ = ctx.random_below(10);
+                }
+                *s = ctx.random_below(1_000_000);
+            },
+        );
+        sim.into_states()
+    };
+    let a = draw_all(false);
+    let b = draw_all(true);
+    assert_ne!(a[0], b[0], "node 0 consumed extra randomness");
+    assert_eq!(a[1..], b[1..], "other nodes' streams were perturbed");
+}

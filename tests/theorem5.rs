@@ -1,0 +1,130 @@
+//! Focused tests for the distributed Brooks' theorem (Theorem 5):
+//! adversarial partial colorings, radius bounds, and repair independence.
+
+use delta_coloring::brooks::{brooks_color, repair_single_uncolored, theorem5_radius};
+use delta_coloring::verify::check_delta_coloring;
+use delta_graphs::{bfs, generators, NodeId};
+use local_model::RoundLedger;
+
+#[test]
+fn repair_radius_never_exceeds_theorem_bound() {
+    for &(n, delta) in &[(256usize, 3usize), (1024, 3), (1024, 4), (2048, 5)] {
+        let g = generators::random_regular(n, delta, (n + delta) as u64);
+        let base = brooks_color(&g, delta).expect("brooks");
+        let bound = theorem5_radius(n, delta);
+        for i in 0..20u64 {
+            let v = NodeId(((i * 97 + 5) % n as u64) as u32);
+            let mut c = base.clone();
+            c.unset(v);
+            let mut ledger = RoundLedger::new();
+            let out = repair_single_uncolored(&g, &mut c, v, delta, &mut ledger, "r").unwrap();
+            check_delta_coloring(&g, &c).unwrap();
+            assert!(out.radius <= bound, "radius {} > bound {bound}", out.radius);
+        }
+    }
+}
+
+#[test]
+fn repair_changes_only_the_local_ball() {
+    // Theorem 5's whole point: the fix is local. Diff the colorings and
+    // check every changed node sits within the repair radius of v.
+    let n = 4096;
+    let delta = 4;
+    let g = generators::random_regular(n, delta, 1234);
+    let base = brooks_color(&g, delta).expect("brooks");
+    for i in 0..10u64 {
+        let v = NodeId(((i * 409 + 11) % n as u64) as u32);
+        let mut c = base.clone();
+        c.unset(v);
+        let mut ledger = RoundLedger::new();
+        let out = repair_single_uncolored(&g, &mut c, v, delta, &mut ledger, "r").unwrap();
+        let dist = bfs::distances(&g, v);
+        for w in g.nodes() {
+            if c.get(w) != base.get(w) {
+                assert!(
+                    dist[w.index()] as usize <= out.radius.max(1),
+                    "node {w} changed at distance {} but radius was {}",
+                    dist[w.index()],
+                    out.radius
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repairs_in_distant_regions_are_independent() {
+    // Two uncolored nodes far apart: repairing one then the other must
+    // both succeed and stay local (the deterministic algorithm's B_0
+    // step relies on this).
+    let n = 8192;
+    let delta = 4;
+    let g = generators::random_regular(n, delta, 777);
+    let mut c = brooks_color(&g, delta).expect("brooks");
+    let v1 = NodeId(0);
+    let d = bfs::distances(&g, v1);
+    // The most distant node (a random-regular graph's diameter is
+    // ~log_{Δ-1} n, far above observed repair radii).
+    let v2 = g.nodes().max_by_key(|w| d[w.index()]).unwrap();
+    c.unset(v1);
+    c.unset(v2);
+    let mut ledger = RoundLedger::new();
+    let o1 = repair_single_uncolored(&g, &mut c, v1, delta, &mut ledger, "r").unwrap();
+    let o2 = repair_single_uncolored(&g, &mut c, v2, delta, &mut ledger, "r").unwrap();
+    check_delta_coloring(&g, &c).unwrap();
+    assert!(o1.radius + o2.radius <= d[v2.index()] as usize, "repairs overlapped");
+}
+
+#[test]
+fn repair_on_low_degree_targets_is_cheap() {
+    // Perturbed graphs have degree-deficient nodes scattered around;
+    // repairs should end at the nearest one with tiny radius.
+    let g = generators::perturbed_regular(2048, 4, 0.05, 3);
+    if delta_coloring::verify::assert_nice(&g).is_err() {
+        return;
+    }
+    let delta = g.max_degree();
+    let base = brooks_color(&g, delta).expect("brooks");
+    let mut total_radius = 0usize;
+    let trials = 20u64;
+    for i in 0..trials {
+        let v = NodeId(((i * 131 + 3) % g.n() as u64) as u32);
+        let mut c = base.clone();
+        c.unset(v);
+        let mut ledger = RoundLedger::new();
+        let out = repair_single_uncolored(&g, &mut c, v, delta, &mut ledger, "r").unwrap();
+        check_delta_coloring(&g, &c).unwrap();
+        total_radius += out.radius;
+    }
+    // Average radius far below the worst-case bound.
+    assert!(
+        (total_radius as f64 / trials as f64) < theorem5_radius(g.n(), delta) as f64 / 2.0,
+        "repairs were not local: avg {}",
+        total_radius as f64 / trials as f64
+    );
+}
+
+#[test]
+fn repair_walks_token_when_neighborhood_is_tight() {
+    // Build a coloring where the victim's neighbors show all Δ colors.
+    // Color-permute around a node on a torus: node v's 4 neighbors get
+    // 4 distinct colors by the structure of our coloring of the torus.
+    let g = generators::torus(16, 16);
+    let delta = 4;
+    for seed in 0..6u64 {
+        let base = brooks_color(&g, delta).expect("brooks");
+        let v = NodeId(((seed * 53 + 17) % 256) as u32);
+        let mut c = base.clone();
+        c.unset(v);
+        let tight = c.free_colors(&g, v, delta).is_empty();
+        let mut ledger = RoundLedger::new();
+        let out = repair_single_uncolored(&g, &mut c, v, delta, &mut ledger, "r").unwrap();
+        check_delta_coloring(&g, &c).unwrap();
+        if tight {
+            assert!(
+                out.moved > 0 || out.used_dcc,
+                "tight neighborhood must trigger token movement or DCC recoloring"
+            );
+        }
+    }
+}
