@@ -4,12 +4,25 @@
 //! experiments [--quick] [--out DIR] [ids...]
 //! ```
 //!
-//! With no ids, runs every experiment (T1–T5, F1–F6 of DESIGN.md §5).
-//! Prints aligned tables to stdout and writes one CSV per experiment
-//! into `--out DIR` (default `results/`).
+//! With no ids, runs every experiment (T1–T6, F1–F6 of DESIGN.md §5),
+//! fanning the experiments out across worker threads. Prints aligned
+//! tables to stdout (in canonical order), writes one CSV per experiment
+//! into `--out DIR` (default `results/`), and emits a
+//! `BENCH_delta.json` summary with per-experiment wall-clock and
+//! simulated LOCAL rounds. The summary always lands in the output
+//! directory; a run covering the **full** experiment set additionally
+//! refreshes `BENCH_delta.json` in the working directory — the
+//! committed performance-trajectory baseline — so partial smoke runs
+//! never clobber it. Wall-clock values are measured while experiments
+//! share cores (`timing: "concurrent"`); `simulated_rounds` is the
+//! contention-free metric for cross-revision comparison.
 
 use delta_coloring_bench::experiments::{run, Scale, ALL};
+use delta_coloring_bench::Table;
+use rayon::prelude::*;
+use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,31 +50,78 @@ fn main() {
     if ids.is_empty() {
         ids = ALL.iter().map(|s| s.to_string()).collect();
     }
+    for id in &ids {
+        if !ALL.contains(&id.as_str()) {
+            eprintln!("unknown experiment id: {id} (known: {})", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
     let scale = Scale { quick };
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
         std::process::exit(1);
     }
-    for id in &ids {
-        let start = std::time::Instant::now();
-        match run(id, scale) {
-            Some(table) => {
-                println!("{}", table.render());
-                let path = out_dir.join(format!("{id}.csv"));
-                if let Err(e) = std::fs::write(&path, table.to_csv()) {
-                    eprintln!("cannot write {}: {e}", path.display());
-                }
-                println!(
-                    "[{}] done in {:.1}s -> {}\n",
-                    id,
-                    start.elapsed().as_secs_f64(),
-                    path.display()
-                );
-            }
-            None => {
-                eprintln!("unknown experiment id: {id} (known: {})", ALL.join(" "));
-                std::process::exit(2);
-            }
+
+    // The experiments are independent; sweep them on worker threads and
+    // report in canonical order afterwards.
+    let wall_start = Instant::now();
+    let results: Vec<(String, Table, f64)> = ids
+        .par_iter()
+        .map(|id| {
+            let start = Instant::now();
+            let table = run(id, scale).expect("ids validated above");
+            (id.clone(), table, start.elapsed().as_secs_f64())
+        })
+        .collect();
+    let total_wall = wall_start.elapsed().as_secs_f64();
+
+    for (id, table, secs) in &results {
+        println!("{}", table.render());
+        let path = out_dir.join(format!("{id}.csv"));
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("cannot write {}: {e}", path.display());
+        }
+        println!(
+            "[{id}] done in {secs:.1}s ({} simulated rounds) -> {}\n",
+            table.sim_rounds(),
+            path.display()
+        );
+    }
+
+    let summary = summary_json(&results, quick, total_wall);
+    let mut json_paths = vec![out_dir.join("BENCH_delta.json")];
+    if results.len() == ALL.len() {
+        // Full sweep: refresh the trajectory baseline in the CWD too.
+        json_paths.push(PathBuf::from("BENCH_delta.json"));
+    }
+    for json_path in json_paths {
+        match std::fs::write(&json_path, &summary) {
+            Ok(()) => println!("wrote {}", json_path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", json_path.display()),
         }
     }
+}
+
+/// Renders the `BENCH_delta.json` summary (schema `delta-bench-v1`).
+fn summary_json(results: &[(String, Table, f64)], quick: bool, total_wall: f64) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"delta-bench-v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"timing\": \"concurrent\",");
+    let _ = writeln!(out, "  \"total_wall_clock_s\": {total_wall:.3},");
+    let total_rounds: u64 = results.iter().map(|(_, t, _)| t.sim_rounds()).sum();
+    let _ = writeln!(out, "  \"total_simulated_rounds\": {total_rounds},");
+    let _ = writeln!(out, "  \"experiments\": [");
+    for (i, (id, table, secs)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{id}\", \"wall_clock_s\": {secs:.3}, \"simulated_rounds\": {}, \"rows\": {}}}{comma}",
+            table.sim_rounds(),
+            table.len(),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
 }

@@ -9,8 +9,8 @@ use crate::table::Table;
 use delta_coloring::baseline;
 use delta_coloring::brooks;
 use delta_coloring::delta::{
-    delta_color_det, delta_color_netdecomp, delta_color_rand, delta_color_slocal,
-    shattering_probe, slocal_locality_bound, DetConfig, RandConfig,
+    delta_color_det, delta_color_netdecomp, delta_color_rand, delta_color_slocal, shattering_probe,
+    slocal_locality_bound, DetConfig, RandConfig,
 };
 use delta_coloring::gallai;
 use delta_coloring::list_coloring::{self, ListColorMethod};
@@ -19,6 +19,7 @@ use delta_coloring::palette::{Lists, PartialColoring};
 use delta_coloring::verify;
 use delta_graphs::{generators, props, Graph, NodeId};
 use local_model::RoundLedger;
+use rayon::prelude::*;
 
 /// Experiment scale: `quick` shrinks sizes for smoke runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,11 +30,19 @@ pub struct Scale {
 
 impl Scale {
     fn n_sweep(&self, full: &[usize], quick: &[usize]) -> Vec<usize> {
-        if self.quick { quick.to_vec() } else { full.to_vec() }
+        if self.quick {
+            quick.to_vec()
+        } else {
+            full.to_vec()
+        }
     }
 
     fn seeds(&self) -> u64 {
-        if self.quick { 2 } else { 4 }
+        if self.quick {
+            2
+        } else {
+            4
+        }
     }
 }
 
@@ -42,7 +51,11 @@ fn fmt_f(x: f64) -> String {
 }
 
 fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 }
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
 }
 
 fn log2(x: f64) -> f64 {
@@ -54,17 +67,40 @@ fn log2(x: f64) -> f64 {
 pub fn t1(scale: Scale) -> Table {
     let mut t = Table::new(
         "T1: randomized delta-coloring, rounds vs n (Thm 1 / Cor 2; expect ~(log log n)^2 growth)",
-        &["delta", "n", "rounds(mean)", "rounds(max)", "attempts", "fellback", "(loglog n)^2"],
+        &[
+            "delta",
+            "n",
+            "rounds(mean)",
+            "rounds(max)",
+            "attempts",
+            "fellback",
+            "(loglog n)^2",
+        ],
     );
     let ns = scale.n_sweep(
-        &[1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16],
+        &[
+            1 << 10,
+            1 << 11,
+            1 << 12,
+            1 << 13,
+            1 << 14,
+            1 << 15,
+            1 << 16,
+        ],
         &[1 << 10, 1 << 12, 1 << 14],
     );
-    for &delta in &[3usize, 4, 5] {
-        for &n in &ns {
+    let configs: Vec<(usize, usize)> = [3usize, 4, 5]
+        .iter()
+        .flat_map(|&d| ns.iter().map(move |&n| (d, n)))
+        .collect();
+    // Each (delta, n) cell is independent: sweep them on worker threads.
+    let cells: Vec<(Vec<String>, u64)> = configs
+        .into_par_iter()
+        .map(|(delta, n)| {
             let mut rounds = Vec::new();
             let mut attempts = 0u64;
             let mut fellback = 0u64;
+            let mut meter = 0u64;
             for seed in 0..scale.seeds() {
                 let g = generators::random_regular(n, delta, seed * 101 + delta as u64);
                 let cfg = if delta == 3 {
@@ -78,9 +114,10 @@ pub fn t1(scale: Scale) -> Table {
                 rounds.push(ledger.total() as f64);
                 attempts += stats.attempts as u64;
                 fellback += stats.fell_back as u64;
+                meter += ledger.total();
             }
             let ll = log2(log2(n as f64));
-            t.row(vec![
+            let row = vec![
                 delta.to_string(),
                 n.to_string(),
                 fmt_f(mean(&rounds)),
@@ -88,8 +125,13 @@ pub fn t1(scale: Scale) -> Table {
                 attempts.to_string(),
                 fellback.to_string(),
                 fmt_f(ll * ll),
-            ]);
-        }
+            ];
+            (row, meter)
+        })
+        .collect();
+    for (row, meter) in cells {
+        t.row(row);
+        t.add_sim_rounds(meter);
     }
     t
 }
@@ -116,6 +158,7 @@ pub fn t2(scale: Scale) -> Table {
             rounds.push(ledger.total() as f64);
             attempts += stats.attempts as u64;
             fellback += stats.fell_back as u64;
+            t.add_sim_rounds(ledger.total());
         }
         t.row(vec![
             n.to_string(),
@@ -134,21 +177,34 @@ pub fn t2(scale: Scale) -> Table {
 pub fn t3(scale: Scale) -> Table {
     let mut t = Table::new(
         "T3: deterministic delta-coloring, rounds vs n (Thm 4; expect ~log^2 n growth)",
-        &["delta", "n", "rounds", "layers", "base", "log2(n)^2", "rounds/log2(n)^2"],
+        &[
+            "delta",
+            "n",
+            "rounds",
+            "layers",
+            "base",
+            "log2(n)^2",
+            "rounds/log2(n)^2",
+        ],
     );
     let ns = scale.n_sweep(
         &[1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13],
         &[1 << 8, 1 << 10, 1 << 12],
     );
-    for &delta in &[4usize, 8] {
-        for &n in &ns {
+    let configs: Vec<(usize, usize)> = [4usize, 8]
+        .iter()
+        .flat_map(|&d| ns.iter().map(move |&n| (d, n)))
+        .collect();
+    let cells: Vec<(Vec<String>, u64)> = configs
+        .into_par_iter()
+        .map(|(delta, n)| {
             let g = generators::random_regular(n, delta, 7 + delta as u64);
             let mut ledger = RoundLedger::new();
-            let (c, stats) = delta_color_det(&g, DetConfig::default(), &mut ledger)
-                .expect("colorable");
+            let (c, stats) =
+                delta_color_det(&g, DetConfig::default(), &mut ledger).expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
             let l2 = log2(n as f64);
-            t.row(vec![
+            let row = vec![
                 delta.to_string(),
                 n.to_string(),
                 ledger.total().to_string(),
@@ -156,8 +212,13 @@ pub fn t3(scale: Scale) -> Table {
                 stats.base_size.to_string(),
                 fmt_f(l2 * l2),
                 fmt_f(ledger.total() as f64 / (l2 * l2)),
-            ]);
-        }
+            ];
+            (row, ledger.total())
+        })
+        .collect();
+    for (row, meter) in cells {
+        t.row(row);
+        t.add_sim_rounds(meter);
     }
     t
 }
@@ -166,7 +227,16 @@ pub fn t3(scale: Scale) -> Table {
 pub fn t4(scale: Scale) -> Table {
     let mut t = Table::new(
         "T4: algorithms x graph families (rounds; all colorings verified)",
-        &["family", "n", "delta", "rand", "det", "netdecomp(Thm21)", "ps-baseline", "greedy(D+1)"],
+        &[
+            "family",
+            "n",
+            "delta",
+            "rand",
+            "det",
+            "netdecomp(Thm21)",
+            "ps-baseline",
+            "greedy(D+1)",
+        ],
     );
     let n = if scale.quick { 1 << 11 } else { 1 << 12 };
     let side = (n as f64).sqrt() as usize;
@@ -174,9 +244,15 @@ pub fn t4(scale: Scale) -> Table {
         ("random-regular-4", generators::random_regular(n, 4, 3)),
         ("random-regular-3", generators::random_regular(n, 3, 4)),
         ("torus", generators::torus(side, side)),
-        ("hypercube", generators::hypercube((n as f64).log2() as usize)),
+        (
+            "hypercube",
+            generators::hypercube((n as f64).log2() as usize),
+        ),
         ("tree+chords", generators::tree_with_chords(n, n / 10, 5)),
-        ("perturbed-regular", generators::perturbed_regular(n, 4, 0.03, 6)),
+        (
+            "perturbed-regular",
+            generators::perturbed_regular(n, 4, 0.03, 6),
+        ),
     ];
     for (name, g) in families {
         if verify::assert_nice(&g).is_err() {
@@ -192,16 +268,14 @@ pub fn t4(scale: Scale) -> Table {
         };
         let det_rounds = {
             let mut ledger = RoundLedger::new();
-            let (c, _) = delta_color_det(&g, DetConfig::default(), &mut ledger)
-                .expect("colorable");
+            let (c, _) = delta_color_det(&g, DetConfig::default(), &mut ledger).expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
             ledger.total()
         };
         let nd_rounds = {
             let mut ledger = RoundLedger::new();
-            let (c, _) =
-                delta_color_netdecomp(&g, ListColorMethod::Randomized, 4, &mut ledger)
-                    .expect("colorable");
+            let (c, _) = delta_color_netdecomp(&g, ListColorMethod::Randomized, 4, &mut ledger)
+                .expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
             ledger.total()
         };
@@ -217,6 +291,7 @@ pub fn t4(scale: Scale) -> Table {
             delta_coloring::palette::check_k_coloring(&g, &c, delta + 1).expect("valid");
             ledger.total()
         };
+        t.add_sim_rounds(rand_rounds + det_rounds + nd_rounds + ps_rounds + dp1_rounds);
         t.row(vec![
             name.to_string(),
             g.n().to_string(),
@@ -236,7 +311,9 @@ pub fn t4(scale: Scale) -> Table {
 pub fn t5(scale: Scale) -> Table {
     let mut t = Table::new(
         "T5: ablations (random 4-regular; backoff b, selection p, DCC removal on/off)",
-        &["variant", "rounds", "attempts", "t-nodes", "happy", "comps", "maxcomp"],
+        &[
+            "variant", "rounds", "attempts", "t-nodes", "happy", "comps", "maxcomp",
+        ],
     );
     let n = if scale.quick { 1 << 11 } else { 1 << 12 };
     let g = generators::random_regular(n, 4, 11);
@@ -246,32 +323,50 @@ pub fn t5(scale: Scale) -> Table {
         (
             "b=2".into(),
             RandConfig {
-                marking: MarkingParams { p: 1.0 / 9.0f64.min(n as f64), b: 2 },
+                marking: MarkingParams {
+                    p: 1.0 / 9.0f64.min(n as f64),
+                    b: 2,
+                },
                 ..base_cfg
             },
         ),
         (
             "b=12".into(),
             RandConfig {
-                marking: MarkingParams { p: 1.0 / (3f64.powi(12)).min(n as f64), b: 12 },
+                marking: MarkingParams {
+                    p: 1.0 / (3f64.powi(12)).min(n as f64),
+                    b: 12,
+                },
                 ..base_cfg
             },
         ),
         (
             "p*4".into(),
             RandConfig {
-                marking: MarkingParams { p: (base_cfg.marking.p * 4.0).min(1.0), b: 6 },
+                marking: MarkingParams {
+                    p: (base_cfg.marking.p * 4.0).min(1.0),
+                    b: 6,
+                },
                 ..base_cfg
             },
         ),
         (
             "p/4".into(),
             RandConfig {
-                marking: MarkingParams { p: base_cfg.marking.p / 4.0, b: 6 },
+                marking: MarkingParams {
+                    p: base_cfg.marking.p / 4.0,
+                    b: 6,
+                },
                 ..base_cfg
             },
         ),
-        ("no-dcc-removal".into(), RandConfig { r_detect: 0, ..base_cfg }),
+        (
+            "no-dcc-removal".into(),
+            RandConfig {
+                r_detect: 0,
+                ..base_cfg
+            },
+        ),
         (
             "netdecomp-components".into(),
             RandConfig {
@@ -284,6 +379,7 @@ pub fn t5(scale: Scale) -> Table {
     for (name, cfg) in variants {
         let mut ledger = RoundLedger::new();
         let result = delta_color_rand(&g, cfg, &mut ledger);
+        t.add_sim_rounds(ledger.total());
         let probe = shattering_probe(&g, &cfg, 99);
         match result {
             Ok((c, stats)) => {
@@ -325,8 +421,13 @@ pub fn f1(scale: Scale) -> Table {
         &[1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 15],
         &[1 << 8, 1 << 10, 1 << 12],
     );
-    for &delta in &[3usize, 4] {
-        for &n in &ns {
+    let configs: Vec<(usize, usize)> = [3usize, 4]
+        .iter()
+        .flat_map(|&d| ns.iter().map(move |&n| (d, n)))
+        .collect();
+    let cells: Vec<(Vec<String>, u64)> = configs
+        .into_par_iter()
+        .map(|(delta, n)| {
             let g = generators::random_regular(n, delta, 13 + delta as u64);
             // Greedy Δ-coloring in a pseudo-random order; every dead end
             // is an adversarial single-uncolored-node instance that
@@ -334,28 +435,33 @@ pub fn f1(scale: Scale) -> Table {
             let mut order: Vec<NodeId> = g.nodes().collect();
             let mut state = 0x9e3779b97f4a7c15u64 ^ (n as u64) ^ ((delta as u64) << 32);
             for i in (1..order.len()).rev() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 order.swap(i, ((state >> 33) % (i as u64 + 1)) as usize);
             }
             let mut coloring = PartialColoring::new(g.n());
             let mut radii = Vec::new();
             let mut dcc_used = 0usize;
+            let mut meter = 0u64;
             for &v in &order {
                 if let Some(&c) = coloring.free_colors(&g, v, delta).first() {
                     coloring.set(v, c);
                     continue;
                 }
                 let mut ledger = RoundLedger::new();
-                let out = brooks::repair_single_uncolored(&g, &mut coloring, v, delta, &mut ledger, "r")
-                    .expect("repairable");
+                let out =
+                    brooks::repair_single_uncolored(&g, &mut coloring, v, delta, &mut ledger, "r")
+                        .expect("repairable");
                 radii.push(out.radius as f64);
                 dcc_used += out.used_dcc as usize;
+                meter += ledger.total();
             }
             verify::check_delta_coloring(&g, &coloring).expect("valid");
             let bound = brooks::theorem5_radius(n, delta);
             let max_radius = radii.iter().cloned().fold(0.0, f64::max);
             assert!(max_radius as usize <= bound, "Theorem 5 bound violated");
-            t.row(vec![
+            let row = vec![
                 delta.to_string(),
                 n.to_string(),
                 radii.len().to_string(),
@@ -363,8 +469,13 @@ pub fn f1(scale: Scale) -> Table {
                 fmt_f(mean(&radii)),
                 bound.to_string(),
                 dcc_used.to_string(),
-            ]);
-        }
+            ];
+            (row, meter)
+        })
+        .collect();
+    for (row, meter) in cells {
+        t.row(row);
+        t.add_sim_rounds(meter);
     }
     t
 }
@@ -378,7 +489,16 @@ pub fn f1(scale: Scale) -> Table {
 pub fn f2(scale: Scale) -> Table {
     let mut t = Table::new(
         "F2: expansion without DCCs (Lemma 15; |B_r| >= (delta-1)^{r/2}, violations must be 0)",
-        &["family", "delta", "n", "r", "qualifying", "minB_r", "bound", "violations"],
+        &[
+            "family",
+            "delta",
+            "n",
+            "r",
+            "qualifying",
+            "minB_r",
+            "bound",
+            "violations",
+        ],
     );
     let n = if scale.quick { 1 << 12 } else { 1 << 14 };
     let mut families: Vec<(String, Graph)> = vec![];
@@ -388,47 +508,62 @@ pub fn f2(scale: Scale) -> Table {
             generators::random_regular(n, delta, 17 + delta as u64),
         ));
     }
-    for &q in if scale.quick { &[13u32, 31][..] } else { &[13u32, 31, 61][..] } {
-        families.push((format!("pg2-{q}"), generators::projective_plane_incidence(q)));
+    for &q in if scale.quick {
+        &[13u32, 31][..]
+    } else {
+        &[13u32, 31, 61][..]
+    } {
+        families.push((
+            format!("pg2-{q}"),
+            generators::projective_plane_incidence(q),
+        ));
     }
     for (family, g) in families {
         let delta = g.max_degree();
         let n = g.n();
         // Girth-6 incidence graphs: radius >= 3 balls always contain a
         // C6, so the lemma is vacuous (and the check expensive) there.
-        let radii: &[usize] = if family.starts_with("pg2") { &[2] } else { &[2, 4, 6] };
+        let radii: &[usize] = if family.starts_with("pg2") {
+            &[2]
+        } else {
+            &[2, 4, 6]
+        };
         {
-        for &r in radii {
-            let sample = if scale.quick { 300 } else { 1500 };
-            let mut qualifying = 0usize;
-            let mut min_level = usize::MAX;
-            let mut violations = 0usize;
-            let bound = ((delta - 1) as f64).powf(r as f64 / 2.0).ceil() as usize;
-            for i in 0..sample {
-                let v = NodeId(((i as u64 * 2_654_435_761) % n as u64) as u32);
-                if !gallai::ball_is_dcc_free(&delta_graphs::bfs::ball(&g, v, r)) {
-                    continue;
+            for &r in radii {
+                let sample = if scale.quick { 300 } else { 1500 };
+                let mut qualifying = 0usize;
+                let mut min_level = usize::MAX;
+                let mut violations = 0usize;
+                let bound = ((delta - 1) as f64).powf(r as f64 / 2.0).ceil() as usize;
+                for i in 0..sample {
+                    let v = NodeId(((i as u64 * 2_654_435_761) % n as u64) as u32);
+                    if !gallai::ball_is_dcc_free(&delta_graphs::bfs::ball(&g, v, r)) {
+                        continue;
+                    }
+                    // Δ-regular graph: degree condition holds automatically.
+                    qualifying += 1;
+                    let levels = props::level_sizes(&g, v);
+                    let b_r = levels.get(r).copied().unwrap_or(0);
+                    min_level = min_level.min(b_r);
+                    if b_r < bound {
+                        violations += 1;
+                    }
                 }
-                // Δ-regular graph: degree condition holds automatically.
-                qualifying += 1;
-                let levels = props::level_sizes(&g, v);
-                let b_r = levels.get(r).copied().unwrap_or(0);
-                min_level = min_level.min(b_r);
-                if b_r < bound {
-                    violations += 1;
-                }
+                t.row(vec![
+                    family.clone(),
+                    delta.to_string(),
+                    n.to_string(),
+                    r.to_string(),
+                    qualifying.to_string(),
+                    if qualifying == 0 {
+                        "-".into()
+                    } else {
+                        min_level.to_string()
+                    },
+                    bound.to_string(),
+                    violations.to_string(),
+                ]);
             }
-            t.row(vec![
-                family.clone(),
-                delta.to_string(),
-                n.to_string(),
-                r.to_string(),
-                qualifying.to_string(),
-                if qualifying == 0 { "-".into() } else { min_level.to_string() },
-                bound.to_string(),
-                violations.to_string(),
-            ]);
-        }
         }
     }
     t
@@ -441,7 +576,18 @@ pub fn f2(scale: Scale) -> Table {
 pub fn f3(scale: Scale) -> Table {
     let mut t = Table::new(
         "F3: expansion after marking (Lemmas 12/14; violations must be 0; planted maximal marking)",
-        &["delta", "b", "n", "r", "t-nodes", "marked", "qualifying", "minB_r", "bound", "violations"],
+        &[
+            "delta",
+            "b",
+            "n",
+            "r",
+            "t-nodes",
+            "marked",
+            "qualifying",
+            "minB_r",
+            "bound",
+            "violations",
+        ],
     );
     let n = if scale.quick { 1 << 12 } else { 1 << 14 };
     for &(delta, b, r) in &[(4usize, 6usize, 4usize), (4, 6, 6), (3, 12, 6), (5, 6, 4)] {
@@ -454,6 +600,7 @@ pub fn f3(scale: Scale) -> Table {
         let mut ledger = RoundLedger::new();
         let selected =
             delta_coloring::ruling::ruling_set_randomized(&g, b + 1, 7, &mut ledger, "probe");
+        t.add_sim_rounds(ledger.total());
         let mut marked = vec![false; g.n()];
         let mut t_nodes = 0usize;
         for &v in &selected {
@@ -515,7 +662,11 @@ pub fn f3(scale: Scale) -> Table {
             t_nodes.to_string(),
             marked.iter().filter(|&&m| m).count().to_string(),
             qualifying.to_string(),
-            if qualifying == 0 { "-".into() } else { min_level.to_string() },
+            if qualifying == 0 {
+                "-".into()
+            } else {
+                min_level.to_string()
+            },
             bound.to_string(),
             violations.to_string(),
         ]);
@@ -529,7 +680,9 @@ pub fn f3(scale: Scale) -> Table {
 pub fn f4(scale: Scale) -> Table {
     let mut t = Table::new(
         "F4: shattering probe (Lemmas 22/23/31): happy fraction, leftover components",
-        &["delta", "n", "t-nodes", "marked", "happy", "comps", "maxcomp", "log2(n)"],
+        &[
+            "delta", "n", "t-nodes", "marked", "happy", "comps", "maxcomp", "log2(n)",
+        ],
     );
     let ns = scale.n_sweep(&[1 << 12, 1 << 13, 1 << 14, 1 << 15], &[1 << 12, 1 << 13]);
     for &delta in &[4usize, 5, 6] {
@@ -587,6 +740,7 @@ pub fn f5(scale: Scale) -> Table {
         )
         .expect("solvable");
         delta_coloring::palette::check_list_coloring(&g, &c2, &lists).expect("valid");
+        t.add_sim_rounds(l1.total() + l2.total());
         t.row(vec![
             delta.to_string(),
             n.to_string(),
@@ -610,7 +764,13 @@ pub fn f5(scale: Scale) -> Table {
 pub fn f6(_scale: Scale) -> Table {
     let mut t = Table::new(
         "F6: neighborhood clique decomposition (Lemma 13; consistent must be true)",
-        &["family", "n", "has-radius1-dcc", "clique-unions", "consistent"],
+        &[
+            "family",
+            "n",
+            "has-radius1-dcc",
+            "clique-unions",
+            "consistent",
+        ],
     );
     let wheel = {
         let mut b = delta_graphs::GraphBuilder::new(6);
@@ -631,7 +791,9 @@ pub fn f6(_scale: Scale) -> Table {
         ("hypercube-4", generators::hypercube(4)),
     ];
     for (name, g) in families {
-        let has_dcc = g.nodes().any(|v| gallai::find_dcc_for_node(&g, v, 1, 2, usize::MAX).is_some());
+        let has_dcc = g
+            .nodes()
+            .any(|v| gallai::find_dcc_for_node(&g, v, 1, 2, usize::MAX).is_some());
         let unions = gallai::neighborhoods_are_clique_unions(&g);
         // Lemma 13: no radius-1 DCC implies clique unions.
         let consistent = has_dcc || unions;
@@ -651,7 +813,14 @@ pub fn f6(_scale: Scale) -> Table {
 pub fn t6(scale: Scale) -> Table {
     let mut t = Table::new(
         "T6: SLOCAL delta-coloring locality (Remark 17; locality must stay below the bound)",
-        &["delta", "n", "max-locality", "bound", "repairs", "dcc-repairs"],
+        &[
+            "delta",
+            "n",
+            "max-locality",
+            "bound",
+            "repairs",
+            "dcc-repairs",
+        ],
     );
     let ns = scale.n_sweep(&[1 << 10, 1 << 12, 1 << 14], &[1 << 10, 1 << 12]);
     for &delta in &[3usize, 4, 8] {
@@ -694,8 +863,9 @@ pub fn run(id: &str, scale: Scale) -> Option<Table> {
 }
 
 /// All experiment ids in canonical order.
-pub const ALL: &[&str] =
-    &["t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "f6"];
+pub const ALL: &[&str] = &[
+    "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "f6",
+];
 
 #[cfg(test)]
 mod tests {

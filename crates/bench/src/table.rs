@@ -2,12 +2,14 @@
 
 use std::fmt::Write as _;
 
-/// A simple column-aligned table that can also serialize itself as CSV.
+/// A simple column-aligned table that can also serialize itself as CSV,
+/// carrying the total simulated LOCAL rounds its experiment charged.
 #[derive(Debug, Clone)]
 pub struct Table {
     title: String,
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    sim_rounds: u64,
 }
 
 impl Table {
@@ -17,7 +19,19 @@ impl Table {
             title: title.to_string(),
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            sim_rounds: 0,
         }
+    }
+
+    /// Adds to the simulated-rounds meter (experiments call this with
+    /// each ledger total they accumulate).
+    pub fn add_sim_rounds(&mut self, rounds: u64) {
+        self.sim_rounds += rounds;
+    }
+
+    /// Total simulated LOCAL rounds charged while producing this table.
+    pub fn sim_rounds(&self) -> u64 {
+        self.sim_rounds
     }
 
     /// Appends a row (must match the header length).
@@ -72,21 +86,16 @@ impl Table {
         out
     }
 
-    /// Renders the CSV form (header + rows).
+    /// Renders the CSV form (header + rows) through the csv writer —
+    /// the single serialization path the binary also uses.
     pub fn to_csv(&self) -> String {
-        let esc = |s: &str| {
-            if s.contains(',') || s.contains('"') {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_string()
-            }
-        };
-        let mut out = String::new();
-        let _ = writeln!(out, "{}", self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        let mut w = csv::Writer::from_writer(Vec::new());
+        w.write_record(&self.header)
+            .expect("in-memory write cannot fail");
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+            w.write_record(row).expect("in-memory write cannot fail");
         }
-        out
+        String::from_utf8(w.into_inner()).expect("csv output is utf8")
     }
 }
 

@@ -29,7 +29,14 @@ pub fn randomized_delta_plus_one(
     ledger: &mut RoundLedger,
 ) -> Result<PartialColoring, ColoringError> {
     let lists = Lists::uniform(g.n(), g.max_degree() + 1);
-    list_color_randomized(g, &lists, PartialColoring::new(g.n()), seed, ledger, "delta+1")
+    list_color_randomized(
+        g,
+        &lists,
+        PartialColoring::new(g.n()),
+        seed,
+        ledger,
+        "delta+1",
+    )
 }
 
 /// Statistics of a [`ps_style_delta`] run.
@@ -71,9 +78,7 @@ pub fn ps_style_delta(
         let mut progressed = false;
         let picks: Vec<(NodeId, crate::palette::Color)> = extra
             .iter()
-            .filter_map(|&v| {
-                coloring.free_colors(g, v, delta).first().map(|&c| (v, c))
-            })
+            .filter_map(|&v| coloring.free_colors(g, v, delta).first().map(|&c| (v, c)))
             .collect();
         for &(v, c) in &picks {
             coloring.set(v, c);
@@ -100,7 +105,9 @@ pub fn ps_style_delta(
     let calibration = remaining.len().min(4);
     let mut rho_star = 2usize;
     for _ in 0..calibration {
-        let Some(v) = remaining.first().copied() else { break };
+        let Some(v) = remaining.first().copied() else {
+            break;
+        };
         let mut sub = RoundLedger::new();
         let out = repair_single_uncolored(g, &mut coloring, v, delta, &mut sub, "repair")?;
         max_repair_radius = max_repair_radius.max(out.radius);
@@ -151,7 +158,14 @@ pub fn ps_style_delta(
         remaining.retain(|&v| !coloring.is_colored(v));
     }
     debug_assert!(coloring.is_total());
-    Ok((coloring, PsStats { extra_class_size, batches, max_repair_radius }))
+    Ok((
+        coloring,
+        PsStats {
+            extra_class_size,
+            batches,
+            max_repair_radius,
+        },
+    ))
 }
 
 /// Greedy sequential Δ+1 coloring by id (centralized reference used in
@@ -165,7 +179,6 @@ pub fn greedy_reference(g: &Graph) -> PartialColoring {
     }
     c
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -199,7 +212,10 @@ mod tests {
             let mut ledger = RoundLedger::new();
             let (c, stats) = ps_style_delta(&g, seed, &mut ledger).unwrap();
             check_delta_coloring(&g, &c).unwrap();
-            assert!(stats.extra_class_size > 0, "trial coloring used the full palette");
+            assert!(
+                stats.extra_class_size > 0,
+                "trial coloring used the full palette"
+            );
             assert!(stats.batches >= 1);
         }
     }

@@ -27,7 +27,10 @@ fn main() {
             "--strategy" => {
                 let v = args.next().unwrap_or_default();
                 strategy = Strategy::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown strategy {v:?}; known: {}", Strategy::NAMES.join(", "));
+                    eprintln!(
+                        "unknown strategy {v:?}; known: {}",
+                        Strategy::NAMES.join(", ")
+                    );
                     std::process::exit(2);
                 });
             }

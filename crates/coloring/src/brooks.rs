@@ -55,7 +55,9 @@ pub fn brooks_color(g: &Graph, delta: usize) -> Result<PartialColoring, Coloring
         return Ok(PartialColoring::new(0));
     }
     if !is_connected(g) {
-        return Err(ColoringError::Unsolvable { context: "graph is disconnected".into() });
+        return Err(ColoringError::Unsolvable {
+            context: "graph is disconnected".into(),
+        });
     }
     if g.max_degree() > delta {
         return Err(ColoringError::Unsolvable {
@@ -178,10 +180,7 @@ fn color_block(
 }
 
 /// Δ-colors a single block (given as its own graph), unconstrained.
-fn color_block_unconstrained(
-    sub: &Graph,
-    delta: usize,
-) -> Result<PartialColoring, ColoringError> {
+fn color_block_unconstrained(sub: &Graph, delta: usize) -> Result<PartialColoring, ColoringError> {
     let n = sub.n();
     // Cliques (includes K2 bridge blocks): need |block| colors;
     // |block| <= Δ always holds except for the whole-graph clique,
@@ -231,7 +230,13 @@ fn color_block_unconstrained(
     // uncolored parent at its turn (at most deg-1 <= Δ-1 colored
     // neighbors), and the root has degree < Δ.
     if let Some(root) = sub.nodes().find(|&v| sub.degree(v) < delta) {
-        return Ok(reverse_bfs_greedy(sub, delta, PartialColoring::new(n), root, &[]));
+        return Ok(reverse_bfs_greedy(
+            sub,
+            delta,
+            PartialColoring::new(n),
+            root,
+            &[],
+        ));
     }
     // Δ-regular 2-connected non-clique non-cycle block: Lovász's
     // construction. Find x with non-adjacent neighbors a, b such that
@@ -256,10 +261,7 @@ fn reverse_bfs_greedy(
     excluded: &[NodeId],
 ) -> PartialColoring {
     // BFS in sub minus excluded.
-    let keep: Vec<NodeId> = sub
-        .nodes()
-        .filter(|v| !excluded.contains(v))
-        .collect();
+    let keep: Vec<NodeId> = sub.nodes().filter(|v| !excluded.contains(v)).collect();
     let (h, map) = sub.induced(&keep);
     let root_local = NodeId::from_index(map.binary_search(&root).expect("root not excluded"));
     let d = bfs::distances(&h, root_local);
@@ -379,7 +381,11 @@ pub fn repair_single_uncolored(
     if let Some(&c) = coloring.free_colors(g, v, delta).first() {
         coloring.set(v, c);
         ledger.charge(phase, 1);
-        return Ok(RepairOutcome { radius: 0, moved: 0, used_dcc: false });
+        return Ok(RepairOutcome {
+            radius: 0,
+            moved: 0,
+            used_dcc: false,
+        });
     }
     let r_max = theorem5_radius(g.n(), delta);
     // Progressive deepening (doubling search): inspect balls of growing
@@ -422,8 +428,7 @@ pub fn repair_single_uncolored(
                 None => true,
                 Some((td, _, tdcc)) => {
                     d < *td
-                        || (d == *td
-                            && tdcc.as_ref().is_some_and(|prev| blk.len() < prev.len()))
+                        || (d == *td && tdcc.as_ref().is_some_and(|prev| blk.len() < prev.len()))
                 }
             };
             if better {
@@ -455,7 +460,11 @@ pub fn repair_single_uncolored(
             coloring.set(token, c);
             let rounds = 2 * (radius.max(r_explored).max(1) as u64);
             ledger.charge(phase, rounds);
-            return Ok(RepairOutcome { radius, moved, used_dcc: false });
+            return Ok(RepairOutcome {
+                radius,
+                moved,
+                used_dcc: false,
+            });
         }
         // No free color: all Δ neighbors carry Δ distinct colors, so
         // adopting the successor's color and uncoloring the successor
@@ -472,7 +481,11 @@ pub fn repair_single_uncolored(
         coloring.set(token, c);
         let rounds = 2 * (radius.max(r_explored).max(1) as u64);
         ledger.charge(phase, rounds);
-        return Ok(RepairOutcome { radius, moved, used_dcc: false });
+        return Ok(RepairOutcome {
+            radius,
+            moved,
+            used_dcc: false,
+        });
     }
     let Some(mut component) = dcc else {
         return Err(ColoringError::Unsolvable {
@@ -488,7 +501,11 @@ pub fn repair_single_uncolored(
     gallai::color_component_respecting(g, &component, delta, coloring)?;
     let rounds = 2 * (radius.max(r_explored).max(1) as u64);
     ledger.charge(phase, rounds);
-    Ok(RepairOutcome { radius, moved, used_dcc: true })
+    Ok(RepairOutcome {
+        radius,
+        moved,
+        used_dcc: true,
+    })
 }
 
 /// The recoloring radius bound of Theorem 5: `2·log_{Δ-1} n` (plus a
@@ -585,10 +602,13 @@ mod tests {
             let v = NodeId((seed as u32 * 37) % 400);
             c.unset(v);
             let mut ledger = RoundLedger::new();
-            let out = repair_single_uncolored(&g, &mut c, v, delta, &mut ledger, "repair")
-                .unwrap();
+            let out = repair_single_uncolored(&g, &mut c, v, delta, &mut ledger, "repair").unwrap();
             check_k_coloring(&g, &c, delta).unwrap();
-            assert!(out.radius <= theorem5_radius(g.n(), delta), "radius {}", out.radius);
+            assert!(
+                out.radius <= theorem5_radius(g.n(), delta),
+                "radius {}",
+                out.radius
+            );
             assert!(ledger.total() >= 1);
         }
     }
@@ -599,8 +619,7 @@ mod tests {
         let mut c = brooks_color(&g, 4).unwrap();
         c.unset(NodeId(1));
         let mut ledger = RoundLedger::new();
-        let out =
-            repair_single_uncolored(&g, &mut c, NodeId(1), 4, &mut ledger, "repair").unwrap();
+        let out = repair_single_uncolored(&g, &mut c, NodeId(1), 4, &mut ledger, "repair").unwrap();
         assert_eq!(out.radius, 0);
         assert_eq!(out.moved, 0);
         check_k_coloring(&g, &c, 4).unwrap();

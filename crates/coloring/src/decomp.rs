@@ -9,7 +9,7 @@
 use delta_graphs::{Graph, NodeId};
 use local_model::RoundLedger;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -41,7 +41,11 @@ impl Decomposition {
 
     /// Number of colors used on the cluster graph.
     pub fn color_count(&self) -> usize {
-        self.cluster_colors.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+        self.cluster_colors
+            .iter()
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Members of each cluster.
@@ -157,12 +161,21 @@ pub fn mpx_decomposition(
         cluster_colors[c] = pick;
     }
     let max_radius = radii.iter().copied().max().unwrap_or(0) as u64;
-    let colors = cluster_colors.iter().map(|&c| c as u64 + 1).max().unwrap_or(1);
+    let colors = cluster_colors
+        .iter()
+        .map(|&c| c as u64 + 1)
+        .max()
+        .unwrap_or(1);
     // Decomposition: O(max radius) rounds; cluster coloring: iterate
     // color classes over cluster-graph (each step needs a radius-wide
     // exchange).
     ledger.charge(phase, max_radius + 1 + (max_radius + 1) * colors.min(64));
-    Decomposition { cluster_of, centers, radii, cluster_colors }
+    Decomposition {
+        cluster_of,
+        centers,
+        radii,
+        cluster_colors,
+    }
 }
 
 /// f64 wrapper with total order (no NaNs by construction).

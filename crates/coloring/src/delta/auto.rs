@@ -95,7 +95,10 @@ pub fn delta_color(
             super::delta_color_rand(g, cfg, ledger)?.0
         }
         Strategy::Deterministic => {
-            let cfg = super::DetConfig { method: ListColorMethod::Deterministic, seed };
+            let cfg = super::DetConfig {
+                method: ListColorMethod::Deterministic,
+                seed,
+            };
             super::delta_color_det(g, cfg, ledger)?.0
         }
         Strategy::NetworkDecomposition => {

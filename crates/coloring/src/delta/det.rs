@@ -37,7 +37,10 @@ pub struct DetConfig {
 
 impl Default for DetConfig {
     fn default() -> Self {
-        DetConfig { method: ListColorMethod::Deterministic, seed: 0 }
+        DetConfig {
+            method: ListColorMethod::Deterministic,
+            seed: 0,
+        }
     }
 }
 
@@ -65,7 +68,9 @@ pub fn delta_color_det(
     config: DetConfig,
     ledger: &mut RoundLedger,
 ) -> Result<(PartialColoring, DetStats), ColoringError> {
-    assert_nice(g).map_err(|e| ColoringError::Unsolvable { context: e.to_string() })?;
+    assert_nice(g).map_err(|e| ColoringError::Unsolvable {
+        context: e.to_string(),
+    })?;
     let delta = g.max_degree();
     let n = g.n();
 
@@ -77,7 +82,10 @@ pub fn delta_color_det(
     // bit-halving on the power graph).
     let base = ruling_set_deterministic_alpha(g, separation, ledger, "ruling-set");
     let forest = ruling_forest(g, &base, ledger, "ruling-forest");
-    debug_assert!(forest.root.iter().all(Option::is_some), "ruling forest covers the graph");
+    debug_assert!(
+        forest.root.iter().all(Option::is_some),
+        "ruling forest covers the graph"
+    );
 
     // Step 3: layers by distance to B_0 (until exhaustion; the ruling
     // property bounds the depth).
@@ -140,7 +148,10 @@ mod tests {
             let (c, stats) = delta_color_det(&g, DetConfig::default(), &mut ledger).unwrap();
             check_delta_coloring(&g, &c).unwrap();
             assert!(stats.base_size >= 1, "{name}");
-            assert!(stats.max_repair_radius <= stats.separation / 2 + 1, "{name}");
+            assert!(
+                stats.max_repair_radius <= stats.separation / 2 + 1,
+                "{name}"
+            );
         }
     }
 
@@ -176,7 +187,10 @@ mod tests {
     #[test]
     fn det_with_randomized_layers() {
         let g = generators::random_regular(400, 4, 7);
-        let cfg = DetConfig { method: ListColorMethod::Randomized, seed: 11 };
+        let cfg = DetConfig {
+            method: ListColorMethod::Randomized,
+            seed: 11,
+        };
         let mut ledger = RoundLedger::new();
         let (c, _) = delta_color_det(&g, cfg, &mut ledger).unwrap();
         check_delta_coloring(&g, &c).unwrap();
@@ -192,6 +206,9 @@ mod tests {
             delta_color_det(&g, DetConfig::default(), &mut ledger).unwrap();
             rounds.push(ledger.total());
         }
-        assert!(rounds[2] < rounds[0] * 16, "rounds {rounds:?} not polylog-ish");
+        assert!(
+            rounds[2] < rounds[0] * 16,
+            "rounds {rounds:?} not polylog-ish"
+        );
     }
 }

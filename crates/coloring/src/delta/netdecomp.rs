@@ -45,7 +45,9 @@ pub fn delta_color_netdecomp(
     seed: u64,
     ledger: &mut RoundLedger,
 ) -> Result<(PartialColoring, NetDecompStats), ColoringError> {
-    assert_nice(g).map_err(|e| ColoringError::Unsolvable { context: e.to_string() })?;
+    assert_nice(g).map_err(|e| ColoringError::Unsolvable {
+        context: e.to_string(),
+    })?;
     let delta = g.max_degree();
     let n = g.n();
     let separation = 2 * theorem5_radius(n, delta) + 1;
@@ -90,7 +92,16 @@ pub fn delta_color_netdecomp(
     let layering = layers_from_base(g, &base, None, None);
     debug_assert!(layering.is_cover());
     let mut coloring = PartialColoring::new(n);
-    color_upper_layers(g, &layering, &mut coloring, delta, method, seed, ledger, "layer-coloring")?;
+    color_upper_layers(
+        g,
+        &layering,
+        &mut coloring,
+        delta,
+        method,
+        seed,
+        ledger,
+        "layer-coloring",
+    )?;
 
     // Step 5: base repairs (independent: pairwise distance >= separation).
     let mut max_repair = 0u64;
@@ -145,8 +156,8 @@ mod tests {
     fn netdecomp_base_is_separated() {
         let g = generators::random_regular(500, 4, 9);
         let mut ledger = RoundLedger::new();
-        let (_, stats) = delta_color_netdecomp(&g, ListColorMethod::Randomized, 3, &mut ledger)
-            .unwrap();
+        let (_, stats) =
+            delta_color_netdecomp(&g, ListColorMethod::Randomized, 3, &mut ledger).unwrap();
         // With separation > diameter the base collapses to few nodes.
         assert!(stats.base_size <= 4, "base size {}", stats.base_size);
     }
@@ -154,12 +165,9 @@ mod tests {
     #[test]
     fn netdecomp_rejects_non_nice() {
         let g = generators::cycle(10);
-        assert!(delta_color_netdecomp(
-            &g,
-            ListColorMethod::Randomized,
-            0,
-            &mut RoundLedger::new()
-        )
-        .is_err());
+        assert!(
+            delta_color_netdecomp(&g, ListColorMethod::Randomized, 0, &mut RoundLedger::new())
+                .is_err()
+        );
     }
 }

@@ -160,11 +160,16 @@ pub fn delta_color_rand(
     config: RandConfig,
     ledger: &mut RoundLedger,
 ) -> Result<(PartialColoring, RandStats), ColoringError> {
-    assert_nice(g).map_err(|e| ColoringError::Unsolvable { context: e.to_string() })?;
+    assert_nice(g).map_err(|e| ColoringError::Unsolvable {
+        context: e.to_string(),
+    })?;
     let mut last_err = None;
     for attempt in 0..config.max_attempts.max(1) {
         let mut attempt_ledger = RoundLedger::new();
-        let seed = config.seed.wrapping_add(attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15 | 1);
+        let seed = config
+            .seed
+            .wrapping_add(attempt as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15 | 1);
         match run_once(g, &config, seed, &mut attempt_ledger) {
             Ok((coloring, mut stats)) => {
                 crate::verify::check_delta_coloring(g, &coloring)?;
@@ -181,7 +186,10 @@ pub fn delta_color_rand(
         }
     }
     // Deterministic fallback (complete for nice graphs).
-    let det_cfg = crate::delta::det::DetConfig { method: config.method, seed: config.seed };
+    let det_cfg = crate::delta::det::DetConfig {
+        method: config.method,
+        seed: config.seed,
+    };
     let (coloring, _) = crate::delta::det::delta_color_det(g, det_cfg, ledger).map_err(|e| {
         ColoringError::Unsolvable {
             context: format!(
@@ -230,7 +238,14 @@ pub fn shattering_probe(g: &Graph, config: &RandConfig, seed: u64) -> ShatterPro
     let delta = g.max_degree();
     let mut scratch = RoundLedger::new();
     let mut h_coloring = PartialColoring::new(g.n());
-    let outcome = marking_process(g, config.marking, seed, &mut h_coloring, &mut scratch, "probe");
+    let outcome = marking_process(
+        g,
+        config.marking,
+        seed,
+        &mut h_coloring,
+        &mut scratch,
+        "probe",
+    );
     let r = config.r_happy;
     let boundary: Vec<NodeId> = g.nodes().filter(|&v| g.degree(v) < delta).collect();
     let near_boundary = masked_multi_source(g, &boundary, r, None);
@@ -321,8 +336,14 @@ fn run_once(
         // Phase II (4): marking process on H.
         // --------------------------------------------------------------
         let mut h_coloring = PartialColoring::new(h.n());
-        let outcome =
-            marking_process(&h, config.marking, seed ^ 0xa5a5, &mut h_coloring, ledger, "phase4-marking");
+        let outcome = marking_process(
+            &h,
+            config.marking,
+            seed ^ 0xa5a5,
+            &mut h_coloring,
+            ledger,
+            "phase4-marking",
+        );
 
         // --------------------------------------------------------------
         // Phase II (5): boundary handling, T-node validation, C layers.
@@ -368,7 +389,11 @@ fn run_once(
             .filter(|&v| !marked[v.index()] && c_layering.layer_of[v.index()].is_none())
             .collect();
         let happy = h.n() - leftover.len();
-        stats.happy_fraction = if h.n() == 0 { 1.0 } else { happy as f64 / h.n() as f64 };
+        stats.happy_fraction = if h.n() == 0 {
+            1.0
+        } else {
+            happy as f64 / h.n() as f64
+        };
 
         // Transfer marks to the global coloring.
         for v in h.nodes() {
@@ -465,7 +490,9 @@ fn select_b0_dccs(
         std::collections::HashMap::new();
     let mut dccs: Vec<Vec<NodeId>> = Vec::new();
     for v in g.nodes() {
-        if let Some(found) = find_dcc_for_node(g, v, r, 2 * r, crate::gallai::dcc_size_cap(g.max_degree())) {
+        if let Some(found) =
+            find_dcc_for_node(g, v, r, 2 * r, crate::gallai::dcc_size_cap(g.max_degree()))
+        {
             dcc_index.entry(found.nodes.clone()).or_insert_with(|| {
                 dccs.push(found.nodes.clone());
                 dccs.len() - 1
@@ -513,8 +540,10 @@ fn select_b0_dccs(
     let mut sub = RoundLedger::new();
     let mis = luby_mis(&gdcc, seed ^ 0xdcc, &mut sub, "phase2-ruling");
     ledger.charge("phase2-ruling", sub.total() * (2 * r as u64 + 1));
-    let chosen: Vec<Vec<NodeId>> =
-        members(&mis).into_iter().map(|i| dccs[i.index()].clone()).collect();
+    let chosen: Vec<Vec<NodeId>> = members(&mis)
+        .into_iter()
+        .map(|i| dccs[i.index()].clone())
+        .collect();
     let mut b0_nodes: Vec<NodeId> = chosen.iter().flatten().copied().collect();
     b0_nodes.sort_unstable();
     b0_nodes.dedup();
@@ -548,9 +577,9 @@ fn color_small_component(
         .filter(|&lv| {
             let gv = map[lv.index()];
             g.degree(gv) < delta
-                || g.neighbors(gv).iter().any(|&w| {
-                    !coloring.is_colored(w) && map.binary_search(&w).is_err()
-                })
+                || g.neighbors(gv)
+                    .iter()
+                    .any(|&w| !coloring.is_colored(w) && map.binary_search(&w).is_err())
         })
         .collect();
 
@@ -560,7 +589,13 @@ fn color_small_component(
         std::collections::HashMap::new();
     let mut dccs: Vec<Vec<NodeId>> = Vec::new();
     for lv in sub.nodes() {
-        if let Some(found) = find_dcc_for_node(&sub, lv, detect_r, 2 * detect_r, crate::gallai::dcc_size_cap(delta)) {
+        if let Some(found) = find_dcc_for_node(
+            &sub,
+            lv,
+            detect_r,
+            2 * detect_r,
+            crate::gallai::dcc_size_cap(delta),
+        ) {
             dcc_index.entry(found.nodes.clone()).or_insert_with(|| {
                 dccs.push(found.nodes.clone());
                 dccs.len() - 1
@@ -651,8 +686,10 @@ fn color_small_component(
             m
         }
     };
-    let chosen: Vec<&Vec<NodeId>> =
-        members(&mis).iter().map(|&i| &node_sets[i.index()]).collect();
+    let chosen: Vec<&Vec<NodeId>> = members(&mis)
+        .iter()
+        .map(|&i| &node_sets[i.index()])
+        .collect();
 
     // D layers: distance (inside the component) to the chosen sets.
     let d0_local: Vec<NodeId> = {
@@ -662,13 +699,18 @@ fn color_small_component(
         v
     };
     let d_layering = layers_from_base(&sub, &d0_local, None, None);
-    debug_assert!(d_layering.is_cover(), "component layering must cover the component");
+    debug_assert!(
+        d_layering.is_cover(),
+        "component layering must cover the component"
+    );
     ledger.charge("phase6-d-layers", d_layering.depth() as u64);
 
     // Color D_α..D_1 in reverse (list instances on the global graph).
     for i in (1..d_layering.depth()).rev() {
-        let members_global: Vec<NodeId> =
-            d_layering.layers[i].iter().map(|&v| map[v.index()]).collect();
+        let members_global: Vec<NodeId> = d_layering.layers[i]
+            .iter()
+            .map(|&v| map[v.index()])
+            .collect();
         color_one_layer(
             g,
             &members_global,

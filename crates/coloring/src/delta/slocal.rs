@@ -37,10 +37,16 @@ pub struct SlocalStats {
 ///
 /// [`ColoringError::Unsolvable`] if the graph is not nice.
 pub fn delta_color_slocal(g: &Graph) -> Result<(PartialColoring, SlocalStats), ColoringError> {
-    assert_nice(g).map_err(|e| ColoringError::Unsolvable { context: e.to_string() })?;
+    assert_nice(g).map_err(|e| ColoringError::Unsolvable {
+        context: e.to_string(),
+    })?;
     let delta = g.max_degree();
     let mut coloring = PartialColoring::new(g.n());
-    let mut stats = SlocalStats { max_locality: 1, repairs: 0, dcc_repairs: 0 };
+    let mut stats = SlocalStats {
+        max_locality: 1,
+        repairs: 0,
+        dcc_repairs: 0,
+    };
     let mut scratch = RoundLedger::new();
     for v in g.nodes() {
         if let Some(&c) = coloring.free_colors(g, v, delta).first() {

@@ -92,11 +92,16 @@ pub fn find_dcc_in_ball(ball: &Ball, max_radius: usize, max_size: usize) -> Opti
         if radius > max_radius {
             continue;
         }
-        if best.as_ref().is_none_or(|prev| blk.len() < prev.nodes.len()) {
-            let mut globals: Vec<NodeId> =
-                local_map.iter().map(|&l| ball.to_global(l)).collect();
+        if best
+            .as_ref()
+            .is_none_or(|prev| blk.len() < prev.nodes.len())
+        {
+            let mut globals: Vec<NodeId> = local_map.iter().map(|&l| ball.to_global(l)).collect();
             globals.sort_unstable();
-            best = Some(FoundDcc { nodes: globals, radius });
+            best = Some(FoundDcc {
+                nodes: globals,
+                radius,
+            });
         }
     }
     best
@@ -177,8 +182,7 @@ pub fn solve_degree_list(
     loop {
         let peel = (0..n).map(NodeId::from_index).find(|&v| {
             active[v.index()] && {
-                let active_deg =
-                    g.neighbors(v).iter().filter(|w| active[w.index()]).count();
+                let active_deg = g.neighbors(v).iter().filter(|w| active[w.index()]).count();
                 live_count(g, &cands, &coloring, v) > active_deg
             }
         });
@@ -195,14 +199,24 @@ pub fn solve_degree_list(
         // Static MRV-flavored order over the core: ascending by slack
         // (list size minus degree), then by id; tight nodes first prunes
         // earlier.
-        let mut o: Vec<NodeId> =
-            (0..n).map(NodeId::from_index).filter(|v| active[v.index()]).collect();
+        let mut o: Vec<NodeId> = (0..n)
+            .map(NodeId::from_index)
+            .filter(|v| active[v.index()])
+            .collect();
         o.sort_by_key(|&v| (cands[v.index()].len() as i64 - g.degree(v) as i64, v.0));
         o
     };
     let mut steps: u64 = 0;
     const STEP_CAP: u64 = 50_000_000;
-    if !backtrack(g, &order, 0, &mut cands, &mut coloring, &mut steps, STEP_CAP) {
+    if !backtrack(
+        g,
+        &order,
+        0,
+        &mut cands,
+        &mut coloring,
+        &mut steps,
+        STEP_CAP,
+    ) {
         return Err(ColoringError::Unsolvable {
             context: if steps >= STEP_CAP {
                 "degree-list backtracking exceeded step cap".into()
@@ -258,9 +272,10 @@ fn backtrack(
         }
         coloring.set(v, c);
         // Forward check: no uncolored neighbor may end with zero options.
-        let dead = g.neighbors(v).iter().any(|&w| {
-            !coloring.is_colored(w) && live_count(g, cands, coloring, w) == 0
-        });
+        let dead = g
+            .neighbors(v)
+            .iter()
+            .any(|&w| !coloring.is_colored(w) && live_count(g, cands, coloring, w) == 0);
         if !dead && backtrack(g, &order2, depth + 1, cands, coloring, steps, cap) {
             return true;
         }
@@ -329,7 +344,9 @@ pub fn color_component_respecting(
     for (i, &v) in map.iter().enumerate() {
         coloring.set(
             v,
-            solved.get(NodeId::from_index(i)).expect("solver returns total colorings"),
+            solved
+                .get(NodeId::from_index(i))
+                .expect("solver returns total colorings"),
         );
     }
     Ok(())
@@ -339,7 +356,11 @@ pub fn color_component_respecting(
 /// block: identical tight lists (used by tests to certify
 /// non-choosability of Gallai blocks).
 pub fn tight_identical_lists(g: &Graph) -> Lists {
-    Lists::new(g.nodes().map(|v| crate::palette::palette(g.degree(v))).collect())
+    Lists::new(
+        g.nodes()
+            .map(|v| crate::palette::palette(g.degree(v)))
+            .collect(),
+    )
 }
 
 /// Whether every neighborhood `G[N(v)]` decomposes into disjoint cliques
@@ -431,8 +452,7 @@ mod tests {
     #[test]
     fn theta_is_dcc() {
         let theta =
-            Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)])
-                .unwrap();
+            Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)]).unwrap();
         let all: Vec<NodeId> = theta.nodes().collect();
         assert!(is_dcc(&theta, &all));
     }
@@ -465,7 +485,10 @@ mod tests {
             let g = generators::random_gallai_tree(8, 4, seed);
             for v in g.nodes() {
                 // Any radius: Gallai trees never contain DCCs.
-                assert!(find_dcc_for_node(&g, v, 3, 10, usize::MAX).is_none(), "seed {seed} node {v}");
+                assert!(
+                    find_dcc_for_node(&g, v, 3, 10, usize::MAX).is_none(),
+                    "seed {seed} node {v}"
+                );
             }
         }
     }
@@ -542,7 +565,6 @@ mod tests {
         assert!(!neighborhoods_are_clique_unions(&wheel));
     }
 
-
     #[test]
     fn canonical_failing_lists_defeat_the_solver() {
         for seed in 0..10u64 {
@@ -554,7 +576,11 @@ mod tests {
             );
         }
         // Simple sanity cases: path, odd cycle, clique.
-        for g in [generators::path(5), generators::cycle(7), generators::complete(5)] {
+        for g in [
+            generators::path(5),
+            generators::cycle(7),
+            generators::complete(5),
+        ] {
             let lists = canonical_failing_lists(&g).unwrap();
             assert!(solve_degree_list(&g, &lists, &PartialColoring::new(g.n())).is_err());
         }
@@ -566,7 +592,9 @@ mod tests {
         assert!(canonical_failing_lists(&generators::torus(4, 4)).is_none());
         assert!(is_degree_choosable(&generators::cycle(6)));
         assert!(!is_degree_choosable(&generators::cycle(7)));
-        assert!(!is_degree_choosable(&generators::random_gallai_tree(5, 3, 1)));
+        assert!(!is_degree_choosable(&generators::random_gallai_tree(
+            5, 3, 1
+        )));
     }
 
     use delta_graphs::Graph;

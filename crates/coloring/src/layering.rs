@@ -88,7 +88,12 @@ pub fn layers_from_base(
             }
         }
     }
-    let depth = layer_of.iter().flatten().max().map(|&d| d as usize + 1).unwrap_or(0);
+    let depth = layer_of
+        .iter()
+        .flatten()
+        .max()
+        .map(|&d| d as usize + 1)
+        .unwrap_or(0);
     let mut layers = vec![Vec::new(); depth];
     for v in g.nodes() {
         if let Some(i) = layer_of[v.index()] {
@@ -120,7 +125,16 @@ pub fn color_upper_layers(
     phase: &str,
 ) -> Result<(), ColoringError> {
     for i in (1..layering.depth()).rev() {
-        color_one_layer(g, &layering.layers[i], coloring, delta, method, seed ^ i as u64, ledger, phase)?;
+        color_one_layer(
+            g,
+            &layering.layers[i],
+            coloring,
+            delta,
+            method,
+            seed ^ i as u64,
+            ledger,
+            phase,
+        )?;
     }
     Ok(())
 }
@@ -139,8 +153,11 @@ pub fn color_one_layer(
     ledger: &mut RoundLedger,
     phase: &str,
 ) -> Result<(), ColoringError> {
-    let todo: Vec<NodeId> =
-        members.iter().copied().filter(|&v| !coloring.is_colored(v)).collect();
+    let todo: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|&v| !coloring.is_colored(v))
+        .collect();
     if todo.is_empty() {
         return Ok(());
     }
@@ -156,7 +173,15 @@ pub fn color_one_layer(
             })
             .collect(),
     );
-    let solved = list_color(&sub, &lists, PartialColoring::new(sub.n()), method, seed, ledger, phase)?;
+    let solved = list_color(
+        &sub,
+        &lists,
+        PartialColoring::new(sub.n()),
+        method,
+        seed,
+        ledger,
+        phase,
+    )?;
     for (i, &v) in map.iter().enumerate() {
         coloring.set(v, solved.get(NodeId::from_index(i)).expect("total"));
     }

@@ -1,8 +1,13 @@
 //! # delta-coloring
 //!
 //! A faithful implementation of **"Improved Distributed Δ-Coloring"**
-//! (Ghaffari, Hirvonen, Kuhn, Maus; PODC 2018) on top of a LOCAL-model
-//! round simulator.
+//! (Ghaffari, Hirvonen, Kuhn, Maus; PODC 2018) on top of the
+//! LOCAL-model message-passing engine in the `local-model` crate: the
+//! round-structured substrates (Luby MIS, Linial color reduction,
+//! randomized list coloring, color-class reduction, the marking
+//! process) execute as node programs with broadcast and per-neighbor
+//! messages, and every algorithm charges its LOCAL rounds to a
+//! [`local_model::RoundLedger`].
 //!
 //! By Brooks' theorem, every connected graph that is neither a complete
 //! graph nor an odd cycle admits a coloring with Δ colors (the maximum

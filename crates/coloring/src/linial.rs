@@ -15,7 +15,7 @@
 //! structure in Section 4.1).
 
 use delta_graphs::Graph;
-use local_model::RoundLedger;
+use local_model::{Engine, Outbox, RoundLedger};
 
 /// Smallest prime `>= k` (trial division; `k` is tiny in practice).
 pub(crate) fn next_prime(k: u64) -> u64 {
@@ -99,13 +99,17 @@ fn choose_field(m: u64, delta: u64) -> u64 {
 /// ```
 pub fn linial_coloring(g: &Graph, ledger: &mut RoundLedger, phase: &str) -> Vec<u32> {
     let delta = g.max_degree() as u64;
-    let mut colors: Vec<u64> = (0..g.n() as u64).collect();
     if g.n() == 0 {
         return Vec::new();
     }
     if delta == 0 {
         return vec![0; g.n()];
     }
+    // One engine round per reduction step: nodes broadcast their current
+    // color, then pick an evaluation point differing from every
+    // neighbor's polynomial. The algorithm is deterministic; the engine
+    // seed is irrelevant.
+    let mut engine = Engine::new(g, 0, |v| v.0 as u64);
     let mut m = g.n() as u64;
     loop {
         let q = choose_field(m, delta);
@@ -114,31 +118,29 @@ pub fn linial_coloring(g: &Graph, ledger: &mut RoundLedger, phase: &str) -> Vec<
         }
         let d = poly_degree(m, q);
         debug_assert!(q > delta * d.max(1));
-        let mut next = vec![0u64; g.n()];
-        for v in g.nodes() {
-            let my = colors[v.index()];
-            // Find x in F_q where p_my(x) differs from every neighbor's
-            // polynomial evaluation.
-            let mut chosen = None;
-            for x in 0..q {
-                let mine = poly_eval(my, q, x);
-                let ok = g
-                    .neighbors(v)
-                    .iter()
-                    .all(|&w| poly_eval(colors[w.index()], q, x) != mine);
-                if ok {
-                    chosen = Some((x, mine));
-                    break;
+        engine.step(
+            ledger,
+            phase,
+            |_, color: &mut u64, out: &mut Outbox<u64>| out.broadcast(*color),
+            move |_, color, inbox| {
+                // Find x in F_q where my polynomial differs from every
+                // neighbor's evaluation.
+                let my = *color;
+                let mut chosen = None;
+                for x in 0..q {
+                    let mine = poly_eval(my, q, x);
+                    if inbox.iter().all(|&(_, c)| poly_eval(c, q, x) != mine) {
+                        chosen = Some((x, mine));
+                        break;
+                    }
                 }
-            }
-            let (x, px) = chosen.expect("evaluation point exists since q > Δ·d");
-            next[v.index()] = x * q + px;
-        }
-        colors = next;
+                let (x, px) = chosen.expect("evaluation point exists since q > Δ·d");
+                *color = x * q + px;
+            },
+        );
         m = q * q;
-        ledger.charge(phase, 1);
     }
-    colors.iter().map(|&c| c as u32).collect()
+    engine.into_states().iter().map(|&c| c as u32).collect()
 }
 
 /// Upper bound on the number of colors [`linial_coloring`] produces for
@@ -171,7 +173,9 @@ mod tests {
     use delta_graphs::generators;
 
     fn assert_proper(g: &Graph, colors: &[u32]) {
-        PartialColoring::from_total(colors).validate_proper(g).unwrap();
+        PartialColoring::from_total(colors)
+            .validate_proper(g)
+            .unwrap();
     }
 
     #[test]
@@ -215,7 +219,11 @@ mod tests {
         assert_proper(&g, &colors);
         let max = *colors.iter().max().unwrap() as usize;
         assert!(max < linial_color_bound(4), "max color {max}");
-        assert!(linial_color_bound(4) <= 200, "bound {}", linial_color_bound(4));
+        assert!(
+            linial_color_bound(4) <= 200,
+            "bound {}",
+            linial_color_bound(4)
+        );
     }
 
     #[test]

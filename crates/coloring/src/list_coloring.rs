@@ -20,9 +20,7 @@
 
 use crate::palette::{Color, ColoringError, Lists, PartialColoring};
 use delta_graphs::{Graph, NodeId};
-use local_model::RoundLedger;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use local_model::{Engine, Outbox, RoundLedger};
 
 /// Which list-coloring engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +60,40 @@ pub fn list_color(
     }
 }
 
-/// Randomized trial list coloring; see module docs.
+/// Per-node state of the randomized trial-coloring node program.
+#[derive(Debug, Clone)]
+struct LcState {
+    /// Final color, once kept.
+    color: Option<Color>,
+    /// Whether `color` has been broadcast to the neighbors yet.
+    announced: bool,
+    /// This round's proposal (redrawn whenever it fails).
+    proposal: Option<Color>,
+    /// Colors announced by neighbors so far (sorted).
+    used: Vec<Color>,
+    /// Set when the available list empties: unsolvable instance.
+    stuck: bool,
+}
+
+/// Messages of the randomized trial-coloring node program.
+#[derive(Debug, Clone, Copy)]
+enum LcMsg {
+    /// "I try to take this color this round."
+    Propose(Color),
+    /// "I permanently hold this color."
+    Colored(Color),
+}
+
+/// Randomized trial list coloring on the message-passing engine; see
+/// module docs.
+///
+/// One engine round per trial: uncolored nodes broadcast a proposal
+/// drawn uniformly from their available colors (list minus every color
+/// a neighbor has announced); a proposal survives unless a smaller-id
+/// neighbor proposed the same color or a neighbor announced it this
+/// very round. Keepers announce their color in the next round. At least
+/// one node is colored every two rounds, so the `4n + 16` round cap is
+/// only reachable on malformed instances.
 ///
 /// # Errors
 ///
@@ -76,49 +107,92 @@ pub fn list_color_randomized(
     ledger: &mut RoundLedger,
     phase: &str,
 ) -> Result<PartialColoring, ColoringError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut uncolored: Vec<NodeId> = coloring.uncolored().collect();
-    // Guaranteed termination: per round, the smallest-id uncolored node
-    // in every conflict neighborhood keeps its proposal.
+    if coloring.uncolored().next().is_none() {
+        return Ok(coloring);
+    }
+    let mut engine = Engine::new(g, seed, |v| LcState {
+        color: coloring.get(v),
+        announced: false,
+        proposal: None,
+        used: Vec::new(),
+        stuck: false,
+    });
     let cap = 4 * g.n() as u64 + 16;
     let mut rounds = 0u64;
-    while !uncolored.is_empty() {
+    while engine.states().iter().any(|s| s.color.is_none()) {
         if rounds >= cap {
             return Err(ColoringError::Unsolvable {
                 context: "randomized list coloring exceeded round cap".into(),
             });
         }
         rounds += 1;
-        // Propose: uniform available color (list minus colored-neighbor
-        // colors).
-        let mut proposal: Vec<Option<Color>> = vec![None; g.n()];
-        for &v in &uncolored {
-            let avail = available(g, lists, &coloring, v);
-            if avail.is_empty() {
-                return Err(ColoringError::Unsolvable {
-                    context: format!("node {v} has an empty available list"),
-                });
-            }
-            proposal[v.index()] = Some(avail[rng.random_range(0..avail.len())]);
+        engine.step(
+            ledger,
+            phase,
+            |ctx, s: &mut LcState, out: &mut Outbox<LcMsg>| {
+                if let Some(c) = s.color {
+                    if !s.announced {
+                        out.broadcast(LcMsg::Colored(c));
+                        s.announced = true;
+                    }
+                    return;
+                }
+                if s.proposal.is_none() {
+                    let avail: Vec<Color> = lists
+                        .of(ctx.id)
+                        .iter()
+                        .copied()
+                        .filter(|c| s.used.binary_search(c).is_err())
+                        .collect();
+                    if avail.is_empty() {
+                        s.stuck = true;
+                        return;
+                    }
+                    s.proposal = Some(avail[ctx.random_below(avail.len() as u64) as usize]);
+                }
+                out.broadcast(LcMsg::Propose(s.proposal.expect("drawn above")));
+            },
+            |ctx, s, inbox| {
+                if s.color.is_some() {
+                    return;
+                }
+                let mut beaten = false;
+                for &(w, msg) in inbox {
+                    match msg {
+                        LcMsg::Colored(c) => {
+                            if let Err(at) = s.used.binary_search(&c) {
+                                s.used.insert(at, c);
+                            }
+                            if s.proposal == Some(c) {
+                                beaten = true;
+                            }
+                        }
+                        LcMsg::Propose(c) => {
+                            if s.proposal == Some(c) && w < ctx.id {
+                                beaten = true;
+                            }
+                        }
+                    }
+                }
+                match s.proposal.take() {
+                    Some(p) if !beaten => {
+                        s.color = Some(p);
+                    }
+                    _ => {} // redraw next round
+                }
+            },
+        );
+        if let Some(i) = engine.states().iter().position(|s| s.stuck) {
+            return Err(ColoringError::Unsolvable {
+                context: format!("node {} has an empty available list", NodeId::from_index(i)),
+            });
         }
-        // Resolve: keep unless a smaller-id uncolored neighbor proposed
-        // the same color (one exchange).
-        let mut kept: Vec<(NodeId, Color)> = Vec::new();
-        for &v in &uncolored {
-            let mine = proposal[v.index()].expect("proposed above");
-            let beaten = g
-                .neighbors(v)
-                .iter()
-                .any(|&w| w < v && proposal[w.index()] == Some(mine));
-            if !beaten {
-                kept.push((v, mine));
-            }
+    }
+    for (i, s) in engine.states().iter().enumerate() {
+        let v = NodeId::from_index(i);
+        if !coloring.is_colored(v) {
+            coloring.set(v, s.color.expect("loop exits only when total"));
         }
-        for &(v, c) in &kept {
-            coloring.set(v, c);
-        }
-        uncolored.retain(|&v| !coloring.is_colored(v));
-        ledger.charge(phase, 1);
     }
     debug_assert!(coloring.validate_proper(g).is_ok());
     Ok(coloring)
@@ -276,8 +350,16 @@ mod tests {
         assert!(lists.satisfies_deg_plus_one(&g));
         for method in [ListColorMethod::Randomized, ListColorMethod::Deterministic] {
             let mut ledger = RoundLedger::new();
-            let c = list_color(&g, &lists, PartialColoring::new(4), method, 1, &mut ledger, "lc")
-                .unwrap();
+            let c = list_color(
+                &g,
+                &lists,
+                PartialColoring::new(4),
+                method,
+                1,
+                &mut ledger,
+                "lc",
+            )
+            .unwrap();
             check_list_coloring(&g, &c, &lists).unwrap();
         }
     }

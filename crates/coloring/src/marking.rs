@@ -15,9 +15,9 @@
 
 use crate::palette::{Color, PartialColoring};
 use delta_graphs::{bfs, Graph, NodeId};
-use local_model::RoundLedger;
+use local_model::{Engine, Outbox, RoundLedger};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Parameters of the marking process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,7 +34,10 @@ impl MarkingParams {
     /// (Section 4.1 and Section 4.4).
     pub fn paper_defaults(delta: usize) -> Self {
         let b = if delta >= 4 { 6 } else { 12 };
-        MarkingParams { p: (delta.max(2) as f64).powi(-(b as i32)), b }
+        MarkingParams {
+            p: (delta.max(2) as f64).powi(-(b as i32)),
+            b,
+        }
     }
 
     /// Practically calibrated parameters: same backoff distances, but
@@ -44,7 +47,10 @@ impl MarkingParams {
     pub fn calibrated(delta: usize) -> Self {
         let b = if delta >= 4 { 6 } else { 12 };
         let base = (delta.max(3) - 1) as f64;
-        MarkingParams { p: base.powi(-(b as i32)).min(0.05), b }
+        MarkingParams {
+            p: base.powi(-(b as i32)).min(0.05),
+            b,
+        }
     }
 }
 
@@ -101,8 +107,9 @@ pub struct TNode {
 /// }
 /// ```
 ///
-/// LOCAL cost: 1 round to announce selection, `b` rounds for the
-/// backoff check, 1 round to mark — charged as `b + 2`.
+/// LOCAL cost: 1 round to select, `b` rounds for the backoff flood,
+/// 1 round to deliver the marks — `b + 2` engine rounds, charged to
+/// `phase`.
 pub fn marking_process(
     h: &Graph,
     params: MarkingParams,
@@ -111,26 +118,70 @@ pub fn marking_process(
     ledger: &mut RoundLedger,
     phase: &str,
 ) -> MarkingOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let selected: Vec<NodeId> = h
-        .nodes()
-        .filter(|_| rng.random::<f64>() < params.p)
-        .collect();
-    let initially_selected = selected.len();
-    // Backoff: unselect if another selected node lies within distance b.
-    // (Multi-source BFS from all selected nodes would conflate sources;
-    // per-source truncated BFS is cheap because few nodes select.)
-    let survivors: Vec<NodeId> = selected
+    #[derive(Clone, Default)]
+    struct MkState {
+        selected: bool,
+        /// Selected ids seen within the flood horizon (sorted, incl. self).
+        seen: Vec<u32>,
+        /// Newly learned ids, forwarded next flood round.
+        frontier: Vec<u32>,
+        /// The two neighbors this survivor marks (stashed by the driver).
+        pick: Option<(NodeId, NodeId)>,
+        marked: bool,
+    }
+
+    let p = params.p;
+    let mut engine = Engine::new(h, seed, |_| MkState::default());
+    // Round 1: every node privately flips its selection coin.
+    engine.step(
+        ledger,
+        phase,
+        |ctx, s: &mut MkState, _out: &mut Outbox<()>| {
+            if ctx.random_f64() < p {
+                s.selected = true;
+                s.seen = vec![ctx.id.0];
+                s.frontier = vec![ctx.id.0];
+            }
+        },
+        |_, _, _| {},
+    );
+    let initially_selected = engine.states().iter().filter(|s| s.selected).count();
+    // Rounds 2..=b+1: flood selected ids b hops so every selected node
+    // learns of competitors within the backoff distance.
+    for _ in 0..params.b {
+        engine.step(
+            ledger,
+            phase,
+            |_, s: &mut MkState, out: &mut Outbox<Vec<u32>>| {
+                if !s.frontier.is_empty() {
+                    out.broadcast(std::mem::take(&mut s.frontier));
+                }
+            },
+            |_, s, inbox| {
+                for (_, ids) in inbox {
+                    for &id in ids {
+                        if let Err(at) = s.seen.binary_search(&id) {
+                            s.seen.insert(at, id);
+                            s.frontier.push(id);
+                        }
+                    }
+                }
+            },
+        );
+    }
+    // Backoff: a selected node survives only if it saw no competitor.
+    let survivors: Vec<NodeId> = engine
+        .states()
         .iter()
-        .copied()
-        .filter(|&v| {
-            let ball = bfs::ball(h, v, params.b);
-            !ball
-                .globals
-                .iter()
-                .any(|&w| w != v && selected.binary_search(&w).is_ok())
-        })
+        .enumerate()
+        .filter(|(i, s)| s.selected && s.seen.iter().all(|&w| w == *i as u32))
+        .map(|(i, _)| NodeId::from_index(i))
         .collect();
+    // Survivor picks: two random non-adjacent neighbors each. Pair
+    // adjacency is radius-2 knowledge — information the backoff flood
+    // already delivered for b >= 2; the sequential accept order only
+    // matters for ablation backoffs b < 4, where 1-balls may overlap.
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut marked = vec![false; h.n()];
     let mut t_nodes = Vec::new();
     for &v in &survivors {
@@ -162,12 +213,37 @@ pub fn marking_process(
         let (m1, m2) = pairs[rng.random_range(0..pairs.len())];
         marked[m1.index()] = true;
         marked[m2.index()] = true;
-        coloring.set(m1, Color::FIRST);
-        coloring.set(m2, Color::FIRST);
+        engine.states_mut()[v.index()].pick = Some((m1, m2));
         t_nodes.push(TNode { node: v, m1, m2 });
     }
-    ledger.charge(phase, params.b as u64 + 2);
-    MarkingOutcome { t_nodes, marked, initially_selected }
+    // Round b+2: survivors deliver their marks as per-neighbor directed
+    // messages; recipients record the mark.
+    engine.step(
+        ledger,
+        phase,
+        |_, s: &mut MkState, out: &mut Outbox<()>| {
+            if let Some((m1, m2)) = s.pick {
+                out.send_to(m1, ());
+                out.send_to(m2, ());
+            }
+        },
+        |_, s, inbox| {
+            if !inbox.is_empty() {
+                s.marked = true;
+            }
+        },
+    );
+    let marked: Vec<bool> = engine.states().iter().map(|s| s.marked).collect();
+    for (i, &m) in marked.iter().enumerate() {
+        if m {
+            coloring.set(NodeId::from_index(i), Color::FIRST);
+        }
+    }
+    MarkingOutcome {
+        t_nodes,
+        marked,
+        initially_selected,
+    }
 }
 
 /// Validates the postconditions of the marking process (test/bench

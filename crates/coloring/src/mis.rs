@@ -3,9 +3,8 @@
 
 use delta_graphs::power::power_graph;
 use delta_graphs::{Graph, NodeId};
-use local_model::{RoundLedger, Simulator};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use local_model::{Engine, Outbox, RoundLedger};
+use rand::RngCore;
 
 /// Node status during and after MIS computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,15 +21,15 @@ struct S {
     draw: (u64, u32),
 }
 
-/// Computes a maximal independent set with Luby's algorithm.
+/// Computes a maximal independent set with Luby's algorithm on the
+/// message-passing engine.
 ///
-/// Per iteration (2 LOCAL rounds): every undecided node draws a random
-/// value (a local computation, free in the LOCAL model); values are
-/// exchanged and local minima join the set; new members announce
-/// themselves and their neighbors drop out. Terminates in `O(log n)`
-/// iterations w.h.p.; a deterministic greedy cleanup guarantees
-/// termination in the (vanishing-probability) event the iteration cap is
-/// hit.
+/// Per iteration (2 LOCAL rounds): every undecided node draws a fresh
+/// random value from its private stream and broadcasts it; strict local
+/// minima join the set; new members announce themselves and their
+/// neighbors drop out. Terminates in `O(log n)` iterations w.h.p.; a
+/// deterministic greedy cleanup guarantees termination in the
+/// (vanishing-probability) event the iteration cap is hit.
 ///
 /// Returns the membership mask.
 ///
@@ -47,23 +46,31 @@ struct S {
 /// assert!(is_mis(&g, &mis));
 /// ```
 pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> Vec<bool> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut sim = Simulator::new(g, seed, |v| S { state: MisState::Undecided, draw: (0, v.0) });
+    let mut engine = Engine::new(g, seed, |v| S {
+        state: MisState::Undecided,
+        draw: (0, v.0),
+    });
     let cap = 8 * ((g.n() as u64).max(2).ilog2() as u64 + 2) + 64;
     let mut iterations = 0;
-    while sim.states().iter().any(|s| s.state == MisState::Undecided) && iterations < cap {
+    while engine
+        .states()
+        .iter()
+        .any(|s| s.state == MisState::Undecided)
+        && iterations < cap
+    {
         iterations += 1;
-        // Local step (0 rounds): undecided nodes draw fresh values.
-        for s in sim.states_mut() {
-            if s.state == MisState::Undecided {
-                s.draw.0 = rng.random_range(0..u64::MAX);
-            }
-        }
-        // Round 1: exchange draws; strict local minima join.
-        sim.round(
+        // Round 1: undecided nodes draw fresh values (a local
+        // computation, free in the LOCAL model) and exchange them;
+        // strict local minima join.
+        engine.step(
             ledger,
             phase,
-            |_, s: &S| if s.state == MisState::Undecided { Some(s.draw) } else { None },
+            |ctx, s: &mut S, out: &mut Outbox<(u64, u32)>| {
+                if s.state == MisState::Undecided {
+                    s.draw.0 = ctx.rng.next_u64();
+                    out.broadcast(s.draw);
+                }
+            },
             |_, s, inbox| {
                 if s.state == MisState::Undecided && inbox.iter().all(|&(_, d)| s.draw < d) {
                     s.state = MisState::In;
@@ -71,10 +78,14 @@ pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> 
             },
         );
         // Round 2: new members announce; neighbors drop out.
-        sim.round(
+        engine.step(
             ledger,
             phase,
-            |_, s: &S| if s.state == MisState::In { Some(()) } else { None },
+            |_, s: &mut S, out: &mut Outbox<()>| {
+                if s.state == MisState::In {
+                    out.broadcast(());
+                }
+            },
             |_, s, inbox| {
                 if s.state == MisState::Undecided && !inbox.is_empty() {
                     s.state = MisState::Out;
@@ -84,9 +95,13 @@ pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> 
     }
     // Deterministic cleanup (unreachable w.h.p.): greedily add remaining
     // undecided nodes in id order.
-    let mut member: Vec<bool> = sim.states().iter().map(|s| s.state == MisState::In).collect();
+    let mut member: Vec<bool> = engine
+        .states()
+        .iter()
+        .map(|s| s.state == MisState::In)
+        .collect();
     for v in g.nodes() {
-        if sim.states()[v.index()].state == MisState::Undecided
+        if engine.states()[v.index()].state == MisState::Undecided
             && !g.neighbors(v).iter().any(|&w| member[w.index()])
         {
             member[v.index()] = true;

@@ -66,14 +66,21 @@ pub struct PartialColoring {
 
 impl fmt::Debug for PartialColoring {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PartialColoring({}/{} colored)", self.colored_count(), self.colors.len())
+        write!(
+            f,
+            "PartialColoring({}/{} colored)",
+            self.colored_count(),
+            self.colors.len()
+        )
     }
 }
 
 impl PartialColoring {
     /// All nodes uncolored.
     pub fn new(n: usize) -> Self {
-        PartialColoring { colors: vec![None; n] }
+        PartialColoring {
+            colors: vec![None; n],
+        }
     }
 
     /// Builds from explicit per-node colors.
@@ -83,7 +90,9 @@ impl PartialColoring {
 
     /// Builds a total coloring from a color index per node.
     pub fn from_total(colors: &[u32]) -> Self {
-        PartialColoring { colors: colors.iter().map(|&c| Some(Color(c))).collect() }
+        PartialColoring {
+            colors: colors.iter().map(|&c| Some(Color(c))).collect(),
+        }
     }
 
     /// Number of nodes.
@@ -146,8 +155,7 @@ impl PartialColoring {
 
     /// Colors used by the *colored* neighbors of `v`.
     pub fn neighbor_colors(&self, g: &Graph, v: NodeId) -> Vec<Color> {
-        let mut out: Vec<Color> =
-            g.neighbors(v).iter().filter_map(|&w| self.get(w)).collect();
+        let mut out: Vec<Color> = g.neighbors(v).iter().filter_map(|&w| self.get(w)).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -157,15 +165,17 @@ impl PartialColoring {
     /// used by any colored neighbor.
     pub fn free_colors(&self, g: &Graph, v: NodeId, k: usize) -> Vec<Color> {
         let used = self.neighbor_colors(g, v);
-        palette(k).into_iter().filter(|c| used.binary_search(c).is_err()).collect()
+        palette(k)
+            .into_iter()
+            .filter(|c| used.binary_search(c).is_err())
+            .collect()
     }
 
     /// Whether `v` has two *colored* neighbors sharing a color — the
     /// paper's precondition for a node to have guaranteed slack (as for
     /// T-nodes in phase (7)).
     pub fn has_repeated_neighbor_color(&self, g: &Graph, v: NodeId) -> bool {
-        let cols: Vec<Color> =
-            g.neighbors(v).iter().filter_map(|&w| self.get(w)).collect();
+        let cols: Vec<Color> = g.neighbors(v).iter().filter_map(|&w| self.get(w)).collect();
         let mut sorted = cols.clone();
         sorted.sort_unstable();
         sorted.windows(2).any(|w| w[0] == w[1])
@@ -229,8 +239,15 @@ impl fmt::Display for ColoringError {
                 write!(f, "edge ({u}, {v}) is monochromatic with color {color}")
             }
             ColoringError::Uncolored { node } => write!(f, "node {node} is uncolored"),
-            ColoringError::ColorOutOfRange { node, color, allowed } => {
-                write!(f, "node {node} uses color {color} outside palette of size {allowed}")
+            ColoringError::ColorOutOfRange {
+                node,
+                color,
+                allowed,
+            } => {
+                write!(
+                    f,
+                    "node {node} uses color {color} outside palette of size {allowed}"
+                )
             }
             ColoringError::Unsolvable { context } => write!(f, "unsolvable instance: {context}"),
         }
@@ -257,7 +274,9 @@ impl Lists {
 
     /// Uniform lists: every one of `n` nodes gets palette `{0..k-1}`.
     pub fn uniform(n: usize, k: usize) -> Self {
-        Lists { lists: vec![palette(k); n] }
+        Lists {
+            lists: vec![palette(k); n],
+        }
     }
 
     /// The list of node `v`.
@@ -303,12 +322,20 @@ impl Lists {
 /// # Errors
 ///
 /// Returns the first violation found.
-pub fn check_k_coloring(g: &Graph, coloring: &PartialColoring, k: usize) -> Result<(), ColoringError> {
+pub fn check_k_coloring(
+    g: &Graph,
+    coloring: &PartialColoring,
+    k: usize,
+) -> Result<(), ColoringError> {
     for v in g.nodes() {
         match coloring.get(v) {
             None => return Err(ColoringError::Uncolored { node: v }),
             Some(c) if c.index() >= k => {
-                return Err(ColoringError::ColorOutOfRange { node: v, color: c, allowed: k })
+                return Err(ColoringError::ColorOutOfRange {
+                    node: v,
+                    color: c,
+                    allowed: k,
+                })
             }
             _ => {}
         }
@@ -392,7 +419,10 @@ mod tests {
     fn check_k_coloring_catches_all_failures() {
         let g = generators::cycle(4);
         let mut c = PartialColoring::new(4);
-        assert!(matches!(check_k_coloring(&g, &c, 2), Err(ColoringError::Uncolored { .. })));
+        assert!(matches!(
+            check_k_coloring(&g, &c, 2),
+            Err(ColoringError::Uncolored { .. })
+        ));
         for v in g.nodes() {
             c.set(v, Color(v.0 % 2));
         }

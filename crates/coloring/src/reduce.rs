@@ -10,7 +10,7 @@
 
 use crate::palette::PartialColoring;
 use delta_graphs::Graph;
-use local_model::RoundLedger;
+use local_model::{Engine, Outbox, RoundLedger};
 
 /// Reduces a proper coloring with colors `>= target` down to colors
 /// `< target`, one class per round, charged to `phase`.
@@ -33,33 +33,34 @@ pub fn reduce_colors(
     if m <= target {
         return;
     }
+    // One engine round per class, top color down: the class is an
+    // independent set, so all its nodes re-pick simultaneously from the
+    // colors their neighbors broadcast. Deterministic; seed irrelevant.
+    let mut engine = Engine::new(g, 0, |v| colors[v.index()]);
     for class in (target..m).rev() {
-        // All nodes of this class re-pick simultaneously (independent set).
-        let picks: Vec<(usize, u32)> = colors
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c as usize == class)
-            .map(|(i, _)| {
-                let v = delta_graphs::NodeId::from_index(i);
+        engine.step(
+            ledger,
+            phase,
+            |_, c: &mut u32, out: &mut Outbox<u32>| out.broadcast(*c),
+            move |_, c, inbox| {
+                if *c as usize != class {
+                    return;
+                }
                 let mut used = vec![false; target];
-                for &w in g.neighbors(v) {
-                    let cw = colors[w.index()] as usize;
-                    if cw < target {
-                        used[cw] = true;
+                for &(_, cw) in inbox {
+                    if (cw as usize) < target {
+                        used[cw as usize] = true;
                     }
                 }
                 let free = used
                     .iter()
                     .position(|&u| !u)
                     .expect("free color exists since target > Δ");
-                (i, free as u32)
-            })
-            .collect();
-        for (i, c) in picks {
-            colors[i] = c;
-        }
-        ledger.charge(phase, 1);
+                *c = free as u32;
+            },
+        );
     }
+    colors.copy_from_slice(&engine.into_states());
 }
 
 /// Converts a per-node `u32` color slice into a total [`PartialColoring`].
@@ -95,7 +96,8 @@ pub fn color_classes(colors: &[u32]) -> Vec<Vec<delta_graphs::NodeId>> {
 /// Checks that `colors` is a proper coloring (test helper, exported for
 /// integration tests and benches).
 pub fn is_proper(g: &Graph, colors: &[u32]) -> bool {
-    g.edges().all(|(u, v)| colors[u.index()] != colors[v.index()])
+    g.edges()
+        .all(|(u, v)| colors[u.index()] != colors[v.index()])
 }
 
 /// Largest color index plus one (0 for empty input).
@@ -151,7 +153,11 @@ mod tests {
             crate::palette::check_k_coloring(&g, &c, g.max_degree() + 1).unwrap();
             // Rounds: O(Δ² + log* n), independent of n.
             let bound = crate::linial::linial_color_bound(g.max_degree()) as u64 + 32;
-            assert!(ledger.total() < bound, "rounds {} vs bound {bound}", ledger.total());
+            assert!(
+                ledger.total() < bound,
+                "rounds {} vs bound {bound}",
+                ledger.total()
+            );
         }
     }
 

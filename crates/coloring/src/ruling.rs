@@ -180,7 +180,12 @@ pub struct RulingForest {
 impl RulingForest {
     /// The maximum finite assignment distance (the forest's depth).
     pub fn depth(&self) -> usize {
-        self.dist.iter().filter(|&&d| d != bfs::UNREACHABLE).max().copied().unwrap_or(0) as usize
+        self.dist
+            .iter()
+            .filter(|&&d| d != bfs::UNREACHABLE)
+            .max()
+            .copied()
+            .unwrap_or(0) as usize
     }
 }
 
@@ -193,7 +198,11 @@ pub fn ruling_forest(
     phase: &str,
 ) -> RulingForest {
     let (dist, root) = bfs::multi_source_assignment(g, roots);
-    let forest = RulingForest { dist, root, roots: roots.to_vec() };
+    let forest = RulingForest {
+        dist,
+        root,
+        roots: roots.to_vec(),
+    };
     ledger.charge(phase, forest.depth() as u64);
     forest
 }
@@ -218,7 +227,8 @@ pub fn is_ruling_set(g: &Graph, set: &[NodeId], alpha: usize, beta: usize) -> bo
     // Domination: every node within beta (within its component; nodes in
     // components without ruling nodes fail the check).
     let dist = bfs::multi_source_distances(g, set);
-    dist.iter().all(|&d| d != bfs::UNREACHABLE && (d as usize) <= beta)
+    dist.iter()
+        .all(|&d| d != bfs::UNREACHABLE && (d as usize) <= beta)
 }
 
 #[cfg(test)]

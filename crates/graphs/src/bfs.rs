@@ -128,7 +128,12 @@ pub fn bfs_tree(g: &Graph, root: NodeId, max_depth: Option<usize>) -> BfsTree {
         levels.push(next.clone());
         frontier = next;
     }
-    BfsTree { root, parent, levels, dist }
+    BfsTree {
+        root,
+        parent,
+        levels,
+        dist,
+    }
 }
 
 /// The radius-`r` ball around a center node: the node-induced subgraph on
@@ -203,7 +208,13 @@ pub fn ball(g: &Graph, center: NodeId, r: usize) -> Ball {
     let (graph, globals) = g.induced(&members);
     let dist = globals.iter().map(|v| dist_global[v.index()]).collect();
     let center_local = NodeId::from_index(globals.binary_search(&center).expect("center in ball"));
-    Ball { graph, globals, center: center_local, dist, radius: r }
+    Ball {
+        graph,
+        globals,
+        center: center_local,
+        dist,
+        radius: r,
+    }
 }
 
 /// Eccentricity of `v` within its connected component.

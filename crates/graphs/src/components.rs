@@ -147,7 +147,10 @@ pub fn blocks(g: &Graph) -> Blocks {
     }
 
     let cut_vertices = g.nodes().filter(|v| is_cut[v.index()]).collect();
-    Blocks { blocks: blocks_out, cut_vertices }
+    Blocks {
+        blocks: blocks_out,
+        cut_vertices,
+    }
 }
 
 /// Whether the whole graph is 2-connected (n >= 3, connected, and no cut
@@ -260,7 +263,17 @@ mod tests {
         // C4 on 0..4, C4 on 5..9, bridge 3-5.
         let g = Graph::from_edges(
             9,
-            [(0, 1), (1, 2), (2, 3), (3, 0), (5, 6), (6, 7), (7, 8), (8, 5), (3, 5)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 5),
+                (3, 5),
+            ],
         )
         .unwrap();
         let b = blocks(&g);
@@ -317,8 +330,8 @@ mod tests {
     fn theta_graph_is_one_block() {
         // Two vertices joined by three internally disjoint paths.
         // 0 - 1 - 5, 0 - 2 - 5, 0 - 3 - 4 - 5.
-        let g = Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)]).unwrap();
         let b = blocks(&g);
         assert_eq!(b.blocks.len(), 1);
         assert_eq!(b.blocks[0].len(), 6);

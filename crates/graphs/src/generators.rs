@@ -10,7 +10,7 @@
 use crate::graph::{Graph, GraphBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Path on `n` nodes (`n >= 1`).
 pub fn path(n: usize) -> Graph {
@@ -166,10 +166,11 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..50 {
         // Stubs: d copies of each node, paired after a shuffle.
-        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(&mut rng);
-        let mut edges: Vec<(u32, u32)> =
-            stubs.chunks(2).map(|p| (p[0], p[1])).collect();
+        let mut edges: Vec<(u32, u32)> = stubs.chunks(2).map(|p| (p[0], p[1])).collect();
         // The raw pairing has Θ(d²) self-loops/multi-edges in
         // expectation; repair them with double-edge swaps (the standard
         // technique — resampling everything would almost never produce
@@ -655,8 +656,8 @@ mod extra_tests {
         let g = barbell(4, 3);
         assert!(is_connected(&g));
         assert_eq!(g.max_degree(), 4); // clique node with bridge
-        // Barbell = two cliques + path: every block is a clique, so it
-        // is a Gallai forest.
+                                       // Barbell = two cliques + path: every block is a clique, so it
+                                       // is a Gallai forest.
         assert!(props::is_gallai_forest(&g));
         // Two K4s contribute 12 edges, bridge 3 edges.
         assert_eq!(g.m(), 15);

@@ -74,7 +74,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, n } => {
-                write!(f, "edge endpoint {node} out of range for graph with {n} nodes")
+                write!(
+                    f,
+                    "edge endpoint {node} out of range for graph with {n} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
         }
@@ -110,7 +113,13 @@ pub struct Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(n={}, m={}, maxdeg={})", self.n(), self.m(), self.max_degree())
+        write!(
+            f,
+            "Graph(n={}, m={}, maxdeg={})",
+            self.n(),
+            self.m(),
+            self.max_degree()
+        )
     }
 }
 
@@ -270,7 +279,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds the undirected edge `{u, v}`.

@@ -68,25 +68,34 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
             let n = parts
                 .next()
                 .and_then(|s| s.parse().ok())
-                .ok_or(ParseError::BadLine { line: i + 1, content: raw.to_string() })?;
+                .ok_or(ParseError::BadLine {
+                    line: i + 1,
+                    content: raw.to_string(),
+                })?;
             declared_n = Some(n);
             continue;
         }
-        let u: u32 = first
-            .parse()
-            .map_err(|_| ParseError::BadLine { line: i + 1, content: raw.to_string() })?;
+        let u: u32 = first.parse().map_err(|_| ParseError::BadLine {
+            line: i + 1,
+            content: raw.to_string(),
+        })?;
         let v: u32 = parts
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or(ParseError::BadLine { line: i + 1, content: raw.to_string() })?;
+            .ok_or(ParseError::BadLine {
+                line: i + 1,
+                content: raw.to_string(),
+            })?;
         max_id = max_id.max(u).max(v);
         edges.push((u, v, i + 1));
     }
     let n = declared_n.unwrap_or(max_id as usize + 1);
     let mut b = GraphBuilder::new(n);
     for (u, v, line) in edges {
-        b.add_edge_checked(u, v)
-            .map_err(|e| ParseError::BadEdge { line, reason: e.to_string() })?;
+        b.add_edge_checked(u, v).map_err(|e| ParseError::BadEdge {
+            line,
+            reason: e.to_string(),
+        })?;
     }
     Ok(b.build())
 }
@@ -123,7 +132,10 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
                     builder = Some(GraphBuilder::new(n));
                 }
                 _ => {
-                    return Err(ParseError::BadLine { line: i + 1, content: raw.to_string() })
+                    return Err(ParseError::BadLine {
+                        line: i + 1,
+                        content: raw.to_string(),
+                    })
                 }
             }
             continue;
@@ -134,11 +146,17 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
             let u: u32 = parts
                 .next()
                 .and_then(|s| s.parse().ok())
-                .ok_or(ParseError::BadLine { line: i + 1, content: raw.to_string() })?;
+                .ok_or(ParseError::BadLine {
+                    line: i + 1,
+                    content: raw.to_string(),
+                })?;
             let v: u32 = parts
                 .next()
                 .and_then(|s| s.parse().ok())
-                .ok_or(ParseError::BadLine { line: i + 1, content: raw.to_string() })?;
+                .ok_or(ParseError::BadLine {
+                    line: i + 1,
+                    content: raw.to_string(),
+                })?;
             if u == 0 || v == 0 {
                 return Err(ParseError::BadEdge {
                     line: i + 1,
@@ -150,13 +168,21 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
                 // occasional self-loops; duplicates dedup in the builder
                 // and self-loops are ignored (standard tool behavior).
                 b.add_edge_checked(u - 1, v - 1)
-                    .map_err(|e| ParseError::BadEdge { line: i + 1, reason: e.to_string() })?;
+                    .map_err(|e| ParseError::BadEdge {
+                        line: i + 1,
+                        reason: e.to_string(),
+                    })?;
             }
             continue;
         }
-        return Err(ParseError::BadLine { line: i + 1, content: raw.to_string() });
+        return Err(ParseError::BadLine {
+            line: i + 1,
+            content: raw.to_string(),
+        });
     }
-    builder.map(GraphBuilder::build).ok_or(ParseError::MissingHeader)
+    builder
+        .map(GraphBuilder::build)
+        .ok_or(ParseError::MissingHeader)
 }
 
 /// Serializes a graph in DIMACS `.col` format.
@@ -200,7 +226,11 @@ pub fn to_dot(g: &Graph, colors: Option<&[u32]>) -> String {
         match colors.and_then(|c| c.get(v.index())) {
             Some(&c) => {
                 let fill = PALETTE[(c as usize) % PALETTE.len()];
-                let _ = writeln!(out, "  {} [fillcolor=\"{}\" label=\"{}:{}\"];", v.0, fill, v.0, c);
+                let _ = writeln!(
+                    out,
+                    "  {} [fillcolor=\"{}\" label=\"{}:{}\"];",
+                    v.0, fill, v.0, c
+                );
             }
             None => {
                 let _ = writeln!(out, "  {};", v.0);

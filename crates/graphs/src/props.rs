@@ -111,7 +111,12 @@ pub fn girth(g: &Graph) -> Option<usize> {
 /// (Lemmas 12, 14, 15).
 pub fn level_sizes(g: &Graph, v: NodeId) -> Vec<usize> {
     let d = crate::bfs::distances(g, v);
-    let max = d.iter().filter(|&&x| x != u32::MAX).max().copied().unwrap_or(0) as usize;
+    let max = d
+        .iter()
+        .filter(|&&x| x != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0) as usize;
     let mut out = vec![0usize; max + 1];
     for &x in &d {
         if x != u32::MAX {
@@ -188,8 +193,7 @@ mod tests {
         assert!(is_gallai_forest(&g));
         // Theta graph: one block, neither clique nor odd cycle: no.
         let theta =
-            Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)])
-                .unwrap();
+            Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)]).unwrap();
         assert!(!is_gallai_forest(&theta));
     }
 

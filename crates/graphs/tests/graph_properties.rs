@@ -6,13 +6,10 @@ use proptest::prelude::*;
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2..max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..(3 * n)).prop_map(
-            move |pairs| {
-                let edges: Vec<(u32, u32)> =
-                    pairs.into_iter().filter(|&(a, b)| a != b).collect();
-                Graph::from_edges(n, &edges).expect("valid")
-            },
-        )
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..(3 * n)).prop_map(move |pairs| {
+            let edges: Vec<(u32, u32)> = pairs.into_iter().filter(|&(a, b)| a != b).collect();
+            Graph::from_edges(n, &edges).expect("valid")
+        })
     })
 }
 
@@ -159,7 +156,11 @@ fn regular_generators_cross_check() {
             // repair path).
             if d >= 4 && n >= 200 {
                 let ball = bfs::ball(&g, NodeId(0), 2);
-                assert!(ball.len() > 2 * d, "ball(2) of size {} too small", ball.len());
+                assert!(
+                    ball.len() > 2 * d,
+                    "ball(2) of size {} too small",
+                    ball.len()
+                );
             }
         }
     }

@@ -1,0 +1,653 @@
+//! The synchronous LOCAL-round execution engine.
+//!
+//! [`Engine`] drives a node program over a graph in explicit
+//! synchronous rounds. Each round has two phases:
+//!
+//! 1. **send** — every node reads (and may update) its own state and
+//!    fills an [`Outbox`]: one optional broadcast to all neighbors plus
+//!    any number of per-neighbor directed messages;
+//! 2. **recv** — messages are delivered simultaneously and every node
+//!    updates its state from its inbox.
+//!
+//! The two-phase structure enforces LOCAL-model synchrony: a node
+//! cannot observe a neighbor's round-`t` message before round `t + 1`.
+//!
+//! # Parallel execution
+//!
+//! Both phases are data-parallel over nodes: the send phase only
+//! touches node-local state, and delivery is synchronous (the recv
+//! phase reads the immutable round-`t` outboxes). The engine exploits
+//! this with rayon-style worker threads when the graph is large enough
+//! ([`ExecMode::Auto`]), while per-node private RNG streams keep the
+//! execution **bit-identical to the sequential schedule** for a fixed
+//! seed — verified by the repository's determinism regression test.
+//!
+//! # Accounting
+//!
+//! Every round is charged to a named phase on a
+//! [`crate::RoundLedger`], and the engine keeps [`MessageStats`]
+//! (broadcast/directed message counts and deliveries) as the substrate
+//! for CONGEST-style message-size accounting.
+
+use crate::ledger::RoundLedger;
+use delta_graphs::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Per-node execution context handed to node programs: the node's
+/// identity, degree, and a deterministic private random generator.
+pub struct NodeCtx<'a> {
+    /// The node this context belongs to.
+    pub id: NodeId,
+    /// Degree of the node in the communication graph.
+    pub degree: usize,
+    /// The node's private randomness (deterministic per seed/node).
+    pub rng: &'a mut StdRng,
+}
+
+impl NodeCtx<'_> {
+    /// Draws a uniform `f64` in `[0, 1)`.
+    pub fn random_f64(&mut self) -> f64 {
+        self.rng.random()
+    }
+
+    /// Draws a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn random_below(&mut self, bound: u64) -> u64 {
+        self.rng.random_range(0..bound)
+    }
+}
+
+/// A node's outgoing messages for one round: at most one broadcast to
+/// all neighbors, plus directed messages to individual neighbors.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    broadcast: Option<M>,
+    directed: Vec<(NodeId, M)>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox {
+            broadcast: None,
+            directed: Vec::new(),
+        }
+    }
+
+    /// Sends `msg` to every neighbor. At most one broadcast per round;
+    /// a second call replaces the first.
+    pub fn broadcast(&mut self, msg: M) {
+        self.broadcast = Some(msg);
+    }
+
+    /// Sends `msg` to the single neighbor `to`. Messages to the same
+    /// neighbor arrive in send order, after any broadcast.
+    pub fn send_to(&mut self, to: NodeId, msg: M) {
+        self.directed.push((to, msg));
+    }
+
+    /// Whether nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.broadcast.is_none() && self.directed.is_empty()
+    }
+}
+
+/// A synchronous node program: the algorithm one node runs per round.
+///
+/// Programs must be [`Sync`] because the engine may evaluate many nodes
+/// concurrently within a round.
+pub trait NodeProgram: Sync {
+    /// Per-node state.
+    type State: Send;
+    /// Message type (cloned per delivery).
+    type Msg: Clone + Send + Sync;
+
+    /// Send phase: read/update own state, queue outgoing messages.
+    fn send(&self, ctx: &mut NodeCtx<'_>, state: &mut Self::State, out: &mut Outbox<Self::Msg>);
+
+    /// Receive phase: update own state from the inbox. The inbox lists
+    /// `(sender, message)` pairs, senders in sorted adjacency order;
+    /// a sender's broadcast precedes its directed messages.
+    fn recv(&self, ctx: &mut NodeCtx<'_>, state: &mut Self::State, inbox: &[(NodeId, Self::Msg)]);
+
+    /// Local termination predicate for [`Engine::run`].
+    fn done(&self, _state: &Self::State) -> bool {
+        false
+    }
+}
+
+/// How the engine schedules the per-node compute within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single-threaded reference schedule.
+    Sequential,
+    /// Rayon worker threads for both phases of every round.
+    Parallel,
+    /// Parallel for graphs with at least [`PARALLEL_THRESHOLD`] nodes,
+    /// sequential below (thread fan-out costs more than it saves on
+    /// small graphs).
+    Auto,
+}
+
+/// Node count at which [`ExecMode::Auto`] switches to worker threads.
+pub const PARALLEL_THRESHOLD: usize = 4096;
+
+/// Process-wide override of every engine's execution mode: 0 = none,
+/// 1 = force sequential, 2 = force parallel. Used by the determinism
+/// regression tests to drive whole algorithms down both schedules.
+static FORCE_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the execution mode of every engine in the process
+/// (`None` restores per-engine modes). Intended for tests that compare
+/// the sequential and parallel schedules; serialize such tests, since
+/// the override is global.
+pub fn force_exec_mode(mode: Option<ExecMode>) {
+    let v = match mode {
+        None | Some(ExecMode::Auto) => 0,
+        Some(ExecMode::Sequential) => 1,
+        Some(ExecMode::Parallel) => 2,
+    };
+    FORCE_MODE.store(v, Ordering::SeqCst);
+}
+
+/// Message-volume counters, accumulated across rounds. One broadcast
+/// counts once in `broadcasts` and `degree(sender)` times in
+/// `deliveries`; a directed message counts once in each.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Broadcast messages queued.
+    pub broadcasts: u64,
+    /// Directed (per-neighbor) messages queued.
+    pub directed: u64,
+    /// Point-to-point deliveries performed.
+    pub deliveries: u64,
+}
+
+/// Synchronous message-passing executor over a graph.
+///
+/// `S` is the per-node state. Each [`Engine::step`] (or
+/// [`Engine::round`]) call is exactly one LOCAL round and is charged to
+/// the ledger.
+///
+/// # Example
+///
+/// Flood the minimum id for 3 rounds:
+///
+/// ```
+/// use delta_graphs::generators;
+/// use local_model::{Engine, RoundLedger};
+///
+/// let g = generators::cycle(8);
+/// let mut ledger = RoundLedger::new();
+/// let mut engine = Engine::new(&g, 42, |v| v.0);
+/// for _ in 0..3 {
+///     engine.step(
+///         &mut ledger,
+///         "flood-min",
+///         |_, &mut s, out| out.broadcast(s),
+///         |_, s, inbox| {
+///             for &(_, m) in inbox {
+///                 *s = (*s).min(m);
+///             }
+///         },
+///     );
+/// }
+/// assert_eq!(ledger.total(), 3);
+/// assert!(engine.states().iter().filter(|&&s| s == 0).count() >= 7);
+/// ```
+pub struct Engine<'g, S> {
+    graph: &'g Graph,
+    states: Vec<S>,
+    rngs: Vec<StdRng>,
+    mode: ExecMode,
+    rounds_run: u64,
+    stats: MessageStats,
+}
+
+impl<'g, S: Send> Engine<'g, S> {
+    /// Creates an engine with per-node state from `init` and
+    /// deterministic per-node RNG streams derived from `seed`.
+    pub fn new(graph: &'g Graph, seed: u64, init: impl Fn(NodeId) -> S) -> Self {
+        let mut master = StdRng::seed_from_u64(seed);
+        let rngs = (0..graph.n())
+            .map(|_| StdRng::seed_from_u64(master.next_u64()))
+            .collect();
+        let states = graph.nodes().map(init).collect();
+        Engine {
+            graph,
+            states,
+            rngs,
+            mode: ExecMode::Auto,
+            rounds_run: 0,
+            stats: MessageStats::default(),
+        }
+    }
+
+    /// Sets the execution mode (builder style).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Immutable view of all node states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable view of all node states (for out-of-band initialization,
+    /// not for communication — use [`Engine::step`] for that).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Consumes the engine, returning the final states.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Message-volume counters accumulated so far.
+    pub fn message_stats(&self) -> MessageStats {
+        self.stats
+    }
+
+    /// Whether this round runs on worker threads.
+    fn parallel(&self) -> bool {
+        match FORCE_MODE.load(Ordering::Relaxed) {
+            1 => false,
+            2 => true,
+            _ => match self.mode {
+                ExecMode::Sequential => false,
+                ExecMode::Parallel => true,
+                ExecMode::Auto => self.graph.n() >= PARALLEL_THRESHOLD,
+            },
+        }
+    }
+
+    /// Executes one synchronous round of `program`, charged to `phase`.
+    pub fn round<P: NodeProgram<State = S>>(
+        &mut self,
+        program: &P,
+        ledger: &mut RoundLedger,
+        phase: &str,
+    ) {
+        self.step(
+            ledger,
+            phase,
+            |ctx, state, out| program.send(ctx, state, out),
+            |ctx, state, inbox| program.recv(ctx, state, inbox),
+        );
+    }
+
+    /// Runs `program` until every node's [`NodeProgram::done`] holds or
+    /// `max_rounds` is reached; returns the number of rounds executed.
+    pub fn run<P: NodeProgram<State = S>>(
+        &mut self,
+        program: &P,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        max_rounds: u64,
+    ) -> u64 {
+        let mut executed = 0;
+        while executed < max_rounds && !self.states.iter().all(|s| program.done(s)) {
+            self.round(program, ledger, phase);
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Executes one synchronous round given as a closure pair — the
+    /// ad-hoc form of [`Engine::round`] for algorithms whose rounds are
+    /// easier to write inline than as a [`NodeProgram`] type.
+    ///
+    /// Both closures must be `Sync`: they run concurrently across nodes
+    /// in parallel mode. All per-node mutability flows through the
+    /// `&mut` state and the node-private RNG in the context.
+    pub fn step<M, SEND, RECV>(
+        &mut self,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        send: SEND,
+        recv: RECV,
+    ) where
+        M: Clone + Send + Sync,
+        SEND: Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>) + Sync,
+        RECV: Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]) + Sync,
+    {
+        let graph = self.graph;
+        let parallel = self.parallel();
+
+        // Phase 1: compute all outboxes from round-start states.
+        let outboxes: Vec<Outbox<M>> = if parallel {
+            self.states
+                .par_iter_mut()
+                .zip(self.rngs.par_iter_mut())
+                .enumerate()
+                .map(|(i, (state, rng))| run_send(graph, i, state, rng, &send))
+                .collect()
+        } else {
+            self.states
+                .iter_mut()
+                .zip(self.rngs.iter_mut())
+                .enumerate()
+                .map(|(i, (state, rng))| run_send(graph, i, state, rng, &send))
+                .collect()
+        };
+
+        for (i, out) in outboxes.iter().enumerate() {
+            let v = NodeId::from_index(i);
+            if out.broadcast.is_some() {
+                self.stats.broadcasts += 1;
+                self.stats.deliveries += graph.degree(v) as u64;
+            }
+            self.stats.directed += out.directed.len() as u64;
+            // A directed message only reaches an actual neighbor; in the
+            // LOCAL model addressing anyone else is a program bug.
+            for &(to, _) in &out.directed {
+                debug_assert!(
+                    graph.has_edge(v, to),
+                    "node {v} sent a directed message to non-neighbor {to}"
+                );
+                if graph.has_edge(v, to) {
+                    self.stats.deliveries += 1;
+                }
+            }
+        }
+
+        // Phase 2: simultaneous delivery; every node consumes its inbox.
+        let outboxes = &outboxes;
+        if parallel {
+            self.states
+                .par_iter_mut()
+                .zip(self.rngs.par_iter_mut())
+                .enumerate()
+                .for_each(|(i, (state, rng))| run_recv(graph, i, state, rng, outboxes, &recv));
+        } else {
+            self.states
+                .iter_mut()
+                .zip(self.rngs.iter_mut())
+                .enumerate()
+                .for_each(|(i, (state, rng))| run_recv(graph, i, state, rng, outboxes, &recv));
+        }
+
+        self.rounds_run += 1;
+        ledger.charge(phase, 1);
+    }
+}
+
+fn run_send<S, M>(
+    graph: &Graph,
+    i: usize,
+    state: &mut S,
+    rng: &mut StdRng,
+    send: &impl Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>),
+) -> Outbox<M> {
+    let v = NodeId::from_index(i);
+    let mut ctx = NodeCtx {
+        id: v,
+        degree: graph.degree(v),
+        rng,
+    };
+    let mut out = Outbox::new();
+    send(&mut ctx, state, &mut out);
+    out
+}
+
+fn run_recv<S, M: Clone>(
+    graph: &Graph,
+    i: usize,
+    state: &mut S,
+    rng: &mut StdRng,
+    outboxes: &[Outbox<M>],
+    recv: &impl Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]),
+) {
+    let v = NodeId::from_index(i);
+    let mut inbox: Vec<(NodeId, M)> = Vec::new();
+    for &w in graph.neighbors(v) {
+        let out = &outboxes[w.index()];
+        if let Some(m) = &out.broadcast {
+            inbox.push((w, m.clone()));
+        }
+        for (to, m) in &out.directed {
+            if *to == v {
+                inbox.push((w, m.clone()));
+            }
+        }
+    }
+    let mut ctx = NodeCtx {
+        id: v,
+        degree: graph.degree(v),
+        rng,
+    };
+    recv(&mut ctx, state, &inbox);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_graphs::generators;
+
+    fn run_modes<S, F>(f: F) -> (Vec<S>, Vec<S>)
+    where
+        S: Send,
+        F: Fn(ExecMode) -> Vec<S>,
+    {
+        (f(ExecMode::Sequential), f(ExecMode::Parallel))
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::torus(4, 4);
+        let run = |seed: u64| {
+            let mut ledger = RoundLedger::new();
+            let mut engine = Engine::new(&g, seed, |_| 0u64);
+            for _ in 0..4 {
+                engine.step(
+                    &mut ledger,
+                    "t",
+                    |ctx, _, out: &mut Outbox<u64>| out.broadcast(ctx.random_below(1000)),
+                    |_, s, inbox| {
+                        *s = inbox.iter().map(|&(_, m)| m).sum();
+                    },
+                );
+            }
+            engine.into_states()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn synchrony_one_hop_per_round() {
+        // Node 0 injects a token; after r rounds exactly nodes within
+        // distance r have seen it.
+        let g = generators::path(10);
+        let mut ledger = RoundLedger::new();
+        let mut engine = Engine::new(&g, 0, |v| v.0 == 0);
+        for r in 1..=3u32 {
+            engine.step(
+                &mut ledger,
+                "spread",
+                |_, &mut has, out: &mut Outbox<()>| {
+                    if has {
+                        out.broadcast(());
+                    }
+                },
+                |_, has, inbox| {
+                    if !inbox.is_empty() {
+                        *has = true;
+                    }
+                },
+            );
+            let reach = engine.states().iter().filter(|&&h| h).count();
+            assert_eq!(reach, (r + 1) as usize);
+        }
+        assert_eq!(ledger.total(), 3);
+    }
+
+    #[test]
+    fn inbox_is_sorted_by_sender() {
+        let g = generators::star(4);
+        let mut ledger = RoundLedger::new();
+        let mut engine = Engine::new(&g, 0, |v| v.0);
+        engine.step(
+            &mut ledger,
+            "t",
+            |_, &mut s, out: &mut Outbox<u32>| out.broadcast(s),
+            |ctx, _, inbox| {
+                if ctx.id == NodeId(0) {
+                    let senders: Vec<u32> = inbox.iter().map(|&(w, _)| w.0).collect();
+                    assert_eq!(senders, vec![1, 2, 3, 4]);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn directed_messages_reach_only_their_target() {
+        // Every node sends its id to its smallest neighbor only.
+        let g = generators::cycle(6);
+        let mut ledger = RoundLedger::new();
+        let mut engine = Engine::new(&g, 0, |_| Vec::<u32>::new());
+        engine.step(
+            &mut ledger,
+            "t",
+            |ctx, _, out: &mut Outbox<u32>| {
+                let smallest = *g.neighbors(ctx.id).iter().min().unwrap();
+                out.send_to(smallest, ctx.id.0);
+            },
+            |_, s, inbox| {
+                s.extend(inbox.iter().map(|&(w, _)| w.0));
+            },
+        );
+        // Node v's smallest neighbor on the 6-cycle receives v's id;
+        // node 0 is smallest neighbor of both 1 and 5.
+        assert_eq!(engine.states()[0], vec![1, 5]);
+        // Node 5's neighbors are 0 and 4; both prefer their other side.
+        assert!(engine.states()[5].is_empty());
+        let stats = engine.message_stats();
+        assert_eq!(stats.directed, 6);
+        assert_eq!(stats.broadcasts, 0);
+        assert_eq!(stats.deliveries, 6);
+    }
+
+    #[test]
+    fn broadcast_and_directed_share_a_round() {
+        // Broadcast from one node combined with a directed reply path;
+        // per-sender inbox order is broadcast first.
+        let g = generators::path(3);
+        let mut ledger = RoundLedger::new();
+        let mut engine = Engine::new(&g, 0, |_| Vec::<(u32, &'static str)>::new());
+        engine.step(
+            &mut ledger,
+            "t",
+            |ctx, _, out: &mut Outbox<&'static str>| {
+                if ctx.id == NodeId(1) {
+                    out.broadcast("b");
+                    out.send_to(NodeId(0), "d1");
+                    out.send_to(NodeId(0), "d2");
+                }
+            },
+            |_, s, inbox| {
+                s.extend(inbox.iter().map(|&(w, m)| (w.0, m)));
+            },
+        );
+        assert_eq!(engine.states()[0], vec![(1, "b"), (1, "d1"), (1, "d2")]);
+        assert_eq!(engine.states()[2], vec![(1, "b")]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let g = generators::random_regular(600, 4, 3);
+        let (seq, par) = run_modes(|mode| {
+            let mut ledger = RoundLedger::new();
+            let mut engine = Engine::new(&g, 11, |v| v.0 as u64).with_mode(mode);
+            for _ in 0..8 {
+                engine.step(
+                    &mut ledger,
+                    "mix",
+                    |ctx, s, out: &mut Outbox<u64>| {
+                        *s ^= ctx.random_below(1 << 30);
+                        out.broadcast(*s);
+                    },
+                    |ctx, s, inbox| {
+                        for &(w, m) in inbox {
+                            *s = s.wrapping_mul(31).wrapping_add(m ^ w.0 as u64);
+                        }
+                        *s ^= ctx.random_below(1 << 20);
+                    },
+                );
+            }
+            engine.into_states()
+        });
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn node_program_trait_runs_to_fixpoint() {
+        struct MinFlood;
+        impl NodeProgram for MinFlood {
+            type State = u32;
+            type Msg = u32;
+            fn send(&self, _: &mut NodeCtx<'_>, s: &mut u32, out: &mut Outbox<u32>) {
+                out.broadcast(*s);
+            }
+            fn recv(&self, _: &mut NodeCtx<'_>, s: &mut u32, inbox: &[(NodeId, u32)]) {
+                for &(_, m) in inbox {
+                    *s = (*s).min(m);
+                }
+            }
+            fn done(&self, s: &u32) -> bool {
+                *s == 0
+            }
+        }
+        let g = generators::path(5);
+        let mut ledger = RoundLedger::new();
+        let mut engine = Engine::new(&g, 0, |v| v.0);
+        let rounds = engine.run(&MinFlood, &mut ledger, "min", 100);
+        assert!(rounds <= 5);
+        assert!(engine.states().iter().all(|&s| s == 0));
+        assert_eq!(ledger.total(), rounds);
+    }
+
+    #[test]
+    fn rng_is_node_private_and_stable() {
+        // A node consuming extra randomness must not perturb other
+        // nodes' streams.
+        let g = generators::path(6);
+        let draw_all = |consume_extra: bool| -> Vec<u64> {
+            let mut ledger = RoundLedger::new();
+            let mut engine = Engine::new(&g, 42, |_| 0u64);
+            engine.step(
+                &mut ledger,
+                "draw",
+                |_, _, out: &mut Outbox<()>| out.broadcast(()),
+                |ctx, s, _| {
+                    if consume_extra && ctx.id == NodeId(0) {
+                        let _ = ctx.random_below(10);
+                    }
+                    *s = ctx.random_below(1_000_000);
+                },
+            );
+            engine.into_states()
+        };
+        let a = draw_all(false);
+        let b = draw_all(true);
+        assert_ne!(a[0], b[0], "node 0 consumed extra randomness");
+        assert_eq!(a[1..], b[1..], "other nodes' streams were perturbed");
+    }
+}

@@ -55,7 +55,11 @@ impl RoundLedger {
 
     /// Total rounds charged to phases with the given name.
     pub fn phase_total(&self, phase: &str) -> u64 {
-        self.entries.iter().filter(|(p, _)| p == phase).map(|(_, r)| r).sum()
+        self.entries
+            .iter()
+            .filter(|(p, _)| p == phase)
+            .map(|(_, r)| r)
+            .sum()
     }
 
     /// The (phase, rounds) entries in charge order; consecutive charges

@@ -1,4 +1,4 @@
-//! Synchronous LOCAL-model simulator.
+//! Synchronous LOCAL-model execution substrate.
 //!
 //! The LOCAL model (Linial; Peleg): the network is the graph itself,
 //! nodes compute in synchronous rounds, and per round every node may send
@@ -8,20 +8,30 @@
 //!
 //! This crate provides the two standard simulation devices:
 //!
-//! * [`Simulator`] — explicit synchronous message rounds with
-//!   per-node state and deterministic per-node randomness, and
+//! * [`Engine`] — explicit synchronous message rounds driven by a
+//!   [`NodeProgram`] (or an inline closure pair via [`Engine::step`]),
+//!   with per-node state, broadcast **and** per-neighbor directed
+//!   messages, deterministic per-node randomness, and a parallel
+//!   compute phase (nodes evaluated on worker threads; delivery stays
+//!   synchronous, so LOCAL semantics and per-seed determinism hold in
+//!   every [`ExecMode`]);
 //! * ball collection through [`delta_graphs::bfs::ball`] with explicit
 //!   round charging on a [`RoundLedger`] (in `r` rounds a node learns
-//!   exactly its radius-`r` ball).
+//!   exactly its radius-`r` ball), packaged as [`BallOracle`].
 //!
 //! Every algorithm in the `delta-coloring` crate charges the rounds a
 //! real LOCAL execution would take to a [`RoundLedger`], broken down by
-//! phase, which is what the experiments report.
+//! phase, which is what the experiments report. The engine additionally
+//! tracks [`MessageStats`] as a hook for message-size (CONGEST-style)
+//! accounting.
 
+pub mod engine;
 pub mod ledger;
 pub mod oracle;
-pub mod sim;
 
+pub use engine::{
+    force_exec_mode, Engine, ExecMode, MessageStats, NodeCtx, NodeProgram, Outbox,
+    PARALLEL_THRESHOLD,
+};
 pub use ledger::RoundLedger;
 pub use oracle::BallOracle;
-pub use sim::{NodeCtx, Simulator};

@@ -52,13 +52,7 @@ impl<'g> BallOracle<'g> {
 
     /// Collects the radius-`r` ball of a single node, charging `r`
     /// rounds.
-    pub fn collect(
-        &mut self,
-        v: NodeId,
-        r: usize,
-        ledger: &mut RoundLedger,
-        phase: &str,
-    ) -> Ball {
+    pub fn collect(&mut self, v: NodeId, r: usize, ledger: &mut RoundLedger, phase: &str) -> Ball {
         ledger.charge(phase, r as u64);
         bfs::ball(self.graph, v, r)
     }
@@ -68,7 +62,10 @@ impl<'g> BallOracle<'g> {
     /// charging `r` rounds total.
     pub fn collect_all(&mut self, r: usize, ledger: &mut RoundLedger, phase: &str) -> Vec<Ball> {
         ledger.charge(phase, r as u64);
-        self.graph.nodes().map(|v| bfs::ball(self.graph, v, r)).collect()
+        self.graph
+            .nodes()
+            .map(|v| bfs::ball(self.graph, v, r))
+            .collect()
     }
 
     /// Collects radius-`r` balls for a set of nodes simultaneously,
@@ -132,8 +129,7 @@ mod tests {
         let mut ledger = RoundLedger::new();
         let mut oracle = BallOracle::new(&g);
         // Look for a ball containing at least 10 nodes from an endpoint.
-        let (ball, ok) =
-            oracle.collect_until(NodeId(0), 32, &mut ledger, "s", |b| b.len() >= 10);
+        let (ball, ok) = oracle.collect_until(NodeId(0), 32, &mut ledger, "s", |b| b.len() >= 10);
         assert!(ok);
         assert!(ball.len() >= 10);
         // Radius needed: 9 -> doubling lands on 16; charge 32.

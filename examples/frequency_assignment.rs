@@ -31,7 +31,11 @@ fn main() {
     let mut ledger = RoundLedger::new();
     let (mut assignment, _) = delta_color_rand(&g, cfg, &mut ledger).expect("assignable");
     verify::check_delta_coloring(&g, &assignment).expect("interference-free");
-    println!("assigned all {} stations in {} simulated rounds", g.n(), ledger.total());
+    println!(
+        "assigned all {} stations in {} simulated rounds",
+        g.n(),
+        ledger.total()
+    );
 
     // Channel histogram.
     let mut hist = vec![0usize; channels];

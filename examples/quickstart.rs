@@ -25,9 +25,14 @@ fn main() {
     let cfg = RandConfig::large_delta(&g, 7);
     let (coloring, stats) = delta_color_rand(&g, cfg, &mut ledger).expect("colorable");
     verify::check_delta_coloring(&g, &coloring).expect("verified Δ-coloring");
-    println!("\n[randomized, Thm 3] valid 4-coloring in {} rounds", ledger.total());
-    println!("  attempts={} |B-removed|={} |H|={} T-nodes={} happy={:.2}",
-        stats.attempts, stats.b_removed, stats.h_size, stats.t_nodes, stats.happy_fraction);
+    println!(
+        "\n[randomized, Thm 3] valid 4-coloring in {} rounds",
+        ledger.total()
+    );
+    println!(
+        "  attempts={} |B-removed|={} |H|={} T-nodes={} happy={:.2}",
+        stats.attempts, stats.b_removed, stats.h_size, stats.t_nodes, stats.happy_fraction
+    );
     println!("  per-phase rounds:");
     for (phase, rounds) in ledger.by_phase() {
         println!("    {phase:<24} {rounds}");
@@ -38,7 +43,10 @@ fn main() {
     let (coloring, det_stats) =
         delta_color_det(&g, DetConfig::default(), &mut ledger).expect("colorable");
     verify::check_delta_coloring(&g, &coloring).expect("verified Δ-coloring");
-    println!("\n[deterministic, Thm 4] valid 4-coloring in {} rounds", ledger.total());
+    println!(
+        "\n[deterministic, Thm 4] valid 4-coloring in {} rounds",
+        ledger.total()
+    );
     println!(
         "  ruling-set separation R={} base size={} layers={}",
         det_stats.separation, det_stats.base_size, det_stats.layers
@@ -48,7 +56,10 @@ fn main() {
     let mut ledger = RoundLedger::new();
     let (coloring, ps) = baseline::ps_style_delta(&g, 3, &mut ledger).expect("colorable");
     verify::check_delta_coloring(&g, &coloring).expect("verified Δ-coloring");
-    println!("\n[PS-style baseline] valid 4-coloring in {} rounds", ledger.total());
+    println!(
+        "\n[PS-style baseline] valid 4-coloring in {} rounds",
+        ledger.total()
+    );
     println!(
         "  extra class={} repair batches={} max repair radius={}",
         ps.extra_class_size, ps.batches, ps.max_repair_radius
@@ -58,6 +69,9 @@ fn main() {
     let mut ledger = RoundLedger::new();
     let coloring = baseline::randomized_delta_plus_one(&g, 5, &mut ledger).expect("colorable");
     delta_coloring::palette::check_k_coloring(&g, &coloring, 5).expect("verified (Δ+1)-coloring");
-    println!("\n[(Δ+1) baseline] valid 5-coloring in {} rounds", ledger.total());
+    println!(
+        "\n[(Δ+1) baseline] valid 5-coloring in {} rounds",
+        ledger.total()
+    );
     println!("\nNote the asymmetry the paper is about: one extra color makes the problem trivial.");
 }

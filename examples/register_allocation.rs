@@ -21,7 +21,7 @@ use delta_coloring::delta::{delta_color, Strategy};
 use delta_coloring::verify;
 use delta_graphs::{Graph, GraphBuilder};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Synthesizes an interference graph: `n` values with random live
 /// intervals over a timeline, at most `width` alive at once, plus a few

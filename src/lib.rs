@@ -6,7 +6,9 @@
 //! library code lives in:
 //!
 //! * [`delta_graphs`] — graphs, generators, structural algorithms;
-//! * [`local_model`] — the LOCAL-model round simulator;
+//! * [`local_model`] — the LOCAL-model message-passing engine
+//!   (broadcast + per-neighbor messages, parallel compute phase, round
+//!   ledger);
 //! * [`delta_coloring`] — the paper's algorithms.
 
 pub use delta_coloring;

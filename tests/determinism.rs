@@ -1,0 +1,151 @@
+//! Determinism regression: for a fixed seed, the parallel engine
+//! schedule must produce output bit-identical to the sequential
+//! schedule — on raw engine programs and through the full coloring
+//! algorithms — on cycles, random regular graphs, and Gallai trees.
+//!
+//! The engine guarantees this by keeping delivery synchronous and
+//! randomness node-private; these tests are the tripwire for any future
+//! change that breaks the schedule-independence.
+
+use delta_coloring::delta::{delta_color_rand, RandConfig};
+use delta_coloring::list_coloring::list_color_randomized;
+use delta_coloring::marking::{marking_process, MarkingParams};
+use delta_coloring::mis::luby_mis;
+use delta_coloring::palette::{Lists, PartialColoring};
+use delta_graphs::{generators, Graph};
+use local_model::{force_exec_mode, Engine, ExecMode, Outbox, RoundLedger};
+use std::sync::{Mutex, MutexGuard};
+
+/// The execution-mode override is process-global; tests comparing the
+/// two schedules must not interleave.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` once under each forced schedule and returns both results.
+fn under_both_modes<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = lock();
+    force_exec_mode(Some(ExecMode::Sequential));
+    let seq = f();
+    force_exec_mode(Some(ExecMode::Parallel));
+    let par = f();
+    force_exec_mode(None);
+    (seq, par)
+}
+
+fn families(seed: u64) -> Vec<(String, Graph)> {
+    vec![
+        ("cycle".into(), generators::cycle(257)),
+        (
+            "random-regular".into(),
+            generators::random_regular(600, 4, seed),
+        ),
+        (
+            "gallai-tree".into(),
+            generators::random_gallai_tree(60, 5, seed),
+        ),
+    ]
+}
+
+#[test]
+fn raw_engine_program_is_schedule_independent() {
+    for (name, g) in families(1) {
+        let (seq, par) = under_both_modes(|| {
+            let mut ledger = RoundLedger::new();
+            let mut engine = Engine::new(&g, 7, |v| v.0 as u64);
+            for _ in 0..6 {
+                engine.step(
+                    &mut ledger,
+                    "mix",
+                    |ctx, s, out: &mut Outbox<u64>| {
+                        *s = s.wrapping_add(ctx.random_below(1 << 24));
+                        out.broadcast(*s);
+                    },
+                    |ctx, s, inbox| {
+                        for &(w, m) in inbox {
+                            *s ^= m.rotate_left(w.0 % 63);
+                        }
+                        *s ^= ctx.random_below(1 << 16);
+                    },
+                );
+            }
+            (engine.into_states(), ledger.total())
+        });
+        assert_eq!(seq, par, "{name}: engine schedules diverged");
+    }
+}
+
+#[test]
+fn luby_mis_is_schedule_independent() {
+    for seed in [3u64, 11] {
+        for (name, g) in families(seed) {
+            let (seq, par) = under_both_modes(|| {
+                let mut ledger = RoundLedger::new();
+                let mis = luby_mis(&g, seed, &mut ledger, "mis");
+                (mis, ledger.total())
+            });
+            assert_eq!(seq, par, "{name}/seed {seed}: MIS diverged");
+        }
+    }
+}
+
+#[test]
+fn list_coloring_is_schedule_independent() {
+    for (name, g) in families(5) {
+        let lists = Lists::new(
+            g.nodes()
+                .map(|v| delta_coloring::palette::palette(g.degree(v) + 1))
+                .collect(),
+        );
+        let (seq, par) = under_both_modes(|| {
+            let mut ledger = RoundLedger::new();
+            let c = list_color_randomized(
+                &g,
+                &lists,
+                PartialColoring::new(g.n()),
+                9,
+                &mut ledger,
+                "lc",
+            )
+            .expect("deg+1 instances are solvable");
+            (c, ledger.total())
+        });
+        assert_eq!(seq.1, par.1, "{name}: round counts diverged");
+        assert!(seq.0 == par.0, "{name}: colorings diverged");
+    }
+}
+
+#[test]
+fn marking_is_schedule_independent() {
+    let g = generators::random_regular(800, 4, 2);
+    let (seq, par) = under_both_modes(|| {
+        let mut coloring = PartialColoring::new(g.n());
+        let mut ledger = RoundLedger::new();
+        let out = marking_process(
+            &g,
+            MarkingParams { p: 0.02, b: 6 },
+            13,
+            &mut coloring,
+            &mut ledger,
+            "mark",
+        );
+        (out.t_nodes, out.marked, ledger.total())
+    });
+    assert_eq!(seq, par, "marking diverged");
+}
+
+#[test]
+fn full_randomized_delta_coloring_is_schedule_independent() {
+    let g = generators::random_regular(500, 4, 21);
+    let (seq, par) = under_both_modes(|| {
+        let cfg = RandConfig::large_delta(&g, 4);
+        let mut ledger = RoundLedger::new();
+        let (c, stats) = delta_color_rand(&g, cfg, &mut ledger).expect("colorable");
+        (c, stats.attempts, ledger.total())
+    });
+    assert_eq!(seq.1, par.1, "attempt counts diverged");
+    assert_eq!(seq.2, par.2, "round counts diverged");
+    assert!(seq.0 == par.0, "colorings diverged");
+}

@@ -10,14 +10,26 @@ use local_model::RoundLedger;
 
 fn nice_families() -> Vec<(String, Graph)> {
     let mut out: Vec<(String, Graph)> = vec![
-        ("random-regular-3".into(), generators::random_regular(400, 3, 1)),
-        ("random-regular-4".into(), generators::random_regular(400, 4, 2)),
-        ("random-regular-6".into(), generators::random_regular(300, 6, 3)),
+        (
+            "random-regular-3".into(),
+            generators::random_regular(400, 3, 1),
+        ),
+        (
+            "random-regular-4".into(),
+            generators::random_regular(400, 4, 2),
+        ),
+        (
+            "random-regular-6".into(),
+            generators::random_regular(300, 6, 3),
+        ),
         ("torus".into(), generators::torus(14, 15)),
         ("hypercube-6".into(), generators::hypercube(6)),
         ("petersen".into(), generators::petersen_like()),
         ("star".into(), generators::star(7)),
-        ("complete-bipartite".into(), generators::complete_bipartite(4, 7)),
+        (
+            "complete-bipartite".into(),
+            generators::complete_bipartite(4, 7),
+        ),
         ("circulant".into(), generators::circulant(100, 4)),
     ];
     for seed in 0..3u64 {
@@ -43,8 +55,8 @@ fn randomized_algorithm_on_all_families() {
         assert_nice(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
         let cfg = RandConfig::large_delta(&g, 11);
         let mut ledger = RoundLedger::new();
-        let (c, _) = delta_color_rand(&g, cfg, &mut ledger)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (c, _) =
+            delta_color_rand(&g, cfg, &mut ledger).unwrap_or_else(|e| panic!("{name}: {e}"));
         check_delta_coloring(&g, &c).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(ledger.total() > 0, "{name}: zero rounds charged");
     }
@@ -75,7 +87,10 @@ fn deterministic_algorithm_on_all_families() {
 #[test]
 fn deterministic_algorithm_with_randomized_layers() {
     let g = generators::random_regular(300, 4, 5);
-    let cfg = DetConfig { method: ListColorMethod::Randomized, seed: 3 };
+    let cfg = DetConfig {
+        method: ListColorMethod::Randomized,
+        seed: 3,
+    };
     let mut ledger = RoundLedger::new();
     let (c, _) = delta_color_det(&g, cfg, &mut ledger).unwrap();
     check_delta_coloring(&g, &c).unwrap();
@@ -85,8 +100,8 @@ fn deterministic_algorithm_with_randomized_layers() {
 fn ps_baseline_on_all_families() {
     for (name, g) in nice_families() {
         let mut ledger = RoundLedger::new();
-        let (c, _) = baseline::ps_style_delta(&g, 7, &mut ledger)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (c, _) =
+            baseline::ps_style_delta(&g, 7, &mut ledger).unwrap_or_else(|e| panic!("{name}: {e}"));
         check_delta_coloring(&g, &c).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }

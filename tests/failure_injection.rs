@@ -21,7 +21,10 @@ fn non_nice_zoo() -> Vec<(&'static str, Graph)> {
         ("even-cycle", generators::cycle(12)),
         ("path", generators::path(9)),
         ("single-edge", generators::path(2)),
-        ("disconnected", generators::cycle(5).disjoint_union(&generators::complete(4))),
+        (
+            "disconnected",
+            generators::cycle(5).disjoint_union(&generators::complete(4)),
+        ),
         ("empty", Graph::empty(0)),
         ("edgeless", Graph::empty(7)),
     ]
@@ -77,7 +80,8 @@ fn repair_fails_cleanly_on_brooks_exceptions() {
     }
     // Node 0 uncolored; its 4 neighbors block all 4 colors; K5 has no
     // degree-<Δ node and no DCC.
-    let err = brooks::repair_single_uncolored(&g, &mut c, NodeId(0), 4, &mut RoundLedger::new(), "r");
+    let err =
+        brooks::repair_single_uncolored(&g, &mut c, NodeId(0), 4, &mut RoundLedger::new(), "r");
     assert!(matches!(err, Err(ColoringError::Unsolvable { .. })));
 }
 
@@ -88,7 +92,8 @@ fn repair_on_odd_cycle_reports_unsolvable() {
     for i in 1..9u32 {
         c.set(NodeId(i), Color(i % 2));
     }
-    let err = brooks::repair_single_uncolored(&g, &mut c, NodeId(0), 2, &mut RoundLedger::new(), "r");
+    let err =
+        brooks::repair_single_uncolored(&g, &mut c, NodeId(0), 2, &mut RoundLedger::new(), "r");
     assert!(err.is_err());
 }
 
@@ -182,8 +187,8 @@ fn rand_with_hostile_marking_parameters_still_colors() {
         let mut cfg = RandConfig::large_delta(&g, 4);
         cfg.marking = MarkingParams { p, b };
         let mut ledger = RoundLedger::new();
-        let (c, _) = delta_color_rand(&g, cfg, &mut ledger)
-            .unwrap_or_else(|e| panic!("p={p} b={b}: {e}"));
+        let (c, _) =
+            delta_color_rand(&g, cfg, &mut ledger).unwrap_or_else(|e| panic!("p={p} b={b}: {e}"));
         delta_coloring::verify::check_delta_coloring(&g, &c).unwrap();
     }
 }

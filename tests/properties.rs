@@ -19,12 +19,12 @@ use proptest::prelude::*;
 /// with roughly `density·n` sampled edge slots.
 fn arb_graph_dense(max_n: usize, density: usize) -> impl Strategy<Value = Graph> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..(density * n))
-            .prop_map(move |pairs| {
-                let edges: Vec<(u32, u32)> =
-                    pairs.into_iter().filter(|&(a, b)| a != b).collect();
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..(density * n)).prop_map(
+            move |pairs| {
+                let edges: Vec<(u32, u32)> = pairs.into_iter().filter(|&(a, b)| a != b).collect();
                 Graph::from_edges(n, &edges).expect("valid")
-            })
+            },
+        )
     })
 }
 
@@ -302,7 +302,9 @@ proptest! {
 #[test]
 fn gallai_forest_detection_matches_block_structure() {
     // Deterministic cross-check on known families.
-    assert!(props::is_gallai_forest(&generators::random_gallai_tree(12, 5, 3)));
+    assert!(props::is_gallai_forest(&generators::random_gallai_tree(
+        12, 5, 3
+    )));
     assert!(!props::is_gallai_forest(&generators::torus(4, 4)));
     assert!(!props::is_gallai_forest(&generators::hypercube(3)));
 }

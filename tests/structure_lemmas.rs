@@ -53,7 +53,9 @@ fn lemma11_child_count_inequality() {
         let ball = bfs::ball(&g, v, r);
         let tree = bfs::bfs_tree(&ball.graph, ball.center, Some(r));
         for u2 in ball.graph.nodes() {
-            let Some(u) = tree.parent[u2.index()] else { continue };
+            let Some(u) = tree.parent[u2.index()] else {
+                continue;
+            };
             // Only interior levels (children fully visible inside ball).
             if ball.dist[u2.index()] as usize >= r {
                 continue;
@@ -64,10 +66,7 @@ fn lemma11_child_count_inequality() {
             );
             // Degrees measured in G (the ball is deep enough for the
             // interior).
-            let (degu, degu2) = (
-                g.degree(ball.to_global(u)),
-                g.degree(ball.to_global(u2)),
-            );
+            let (degu, degu2) = (g.degree(ball.to_global(u)), g.degree(ball.to_global(u2)));
             if degu2 < 3 {
                 continue;
             }
@@ -136,9 +135,8 @@ fn lemma16_dcc_or_low_degree_within_logarithmic_radius() {
             let v = NodeId(((i * 977) % g.n() as u64) as u32);
             let ball = bfs::ball(&g, v, radius);
             let has_low_degree = ball.globals.iter().any(|&u| g.degree(u) < delta);
-            let has_dcc =
-                gallai::find_dcc_in_ball(&ball, usize::MAX, usize::MAX).is_some()
-                    || has_any_dcc_block(&ball);
+            let has_dcc = gallai::find_dcc_in_ball(&ball, usize::MAX, usize::MAX).is_some()
+                || has_any_dcc_block(&ball);
             assert!(
                 has_low_degree || has_dcc,
                 "Lemma 16 violated around {v} in {g:?} at radius {radius}"
@@ -166,8 +164,8 @@ fn has_any_dcc_block(ball: &bfs::Ball) -> bool {
 fn theorem8_gallai_trees_are_exactly_the_non_choosable_graphs() {
     // Spot-check both directions of Theorem 8 on canonical instances.
     // Non-Gallai => every random degree-assignment solvable (spot):
-    let theta = Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)])
-        .unwrap();
+    let theta =
+        Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)]).unwrap();
     assert!(!props::is_gallai_forest(&theta));
     for seed in 0..10u64 {
         let lists = pseudo_random_tight_lists(&theta, seed);
@@ -208,7 +206,9 @@ fn pseudo_random_tight_lists(g: &Graph, seed: u64) -> delta_coloring::palette::L
                     pool.swap(i, j);
                 }
                 pool.truncate(g.degree(v));
-                pool.into_iter().map(delta_coloring::palette::Color).collect()
+                pool.into_iter()
+                    .map(delta_coloring::palette::Color)
+                    .collect()
             })
             .collect(),
     )

@@ -72,7 +72,10 @@ fn repairs_in_distant_regions_are_independent() {
     let o1 = repair_single_uncolored(&g, &mut c, v1, delta, &mut ledger, "r").unwrap();
     let o2 = repair_single_uncolored(&g, &mut c, v2, delta, &mut ledger, "r").unwrap();
     check_delta_coloring(&g, &c).unwrap();
-    assert!(o1.radius + o2.radius <= d[v2.index()] as usize, "repairs overlapped");
+    assert!(
+        o1.radius + o2.radius <= d[v2.index()] as usize,
+        "repairs overlapped"
+    );
 }
 
 #[test]

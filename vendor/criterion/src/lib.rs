@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the call-site syntax (`criterion_group!`, `criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with inputs) and
+//! measures wall-clock with a simple adaptive loop: one warm-up call,
+//! then iterations until the sample or time budget is spent. Reports
+//! mean per-iteration time on stdout. No statistics, plots, or
+//! regression tracking — swap in real criterion for those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Result of one measured benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchReport {
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Per-benchmark measurement driver handed to `iter` closures.
+pub struct Bencher {
+    samples: u64,
+    time_budget: Duration,
+    last: Option<BenchReport>,
+}
+
+impl Bencher {
+    fn new(samples: u64, time_budget: Duration) -> Self {
+        Bencher {
+            samples,
+            time_budget,
+            last: None,
+        }
+    }
+
+    /// Times `f`, adaptively choosing the iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, not measured
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if iters >= self.samples || start.elapsed() >= self.time_budget {
+                break;
+            }
+        }
+        self.last = Some(BenchReport {
+            mean: start.elapsed().div_f64(iters as f64),
+            iters,
+        });
+    }
+}
+
+fn measure(label: &str, samples: u64, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(samples, budget);
+    f(&mut b);
+    match b.last {
+        Some(r) => println!(
+            "bench {label:<48} {:>12.3?}/iter ({} iters)",
+            r.mean, r.iters
+        ),
+        None => println!("bench {label:<48} (no iter call)"),
+    }
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, mirroring criterion's display form.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: u64,
+    time_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: 20,
+            time_budget: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Measures a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        measure(id, self.samples, self.time_budget, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.samples,
+            time_budget: self.time_budget,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    time_budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the iteration count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n as u64;
+        self
+    }
+
+    /// Measures a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        measure(&label, self.samples, self.time_budget, &mut |b| f(b, input));
+        self
+    }
+
+    /// Measures an unparameterized benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        measure(&label, self.samples, self.time_budget, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_mean() {
+        let mut b = Bencher::new(5, Duration::from_millis(50));
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        let report = b.last.expect("report recorded");
+        assert!(report.iters >= 1);
+        assert!(count >= report.iters); // warm-up adds one
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("trivial", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

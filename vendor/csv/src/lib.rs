@@ -1,0 +1,86 @@
+//! Offline stand-in for the `csv` crate: a minimal RFC-4180 writer.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Buffered CSV record writer.
+pub struct Writer<W: Write> {
+    inner: W,
+}
+
+impl Writer<BufWriter<File>> {
+    /// Creates a writer that truncates and writes `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn from_path<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Writer {
+            inner: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write> Writer<W> {
+    /// Wraps an arbitrary writer.
+    pub fn from_writer(inner: W) -> Self {
+        Writer { inner }
+    }
+
+    /// Writes one record, quoting fields that contain commas, quotes,
+    /// or newlines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_record<I, S>(&mut self, record: I) -> io::Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for field in record {
+            if !first {
+                self.inner.write_all(b",")?;
+            }
+            first = false;
+            let f = field.as_ref();
+            if f.contains([',', '"', '\n', '\r']) {
+                write!(self.inner, "\"{}\"", f.replace('"', "\"\""))?;
+            } else {
+                self.inner.write_all(f.as_bytes())?;
+            }
+        }
+        self.inner.write_all(b"\n")
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Writer;
+
+    #[test]
+    fn quotes_only_when_needed() {
+        let mut w = Writer::from_writer(Vec::new());
+        w.write_record(["plain", "with,comma", "with\"quote"])
+            .unwrap();
+        w.write_record(["second"]).unwrap();
+        let out = String::from_utf8(w.inner).unwrap();
+        assert_eq!(out, "plain,\"with,comma\",\"with\"\"quote\"\nsecond\n");
+    }
+}

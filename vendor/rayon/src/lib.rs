@@ -1,0 +1,329 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset of the rayon 1.10 API this workspace uses with
+//! the same call-site syntax. Parallelism is real: adapters collect
+//! their items, split them into per-thread chunks, and execute on
+//! scoped `std::thread` threads (one pass per `map`/`for_each`, order
+//! preserved). There is no work stealing — throughput is fine for the
+//! coarse node-batch and experiment-sweep workloads this workspace
+//! runs, but fine-grained irregular loads would not balance as well as
+//! under real rayon.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel adapters fan out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        (
+            ha.join().unwrap_or_else(|e| std::panic::resume_unwind(e)),
+            rb,
+        )
+    })
+}
+
+/// Applies `f` to every item on scoped worker threads, preserving order.
+fn parallel_apply<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+pub mod iter {
+    //! Parallel iterator adapters.
+
+    use super::parallel_apply;
+
+    /// A (stand-in) parallel iterator: a pipeline that can realize
+    /// itself into an ordered `Vec`, running its `map` stages on worker
+    /// threads.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+
+        /// Realizes the pipeline, preserving input order.
+        fn run(self) -> Vec<Self::Item>;
+
+        /// Parallel element-wise transformation.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Pairs every item with its index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { base: self }
+        }
+
+        /// Pairs items with another parallel iterator's items
+        /// (truncates to the shorter side, like `Iterator::zip`).
+        fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+            Zip { a: self, b: other }
+        }
+
+        /// Runs `f` on every item in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            parallel_apply(self.run(), &|item| f(item));
+        }
+
+        /// Realizes the pipeline into any collection.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.run().into_iter().collect()
+        }
+
+        /// Sums the items.
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.run().into_iter().sum()
+        }
+    }
+
+    /// Base source: an already-materialized item list.
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for IntoParIter<T> {
+        type Item = T;
+        fn run(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// `map` adapter; the stage that actually fans out to threads.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+        fn run(self) -> Vec<R> {
+            parallel_apply(self.base.run(), &self.f)
+        }
+    }
+
+    /// `enumerate` adapter.
+    pub struct Enumerate<I> {
+        base: I,
+    }
+
+    impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+        type Item = (usize, I::Item);
+        fn run(self) -> Vec<(usize, I::Item)> {
+            self.base.run().into_iter().enumerate().collect()
+        }
+    }
+
+    /// `zip` adapter.
+    pub struct Zip<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+        type Item = (A::Item, B::Item);
+        fn run(self) -> Vec<(A::Item, B::Item)> {
+            self.a.run().into_iter().zip(self.b.run()).collect()
+        }
+    }
+
+    /// Conversion of owned collections into parallel iterators.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = IntoParIter<T>;
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = IntoParIter<usize>;
+        fn into_par_iter(self) -> IntoParIter<usize> {
+            IntoParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    /// `par_iter` on borrowed slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed element type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Parallel iterator over shared references.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = IntoParIter<&'a T>;
+        fn par_iter(&'a self) -> IntoParIter<&'a T> {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = IntoParIter<&'a T>;
+        fn par_iter(&'a self) -> IntoParIter<&'a T> {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    /// `par_iter_mut` on borrowed slices.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The borrowed element type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Parallel iterator over exclusive references.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = IntoParIter<&'a mut T>;
+        fn par_iter_mut(&'a mut self) -> IntoParIter<&'a mut T> {
+            IntoParIter {
+                items: self.iter_mut().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = IntoParIter<&'a mut T>;
+        fn par_iter_mut(&'a mut self) -> IntoParIter<&'a mut T> {
+            IntoParIter {
+                items: self.iter_mut().collect(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mut_zip_enumerate() {
+        let mut a = vec![0u64; 1000];
+        let mut b = vec![0u64; 1000];
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (x, y))| {
+                *x = i as u64;
+                *y = 2 * i as u64;
+            });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == i as u64));
+        assert!(b.iter().enumerate().all(|(i, &y)| y == 2 * i as u64));
+    }
+
+    #[test]
+    fn range_and_sum() {
+        let s: usize = (0..1001usize).into_par_iter().sum();
+        assert_eq!(s, 500_500);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn threads_actually_run() {
+        // With >1 worker, at least two distinct thread ids should appear
+        // for a large enough workload.
+        if super::current_num_threads() > 1 {
+            let ids: Vec<String> = (0..100_000usize)
+                .into_par_iter()
+                .map(|_| format!("{:?}", std::thread::current().id()))
+                .collect();
+            let mut uniq: Vec<String> = ids;
+            uniq.sort();
+            uniq.dedup();
+            assert!(uniq.len() > 1, "no parallel execution observed");
+        }
+    }
+}
