@@ -9,13 +9,22 @@
 //! tables to stdout (in canonical order), writes one CSV per experiment
 //! into `--out DIR` (default `results/`), and emits a
 //! `BENCH_delta.json` summary with per-experiment wall-clock and
-//! simulated LOCAL rounds. The summary always lands in the output
-//! directory; a run covering the **full** experiment set additionally
-//! refreshes `BENCH_delta.json` in the working directory — the
-//! committed performance-trajectory baseline — so partial smoke runs
-//! never clobber it. Wall-clock values are measured while experiments
-//! share cores (`timing: "concurrent"`); `simulated_rounds` is the
-//! contention-free metric for cross-revision comparison.
+//! simulated LOCAL rounds.
+//!
+//! Before anything is written, the fresh numbers are **diffed against
+//! the committed baseline** (`BENCH_delta.json` in the working
+//! directory, if present): a per-experiment wall-clock delta table goes
+//! to stdout, so every revision sees its performance trajectory at a
+//! glance. Comparisons are only apples-to-apples when the `quick` flags
+//! match — the table says so when they don't.
+//!
+//! The summary always lands in the output directory; a run covering the
+//! **full** experiment set additionally refreshes `BENCH_delta.json` in
+//! the working directory — the committed performance-trajectory
+//! baseline — so partial smoke runs never clobber it. Wall-clock values
+//! are measured while experiments share cores (`timing: "concurrent"`);
+//! `simulated_rounds` is the contention-free metric for cross-revision
+//! comparison.
 
 use delta_coloring_bench::experiments::{run, Scale, ALL};
 use delta_coloring_bench::Table;
@@ -88,6 +97,14 @@ fn main() {
         );
     }
 
+    let baseline_path = PathBuf::from("BENCH_delta.json");
+    if let Some(baseline) = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| Baseline::parse(&text))
+    {
+        print_baseline_diff(&baseline, &results, quick, total_wall);
+    }
+
     let summary = summary_json(&results, quick, total_wall);
     let mut json_paths = vec![out_dir.join("BENCH_delta.json")];
     if results.len() == ALL.len() {
@@ -100,6 +117,110 @@ fn main() {
             Err(e) => eprintln!("cannot write {}: {e}", json_path.display()),
         }
     }
+}
+
+/// The committed `BENCH_delta.json` baseline, as far as the diff table
+/// needs it: per-experiment wall-clock plus the run's totals.
+struct Baseline {
+    quick: Option<bool>,
+    total_wall_clock_s: Option<f64>,
+    experiments: Vec<(String, f64)>,
+}
+
+impl Baseline {
+    /// Line-oriented extraction from the `delta-bench-v1` summary this
+    /// binary itself writes. Returns `None` when nothing recognizable
+    /// is found (foreign or corrupt file) rather than guessing.
+    fn parse(text: &str) -> Option<Baseline> {
+        fn str_field(line: &str, key: &str) -> Option<String> {
+            let rest = line.split_once(&format!("\"{key}\":"))?.1.trim();
+            let rest = rest.strip_prefix('"')?;
+            Some(rest.split_once('"')?.0.to_string())
+        }
+        fn f64_field(line: &str, key: &str) -> Option<f64> {
+            let rest = line.split_once(&format!("\"{key}\":"))?.1.trim();
+            rest.trim_end_matches([',', '}'])
+                .split([',', '}'])
+                .next()?
+                .trim()
+                .parse()
+                .ok()
+        }
+        let mut base = Baseline {
+            quick: None,
+            total_wall_clock_s: None,
+            experiments: Vec::new(),
+        };
+        for line in text.lines() {
+            if base.quick.is_none() {
+                if let Some(rest) = line.split_once("\"quick\":") {
+                    base.quick = Some(rest.1.trim().trim_end_matches(',').trim() == "true");
+                }
+            }
+            if base.total_wall_clock_s.is_none() && !line.contains("\"id\"") {
+                if let Some(v) = f64_field(line, "total_wall_clock_s") {
+                    base.total_wall_clock_s = Some(v);
+                }
+            }
+            if let (Some(id), Some(wall)) = (str_field(line, "id"), f64_field(line, "wall_clock_s"))
+            {
+                base.experiments.push((id, wall));
+            }
+        }
+        if base.experiments.is_empty() && base.total_wall_clock_s.is_none() {
+            None
+        } else {
+            Some(base)
+        }
+    }
+}
+
+/// Prints the per-experiment wall-clock delta table against the
+/// committed baseline.
+fn print_baseline_diff(
+    baseline: &Baseline,
+    results: &[(String, Table, f64)],
+    quick: bool,
+    total_wall: f64,
+) {
+    println!("performance vs committed BENCH_delta.json baseline:");
+    if baseline.quick.is_some_and(|q| q != quick) {
+        println!(
+            "  (scale mismatch: baseline quick={}, this run quick={quick} — deltas are not apples-to-apples)",
+            baseline.quick.unwrap_or_default(),
+        );
+    }
+    println!(
+        "  {:<8} {:>12} {:>12} {:>10} {:>8}",
+        "id", "baseline_s", "now_s", "delta_s", "ratio"
+    );
+    let row = |id: &str, base: Option<f64>, now: f64| match base {
+        Some(b) if b > 0.0 => println!(
+            "  {id:<8} {b:>12.3} {now:>12.3} {:>+10.3} {:>7.2}x",
+            now - b,
+            now / b
+        ),
+        Some(b) => println!(
+            "  {id:<8} {b:>12.3} {now:>12.3} {:>+10.3} {:>8}",
+            now - b,
+            "-"
+        ),
+        None => println!("  {id:<8} {:>12} {now:>12.3} {:>10} {:>8}", "-", "-", "-"),
+    };
+    for (id, _, secs) in results {
+        let base = baseline
+            .experiments
+            .iter()
+            .find(|(bid, _)| bid == id)
+            .map(|&(_, w)| w);
+        row(id, base, *secs);
+    }
+    // The baseline total covers the full sweep; comparing a partial
+    // run's total against it would only mislead.
+    if results.len() == ALL.len() {
+        row("TOTAL", baseline.total_wall_clock_s, total_wall);
+    }
+    println!();
 }
 
 /// Renders the `BENCH_delta.json` summary (schema `delta-bench-v1`).

@@ -92,7 +92,23 @@ impl std::error::Error for GraphError {}
 /// Parallel edges and self-loops are rejected or deduplicated at build
 /// time, so `Graph` always represents a *simple* graph — the setting of
 /// the paper. Adjacency lists are sorted by node id, enabling `O(log Δ)`
-/// edge queries.
+/// edge queries. Extremal degrees are cached at build time, so
+/// [`Graph::max_degree`] and [`Graph::min_degree`] are `O(1)`.
+///
+/// # Arcs
+///
+/// Each undirected edge `{u, v}` corresponds to two **arcs** (directed
+/// half-edges): the entry for `v` in `u`'s adjacency list and the entry
+/// for `u` in `v`'s. Arcs are numbered `0..2m` by their position in the
+/// concatenated adjacency array: [`Graph::arc_range`] gives the arc ids
+/// leaving a node, [`Graph::arc_head`] the neighbor an arc points to,
+/// and [`Graph::reverse_arc`] the opposite arc — equivalently, the
+/// position of a node *inside its neighbor's adjacency list*, which is
+/// what lets message-delivery substrates route a reply (or an inbox
+/// slot) in `O(1)` instead of re-searching the adjacency list. The
+/// reverse-arc table is computed in `O(m)` on first use and cached for
+/// the graph's lifetime, so the myriad short-lived graphs this
+/// workspace builds (BFS balls, induced subgraphs) never pay for it.
 ///
 /// # Example
 ///
@@ -104,12 +120,34 @@ impl std::error::Error for GraphError {}
 /// assert_eq!(g.degree(NodeId(0)), 2);
 /// assert!(g.has_edge(NodeId(0), NodeId(1)));
 /// assert!(!g.has_edge(NodeId(0), NodeId(2)));
+/// // Arc round trip: every arc's reverse points back.
+/// for a in g.arc_range(NodeId(0)) {
+///     let b = g.reverse_arc(a);
+///     assert_eq!(g.arc_head(b), NodeId(0));
+///     assert_eq!(g.reverse_arc(b), a);
+/// }
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Graph {
     offsets: Vec<u32>,
     adj: Vec<NodeId>,
+    /// `rev[a]` is the arc opposite to `a`: if arc `a` leaves `v` toward
+    /// `w`, then `rev[a]` leaves `w` toward `v`. Lazily computed — see
+    /// [`Graph::reverse_arcs`].
+    rev: std::sync::OnceLock<Vec<u32>>,
+    max_degree: u32,
+    min_degree: u32,
 }
+
+/// Graphs compare by structure (offsets + adjacency); the cached
+/// reverse-arc table is derived data and excluded.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets && self.adj == other.adj
+    }
+}
+
+impl Eq for Graph {}
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -188,17 +226,96 @@ impl Graph {
     /// Whether the edge `{u, v}` is present. `O(log Δ)`.
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.neighbors(u).binary_search(&v).is_ok()
+        self.neighbor_position(u, v).is_some()
     }
 
-    /// Maximum degree Δ of the graph (0 for the empty graph).
+    /// Position of `w` inside `v`'s sorted adjacency list, or `None` if
+    /// the edge `{v, w}` is absent. `O(log Δ)`.
+    ///
+    /// The returned index is relative to [`Graph::neighbors`]`(v)`;
+    /// adding `arc_range(v).start` turns it into a global arc id.
+    #[inline]
+    pub fn neighbor_position(&self, v: NodeId, w: NodeId) -> Option<usize> {
+        self.neighbors(v).binary_search(&w).ok()
+    }
+
+    /// Number of arcs (directed half-edges), always `2m`.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The global arc ids leaving `v`; `arc_range(v).len() == degree(v)`
+    /// and arc `arc_range(v).start + i` points to `neighbors(v)[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn arc_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let i = v.index();
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// The neighbor arc `a` points to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= num_arcs()`.
+    #[inline]
+    pub fn arc_head(&self, a: usize) -> NodeId {
+        self.adj[a]
+    }
+
+    /// The arc opposite to `a`: if `a` leaves `v` toward `w`,
+    /// `reverse_arc(a)` leaves `w` toward `v`. `O(1)` via the cached
+    /// table — this is the "position of me in my neighbor's adjacency
+    /// list" lookup. Hot loops should fetch [`Graph::reverse_arcs`]
+    /// once and index it directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= num_arcs()`.
+    #[inline]
+    pub fn reverse_arc(&self, a: usize) -> usize {
+        self.reverse_arcs()[a] as usize
+    }
+
+    /// The full reverse-arc table (`num_arcs()` entries): entry `a` is
+    /// the arc opposite to `a`. Computed in `O(m)` on first call and
+    /// cached for the graph's lifetime.
+    pub fn reverse_arcs(&self) -> &[u32] {
+        self.rev.get_or_init(|| {
+            // Visiting sources v in ascending order consumes each
+            // destination's sorted adjacency list front to back, so one
+            // cursor per node builds the table with no searches.
+            let mut rev = vec![0u32; self.adj.len()];
+            let mut pos: Vec<u32> = self.offsets[..self.n()].to_vec();
+            for v in 0..self.n() {
+                let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
+                for (r, &w) in rev[range.clone()].iter_mut().zip(&self.adj[range]) {
+                    let w = w.index();
+                    debug_assert_eq!(self.adj[pos[w] as usize], NodeId(v as u32));
+                    *r = pos[w];
+                    pos[w] += 1;
+                }
+            }
+            rev
+        })
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph). `O(1)`;
+    /// cached by [`GraphBuilder::build`].
+    #[inline]
     pub fn max_degree(&self) -> usize {
-        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+        self.max_degree as usize
     }
 
-    /// Minimum degree of the graph (0 for the empty graph).
+    /// Minimum degree of the graph (0 for the empty graph). `O(1)`;
+    /// cached by [`GraphBuilder::build`].
+    #[inline]
     pub fn min_degree(&self) -> usize {
-        self.nodes().map(|v| self.degree(v)).min().unwrap_or(0)
+        self.min_degree as usize
     }
 
     /// Iterator over all node ids `0..n`.
@@ -350,7 +467,15 @@ impl GraphBuilder {
         for i in 0..self.n {
             adj[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
         }
-        Graph { offsets, adj }
+        let max_degree = degree.iter().copied().max().unwrap_or(0);
+        let min_degree = degree.iter().copied().min().unwrap_or(0);
+        Graph {
+            offsets,
+            adj,
+            rev: std::sync::OnceLock::new(),
+            max_degree,
+            min_degree,
+        }
     }
 }
 
@@ -452,6 +577,54 @@ mod tests {
         assert_eq!(u.m(), 2);
         assert!(u.has_edge(NodeId(0), NodeId(1)));
         assert!(u.has_edge(NodeId(2), NodeId(4)));
+    }
+
+    #[test]
+    fn arc_table_round_trips() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 0)]).unwrap();
+        assert_eq!(g.num_arcs(), 2 * g.m());
+        let mut seen = vec![false; g.num_arcs()];
+        for v in g.nodes() {
+            let range = g.arc_range(v);
+            assert_eq!(range.len(), g.degree(v));
+            for (i, a) in range.clone().enumerate() {
+                assert_eq!(g.arc_head(a), g.neighbors(v)[i]);
+                let b = g.reverse_arc(a);
+                assert_eq!(g.arc_head(b), v, "reverse arc must point back");
+                assert_eq!(g.reverse_arc(b), a, "reverse is an involution");
+                // b sits at v's position inside the neighbor's list.
+                let w = g.arc_head(a);
+                let p = g.neighbor_position(w, v).expect("symmetric edge");
+                assert_eq!(b, g.arc_range(w).start + p);
+                seen[a] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "arc ranges partition 0..2m");
+    }
+
+    #[test]
+    fn neighbor_position_matches_sorted_list() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2)]).unwrap();
+        assert_eq!(g.neighbor_position(NodeId(0), NodeId(1)), Some(0));
+        assert_eq!(g.neighbor_position(NodeId(0), NodeId(3)), Some(2));
+        assert_eq!(g.neighbor_position(NodeId(1), NodeId(3)), None);
+        assert_eq!(g.neighbor_position(NodeId(3), NodeId(0)), Some(0));
+    }
+
+    #[test]
+    fn cached_degrees_match_recomputation() {
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 2), (4, 5)]).unwrap();
+        assert_eq!(
+            g.max_degree(),
+            g.nodes().map(|v| g.degree(v)).max().unwrap()
+        );
+        assert_eq!(
+            g.min_degree(),
+            g.nodes().map(|v| g.degree(v)).min().unwrap()
+        );
+        let (h, _) = g.induced(&[NodeId(0), NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(h.max_degree(), 2);
+        assert_eq!(h.min_degree(), 0); // node 4 loses its only neighbor
     }
 
     #[test]

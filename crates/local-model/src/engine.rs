@@ -12,15 +12,61 @@
 //! The two-phase structure enforces LOCAL-model synchrony: a node
 //! cannot observe a neighbor's round-`t` message before round `t + 1`.
 //!
+//! # Mailbox arena
+//!
+//! Delivery runs through a flat, CSR-indexed **mailbox arena** owned by
+//! the engine and reused across rounds, so the steady-state delivery
+//! path performs **no heap allocation** (verified by the
+//! counting-allocator test in `tests/alloc_audit.rs`):
+//!
+//! * every node keeps a persistent [`Outbox`] whose directed buffer is
+//!   cleared (capacity retained) at the start of each send phase;
+//! * a sequential **routing pass** resolves every directed message
+//!   `w → v` to its destination *arc* (the graph's directed
+//!   half-edges, [`Graph::arc_range`]) with a single `O(log Δ)`
+//!   [`Graph::neighbor_position`] lookup plus the `O(1)`
+//!   [`Graph::reverse_arc`] table; the lookup doubles as the
+//!   non-neighbor validity check (a `debug_assert!`; release builds
+//!   drop invalid messages without the historical extra `has_edge`
+//!   search), and a linear stable counting pass groups the messages by
+//!   recipient — already arc-ordered within each bucket, because
+//!   senders are visited in increasing id order;
+//! * a **fill pass** then builds inboxes in a strictly forward sweep
+//!   of a flat `Vec<(NodeId, M)>` arena: node `v`'s inbox is the
+//!   contiguous slice written while walking `v`'s arcs in order, so
+//!   sorted adjacency gives the sender-sorted inbox invariant for
+//!   free; each neighbor contributes its broadcast (read straight off
+//!   its outbox) before its directed messages (drained from the
+//!   arc-sorted bucket with one merge cursor) — no scattered writes;
+//!   recipients are processed in blocks of roughly [`ARENA_BLOCK`]
+//!   messages, each block's inboxes filled and consumed before the
+//!   arena is reused, so delivery memory is bounded by the block (not
+//!   the round's total traffic) and stays cache-resident even on dense
+//!   power graphs;
+//! * the recv phase hands every node its inbox as a **borrowed slice**
+//!   of the arena — a broadcast payload is cloned once per delivery, a
+//!   directed payload once into the staging buffer and once into the
+//!   arena (bitwise copies for the `Copy` message types the algorithms
+//!   use).
+//!
+//! The per-message-type scratch (`M` differs per [`Engine::step`] call)
+//! lives in a small type-keyed map inside the engine; warm-up grows the
+//! buffers once per message type, after which rounds are
+//! allocation-free for `Copy` payloads. (In [`ExecMode::Parallel`], the
+//! vendored rayon stand-in still allocates inside its fan-out adapters;
+//! the engine's own delivery path stays allocation-free either way.)
+//!
 //! # Parallel execution
 //!
-//! Both phases are data-parallel over nodes: the send phase only
-//! touches node-local state, and delivery is synchronous (the recv
-//! phase reads the immutable round-`t` outboxes). The engine exploits
-//! this with rayon-style worker threads when the graph is large enough
-//! ([`ExecMode::Auto`]), while per-node private RNG streams keep the
-//! execution **bit-identical to the sequential schedule** for a fixed
-//! seed — verified by the repository's determinism regression test.
+//! Both compute phases are data-parallel over nodes: the send phase
+//! only touches node-local state, and the recv phase reads the
+//! immutable round-`t` arena. The engine exploits this with rayon-style
+//! worker threads when the graph is large enough ([`ExecMode::Auto`]),
+//! while the routing/scatter pass stays sequential and per-node private
+//! RNG streams keep the execution **bit-identical to the sequential
+//! schedule** for a fixed seed — verified by the repository's
+//! determinism regression test and by the reference-delivery
+//! equivalence proptest in `tests/delivery_equivalence.rs`.
 //!
 //! # Accounting
 //!
@@ -34,6 +80,8 @@ use delta_graphs::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use rayon::prelude::*;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Per-node execution context handed to node programs: the node's
@@ -79,6 +127,13 @@ impl<M> Outbox<M> {
         }
     }
 
+    /// Empties the outbox for the next round, retaining the directed
+    /// buffer's capacity.
+    fn reset(&mut self) {
+        self.broadcast = None;
+        self.directed.clear();
+    }
+
     /// Sends `msg` to every neighbor. At most one broadcast per round;
     /// a second call replaces the first.
     pub fn broadcast(&mut self, msg: M) {
@@ -104,8 +159,9 @@ impl<M> Outbox<M> {
 pub trait NodeProgram: Sync {
     /// Per-node state.
     type State: Send;
-    /// Message type (cloned per delivery).
-    type Msg: Clone + Send + Sync;
+    /// Message type (cloned per delivery into the mailbox arena;
+    /// `'static` so the engine can cache per-type delivery scratch).
+    type Msg: Clone + Send + Sync + 'static;
 
     /// Send phase: read/update own state, queue outgoing messages.
     fn send(&self, ctx: &mut NodeCtx<'_>, state: &mut Self::State, out: &mut Outbox<Self::Msg>);
@@ -168,6 +224,68 @@ pub struct MessageStats {
     pub deliveries: u64,
 }
 
+/// Reusable per-message-type delivery scratch: the persistent outboxes
+/// plus the flat CSR-indexed inbox arena (see the module docs). One
+/// `Mailbox<M>` lives in the engine's type-keyed scratch map per
+/// message type `M` used with [`Engine::step`]; all buffers retain
+/// their capacity across rounds, so the steady state allocates nothing.
+struct Mailbox<M> {
+    /// One persistent outbox per node, reset (not reallocated) each round.
+    outboxes: Vec<Outbox<M>>,
+    /// The flat inbox arena. Filled one recipient block at a time (see
+    /// [`ARENA_BLOCK`]): while block `[i0, i1)` is being delivered,
+    /// node `v ∈ [i0, i1)`'s inbox is
+    /// `arena[inbox_start[v] .. inbox_start[v + 1]]`; the arena is
+    /// cleared for the next block, so offsets outside the active block
+    /// are stale — neither field is meaningful after `step` returns.
+    arena: Vec<(NodeId, M)>,
+    /// Block-local arena bounds (`n + 1` entries); only the slots of
+    /// the block currently being delivered are valid.
+    inbox_start: Vec<u32>,
+    /// This round's directed messages, staged contiguously in global
+    /// send order as `(dest_arc, payload)`. Staging the payload (its
+    /// clone into the delivery substrate) keeps later reads inside one
+    /// compact buffer instead of pointer-chasing into scattered outbox
+    /// buffers. Non-neighbor targets are dropped during routing.
+    routed: Vec<(u32, M)>,
+    /// Recipient of each `routed` entry, parallel to `routed`.
+    routed_to: Vec<u32>,
+    /// Per-recipient bucket cursors/bounds over `dir_idx` (`n + 1`
+    /// entries): after the bucketing pass, recipient `v`'s directed
+    /// messages are `dir_idx[dir_start[v - 1] .. dir_start[v]]`
+    /// (`0` for `v = 0`).
+    dir_start: Vec<u32>,
+    /// Indices into `routed`, bucketed by recipient. Because the
+    /// routing pass visits senders in increasing id order (and a
+    /// sender's messages in send order), each bucket comes out sorted
+    /// by destination arc with ties in send order — no sorting needed,
+    /// the counting pass is a complete stable sort by construction.
+    dir_idx: Vec<u32>,
+}
+
+impl<M> Mailbox<M> {
+    fn new() -> Self {
+        Mailbox {
+            outboxes: Vec::new(),
+            arena: Vec::new(),
+            inbox_start: Vec::new(),
+            routed: Vec::new(),
+            routed_to: Vec::new(),
+            dir_start: Vec::new(),
+            dir_idx: Vec::new(),
+        }
+    }
+
+    /// Sizes the fixed-shape buffers for `graph` (no-op after warm-up).
+    fn ensure_shape(&mut self, graph: &Graph) {
+        if self.outboxes.len() != graph.n() {
+            self.outboxes.resize_with(graph.n(), Outbox::new);
+            self.inbox_start.resize(graph.n() + 1, 0);
+            self.dir_start.resize(graph.n() + 1, 0);
+        }
+    }
+}
+
 /// Synchronous message-passing executor over a graph.
 ///
 /// `S` is the per-node state. Each [`Engine::step`] (or
@@ -207,6 +325,10 @@ pub struct Engine<'g, S> {
     mode: ExecMode,
     rounds_run: u64,
     stats: MessageStats,
+    /// Per-message-type [`Mailbox`] scratch, keyed by `TypeId::of::<M>()`.
+    /// Buffers are created on the first `step::<M>` call and reused for
+    /// the engine's lifetime, making steady-state rounds allocation-free.
+    scratch: HashMap<TypeId, Box<dyn Any + Send>>,
 }
 
 impl<'g, S: Send> Engine<'g, S> {
@@ -225,6 +347,7 @@ impl<'g, S: Send> Engine<'g, S> {
             mode: ExecMode::Auto,
             rounds_run: 0,
             stats: MessageStats::default(),
+            scratch: HashMap::new(),
         }
     }
 
@@ -324,64 +447,107 @@ impl<'g, S: Send> Engine<'g, S> {
         send: SEND,
         recv: RECV,
     ) where
-        M: Clone + Send + Sync,
+        M: Clone + Send + Sync + 'static,
         SEND: Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>) + Sync,
         RECV: Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]) + Sync,
     {
         let graph = self.graph;
         let parallel = self.parallel();
+        let mailbox: &mut Mailbox<M> = self
+            .scratch
+            .entry(TypeId::of::<M>())
+            .or_insert_with(|| Box::new(Mailbox::<M>::new()))
+            .downcast_mut()
+            .expect("scratch map is keyed by message TypeId");
+        mailbox.ensure_shape(graph);
+        let states = &mut self.states;
+        let rngs = &mut self.rngs;
 
-        // Phase 1: compute all outboxes from round-start states.
-        let outboxes: Vec<Outbox<M>> = if parallel {
-            self.states
-                .par_iter_mut()
-                .zip(self.rngs.par_iter_mut())
-                .enumerate()
-                .map(|(i, (state, rng))| run_send(graph, i, state, rng, &send))
-                .collect()
-        } else {
-            self.states
-                .iter_mut()
-                .zip(self.rngs.iter_mut())
-                .enumerate()
-                .map(|(i, (state, rng))| run_send(graph, i, state, rng, &send))
-                .collect()
-        };
-
-        for (i, out) in outboxes.iter().enumerate() {
-            let v = NodeId::from_index(i);
-            if out.broadcast.is_some() {
-                self.stats.broadcasts += 1;
-                self.stats.deliveries += graph.degree(v) as u64;
-            }
-            self.stats.directed += out.directed.len() as u64;
-            // A directed message only reaches an actual neighbor; in the
-            // LOCAL model addressing anyone else is a program bug.
-            for &(to, _) in &out.directed {
-                debug_assert!(
-                    graph.has_edge(v, to),
-                    "node {v} sent a directed message to non-neighbor {to}"
-                );
-                if graph.has_edge(v, to) {
-                    self.stats.deliveries += 1;
-                }
+        // Phase 1: compute all outboxes from round-start states. The
+        // outboxes are persistent; each node resets its own before
+        // running the send closure.
+        {
+            let outboxes = &mut mailbox.outboxes;
+            if parallel {
+                states
+                    .par_iter_mut()
+                    .zip(rngs.par_iter_mut())
+                    .zip(outboxes.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(i, ((state, rng), out))| {
+                        run_send(graph, i, state, rng, out, &send)
+                    });
+            } else {
+                states
+                    .iter_mut()
+                    .zip(rngs.iter_mut())
+                    .zip(outboxes.iter_mut())
+                    .enumerate()
+                    .for_each(|(i, ((state, rng), out))| {
+                        run_send(graph, i, state, rng, out, &send)
+                    });
             }
         }
 
-        // Phase 2: simultaneous delivery; every node consumes its inbox.
-        let outboxes = &outboxes;
-        if parallel {
-            self.states
-                .par_iter_mut()
-                .zip(self.rngs.par_iter_mut())
-                .enumerate()
-                .for_each(|(i, (state, rng))| run_recv(graph, i, state, rng, outboxes, &recv));
-        } else {
-            self.states
-                .iter_mut()
-                .zip(self.rngs.iter_mut())
-                .enumerate()
-                .for_each(|(i, (state, rng))| run_recv(graph, i, state, rng, outboxes, &recv));
+        // Routing: resolve and group this round's directed messages
+        // (sequential — pure index arithmetic and memcpy-sized clones;
+        // the per-node compute is the part worth parallelizing).
+        route_messages(graph, mailbox, &mut self.stats);
+
+        // Phase 2: simultaneous delivery; every node consumes its inbox
+        // as a borrowed slice of the arena. Recipients are processed in
+        // blocks of at most [`ARENA_BLOCK`]-ish messages: fill the
+        // arena for a block, run the block's recv, reuse the arena —
+        // bounding delivery memory by the block size instead of the
+        // round's total traffic, which keeps the arena cache-resident
+        // (and the kernel out of the loop) even on dense power graphs.
+        // Sparse rounds fit in one block, so they pay no extra cost.
+        let n = graph.n();
+        let mut block_start = 0usize;
+        let mut dir_cursor = 0usize;
+        while block_start < n {
+            // Upper-bound a recipient's arena demand by its degree
+            // (possible broadcasts) plus its directed bucket — known
+            // without reading any outbox.
+            let mut block_end = block_start;
+            let mut load = 0usize;
+            while block_end < n {
+                let bucket = bucket_bounds(&mailbox.dir_start, block_end);
+                let node_load = graph.degree(NodeId::from_index(block_end)) + bucket.len();
+                if block_end > block_start && load + node_load > ARENA_BLOCK {
+                    break;
+                }
+                load += node_load;
+                block_end += 1;
+            }
+            fill_block(graph, mailbox, block_start, block_end, &mut dir_cursor);
+
+            let arena = &mailbox.arena;
+            let inbox_start = &mailbox.inbox_start;
+            let run_one = |i: usize, state: &mut S, rng: &mut StdRng| {
+                let v = NodeId::from_index(i);
+                let inbox = &arena[inbox_start[i] as usize..inbox_start[i + 1] as usize];
+                let mut ctx = NodeCtx {
+                    id: v,
+                    degree: graph.degree(v),
+                    rng,
+                };
+                recv(&mut ctx, state, inbox);
+            };
+            if parallel {
+                states[block_start..block_end]
+                    .par_iter_mut()
+                    .zip(rngs[block_start..block_end].par_iter_mut())
+                    .enumerate()
+                    .for_each(|(i, (state, rng))| run_one(block_start + i, state, rng));
+            } else {
+                states[block_start..block_end]
+                    .iter_mut()
+                    .zip(rngs[block_start..block_end].iter_mut())
+                    .enumerate()
+                    .for_each(|(i, (state, rng))| run_one(block_start + i, state, rng));
+            }
+            block_start = block_end;
         }
 
         self.rounds_run += 1;
@@ -389,51 +555,142 @@ impl<'g, S: Send> Engine<'g, S> {
     }
 }
 
+/// Soft cap on arena entries per delivery block. One block handles the
+/// whole round for every sparse graph in the experiment sweep; dense
+/// power graphs split into blocks that keep the arena within cache
+/// instead of materializing hundreds of megabytes of inboxes at once.
+/// A single recipient may exceed the cap (its inbox must be one
+/// contiguous slice), so this bounds memory at
+/// `max(ARENA_BLOCK, largest single inbox)` entries.
+pub const ARENA_BLOCK: usize = 1 << 18;
+
+/// Bucket of directed-message indices for recipient `v` inside
+/// `dir_idx` (see [`Mailbox::dir_start`]'s cursor-shift layout).
+fn bucket_bounds(dir_start: &[u32], v: usize) -> std::ops::Range<usize> {
+    let start = if v == 0 { 0 } else { dir_start[v - 1] as usize };
+    start..dir_start[v] as usize
+}
+
 fn run_send<S, M>(
     graph: &Graph,
     i: usize,
     state: &mut S,
     rng: &mut StdRng,
+    out: &mut Outbox<M>,
     send: &impl Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>),
-) -> Outbox<M> {
+) {
     let v = NodeId::from_index(i);
     let mut ctx = NodeCtx {
         id: v,
         degree: graph.degree(v),
         rng,
     };
-    let mut out = Outbox::new();
-    send(&mut ctx, state, &mut out);
-    out
+    out.reset();
+    send(&mut ctx, state, out);
 }
 
-fn run_recv<S, M: Clone>(
-    graph: &Graph,
-    i: usize,
-    state: &mut S,
-    rng: &mut StdRng,
-    outboxes: &[Outbox<M>],
-    recv: &impl Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]),
-) {
-    let v = NodeId::from_index(i);
-    let mut inbox: Vec<(NodeId, M)> = Vec::new();
-    for &w in graph.neighbors(v) {
-        let out = &outboxes[w.index()];
-        if let Some(m) = &out.broadcast {
-            inbox.push((w, m.clone()));
+/// Routing pass: resolves every directed message to its destination arc
+/// (one `neighbor_position` lookup per message — the validity check and
+/// the routing are the same lookup, followed by the `O(1)`
+/// [`Graph::reverse_arc`] hop), stages it with its payload in
+/// `mailbox.routed`, groups the staged messages by recipient with a
+/// linear stable counting pass over `dir_start` (no comparison sort
+/// anywhere), and accumulates the round's [`MessageStats`]. Broadcasts
+/// need no routing work here: the fill pass reads them straight off
+/// the sender's outbox.
+fn route_messages<M: Clone>(graph: &Graph, mailbox: &mut Mailbox<M>, stats: &mut MessageStats) {
+    let n = graph.n();
+    let mut rev: Option<&[u32]> = None;
+    mailbox.routed.clear();
+    mailbox.routed_to.clear();
+    mailbox.dir_start.fill(0);
+    for (i, out) in mailbox.outboxes.iter().enumerate() {
+        let v = NodeId::from_index(i);
+        if out.broadcast.is_some() {
+            stats.broadcasts += 1;
+            stats.deliveries += graph.degree(v) as u64;
         }
+        stats.directed += out.directed.len() as u64;
         for (to, m) in &out.directed {
-            if *to == v {
-                inbox.push((w, m.clone()));
+            // A directed message only reaches an actual neighbor; in the
+            // LOCAL model addressing anyone else is a program bug.
+            match graph.neighbor_position(v, *to) {
+                Some(p) => {
+                    // Broadcast-only rounds never force the table.
+                    let rev = *rev.get_or_insert_with(|| graph.reverse_arcs());
+                    let dest = rev[graph.arc_range(v).start + p] as usize;
+                    mailbox.routed.push((dest as u32, m.clone()));
+                    mailbox.routed_to.push(to.0);
+                    mailbox.dir_start[to.index() + 1] += 1;
+                    stats.deliveries += 1;
+                }
+                None => debug_assert!(
+                    false,
+                    "node {v} sent a directed message to non-neighbor {to}"
+                ),
             }
         }
     }
-    let mut ctx = NodeCtx {
-        id: v,
-        degree: graph.degree(v),
-        rng,
-    };
-    recv(&mut ctx, state, &inbox);
+    // Bucket the staged messages by recipient: prefix-sum the counts,
+    // then scatter indices with the per-recipient cursors (shifting
+    // each cursor to its bucket's end). Senders were visited in
+    // increasing id order and the destination arc inside a recipient's
+    // range grows with the sender id, so this stable counting pass
+    // leaves every bucket already grouped by arc in send order —
+    // delivery needs no comparison sort at all.
+    for i in 1..=n {
+        mailbox.dir_start[i] += mailbox.dir_start[i - 1];
+    }
+    mailbox.dir_idx.resize(mailbox.routed.len(), 0);
+    for (i, &to) in mailbox.routed_to.iter().enumerate() {
+        let cursor = &mut mailbox.dir_start[to as usize];
+        mailbox.dir_idx[*cursor as usize] = i as u32;
+        *cursor += 1;
+    }
+}
+
+/// Fill pass for the recipient block `[i0, i1)`: builds the block's
+/// inboxes in one strictly sequential sweep of the (cleared) arena,
+/// leaving block-local offsets in `inbox_start[i0..=i1]`. For each
+/// recipient, walking its arcs in order visits its neighbors in sorted
+/// order; each neighbor contributes its broadcast first, then its
+/// directed messages in send order (consumed from the recipient's
+/// arc-sorted bucket — buckets follow recipient order, so `dir_cursor`
+/// advances monotonically across blocks). This preserves the engine's
+/// sender-sorted inbox invariant while touching memory mostly forward:
+/// the outbox array and the staging buffer are compact, and arena
+/// writes never scatter.
+fn fill_block<M: Clone>(
+    graph: &Graph,
+    mailbox: &mut Mailbox<M>,
+    i0: usize,
+    i1: usize,
+    dir_cursor: &mut usize,
+) {
+    let arena = &mut mailbox.arena;
+    let outboxes = &mailbox.outboxes;
+    let routed = &mailbox.routed;
+    arena.clear();
+    for i in i0..i1 {
+        mailbox.inbox_start[i] = arena.len() as u32;
+        let bucket_end = mailbox.dir_start[i] as usize;
+        for a in graph.arc_range(NodeId::from_index(i)) {
+            let w = graph.arc_head(a);
+            if let Some(m) = &outboxes[w.index()].broadcast {
+                arena.push((w, m.clone()));
+            }
+            while *dir_cursor < bucket_end {
+                let (dest, ref m) = routed[mailbox.dir_idx[*dir_cursor] as usize];
+                if dest as usize != a {
+                    break;
+                }
+                arena.push((w, m.clone()));
+                *dir_cursor += 1;
+            }
+        }
+        debug_assert_eq!(*dir_cursor, bucket_end, "recipient bucket fully drained");
+    }
+    mailbox.inbox_start[i1] = arena.len() as u32;
 }
 
 #[cfg(test)]

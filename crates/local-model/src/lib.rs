@@ -14,7 +14,11 @@
 //!   messages, deterministic per-node randomness, and a parallel
 //!   compute phase (nodes evaluated on worker threads; delivery stays
 //!   synchronous, so LOCAL semantics and per-seed determinism hold in
-//!   every [`ExecMode`]);
+//!   every [`ExecMode`]). Delivery runs through a flat CSR-indexed
+//!   mailbox arena reused across rounds — zero steady-state heap
+//!   allocation for `Copy` payloads, inboxes borrowed as arena slices
+//!   (see the [`engine`] module docs for the architecture and its
+//!   determinism invariants);
 //! * ball collection through [`delta_graphs::bfs::ball`] with explicit
 //!   round charging on a [`RoundLedger`] (in `r` rounds a node learns
 //!   exactly its radius-`r` ball), packaged as [`BallOracle`].

@@ -1,0 +1,101 @@
+//! Allocation audit of the steady-state delivery path.
+//!
+//! The engine's mailbox arena is sized during the first rounds of a
+//! message type ("warm-up") and reused afterwards; with `Copy` message
+//! payloads the sequential schedule must then execute whole rounds —
+//! send, routing, scatter, recv — without touching the heap. This test
+//! enforces that with a counting global allocator.
+//!
+//! The parallel schedule is *not* audited: the vendored rayon stand-in
+//! materializes per-phase item vectors and per-thread chunks, which
+//! allocates inside the fan-out adapters (outside the engine's own
+//! delivery path). Swap in real rayon for an allocation-free parallel
+//! fan-out.
+//!
+//! This file intentionally contains a single `#[test]`: the allocation
+//! counter is process-global, and a concurrently running sibling test
+//! would pollute it.
+
+use delta_graphs::generators;
+use local_model::{Engine, ExecMode, Outbox, RoundLedger};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One mixed-traffic round: every node broadcasts and sends one
+/// directed message to its smallest neighbor. `u64` payloads are
+/// `Copy`, so delivery clones are bitwise and allocation-free.
+fn mixed_round(engine: &mut Engine<'_, u64>, g: &delta_graphs::Graph, ledger: &mut RoundLedger) {
+    engine.step(
+        ledger,
+        "audit",
+        |ctx, s: &mut u64, out: &mut Outbox<u64>| {
+            *s = s
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(ctx.id.0 as u64);
+            out.broadcast(*s);
+            if let Some(&w) = g.neighbors(ctx.id).first() {
+                out.send_to(w, !*s);
+            }
+        },
+        |_, s, inbox| {
+            for &(w, m) in inbox {
+                *s = s.wrapping_add(m ^ w.0 as u64);
+            }
+        },
+    );
+}
+
+#[test]
+fn warm_engine_rounds_do_not_allocate() {
+    let g = generators::random_regular(512, 4, 9);
+    let mut ledger = RoundLedger::new();
+    let mut engine = Engine::new(&g, 3, |v| v.0 as u64).with_mode(ExecMode::Sequential);
+
+    // Warm-up: grows the outboxes, routing scratch, and arena to their
+    // steady-state capacity (and inserts the ledger's phase entry).
+    for _ in 0..3 {
+        mixed_round(&mut engine, &g, &mut ledger);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..32 {
+        mixed_round(&mut engine, &g, &mut ledger);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "delivery path allocated {} times across 32 warm rounds",
+        after - before
+    );
+    // The rounds actually ran and delivered: 512 broadcasts + 512
+    // directed messages per round.
+    assert_eq!(engine.rounds_run(), 35);
+    assert_eq!(engine.message_stats().directed, 35 * 512);
+}
