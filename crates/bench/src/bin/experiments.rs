@@ -8,8 +8,15 @@
 //! fanning the experiments out across worker threads. Prints aligned
 //! tables to stdout (in canonical order), writes one CSV per experiment
 //! into `--out DIR` (default `results/`), and emits a
-//! `BENCH_delta.json` summary with per-experiment wall-clock and
-//! simulated LOCAL rounds.
+//! `BENCH_delta.json` summary with per-experiment wall-clock, simulated
+//! LOCAL rounds, and the heaviest per-edge-per-round load
+//! (`max_edge_bits`) the engine's CONGEST-style accounting observed —
+//! so bandwidth regressions diff exactly like wall-clock ones.
+//!
+//! After the tables, a **bandwidth table** classifies every protocol
+//! substrate (wire-format `max_bits` bound vs the `O(log n)` CONGEST
+//! budget: CONGEST-feasible or LOCAL-only) and lists each experiment's
+//! measured per-edge load.
 //!
 //! Before anything is written, the fresh numbers are **diffed against
 //! the committed baseline** (`BENCH_delta.json` in the working
@@ -26,8 +33,10 @@
 //! `simulated_rounds` is the contention-free metric for cross-revision
 //! comparison.
 
+use delta_coloring::bandwidth::classify;
 use delta_coloring_bench::experiments::{run, Scale, ALL};
 use delta_coloring_bench::Table;
+use local_model::{congest_budget, WireParams};
 use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -91,11 +100,14 @@ fn main() {
             eprintln!("cannot write {}: {e}", path.display());
         }
         println!(
-            "[{id}] done in {secs:.1}s ({} simulated rounds) -> {}\n",
+            "[{id}] done in {secs:.1}s ({} simulated rounds, max {} bits/edge/round) -> {}\n",
             table.sim_rounds(),
+            table.max_edge_bits(),
             path.display()
         );
     }
+
+    print_bandwidth_table(quick, &results);
 
     let baseline_path = PathBuf::from("BENCH_delta.json");
     if let Some(baseline) = std::fs::read_to_string(&baseline_path)
@@ -119,12 +131,67 @@ fn main() {
     }
 }
 
+/// Prints the substrate bandwidth classification (static wire-format
+/// bounds vs the CONGEST budget) followed by the measured
+/// per-experiment loads the engine accounted this run.
+fn print_bandwidth_table(quick: bool, results: &[(String, Table, f64)]) {
+    // Parameters representative of the run scale (Δ = 4 dominates the
+    // sweeps); the classification is monotone in n for every substrate.
+    let p = WireParams {
+        n: if quick { 1 << 12 } else { 1 << 16 },
+        max_degree: 4,
+        palette: 5,
+    };
+    println!(
+        "== per-algorithm bandwidth: wire-format bounds vs CONGEST budget ({} bits at n = {}, delta = {}) ==",
+        congest_budget(p.n),
+        p.n,
+        p.max_degree
+    );
+    println!(
+        "{:<18} {:<14} {:>10}  {:<18} why",
+        "substrate", "message", "max_bits", "class"
+    );
+    println!("{}", "-".repeat(96));
+    for row in classify(&p) {
+        let bits = row
+            .max_bits
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "unbounded".into());
+        println!(
+            "{:<18} {:<14} {:>10}  {:<18} {}",
+            row.name,
+            row.message,
+            bits,
+            row.class.to_string(),
+            row.note
+        );
+    }
+    println!();
+    println!(
+        "measured per-experiment loads (engine-accounted, heaviest directed edge in any round):"
+    );
+    for (id, table, _) in results {
+        let m = table.max_edge_bits();
+        let verdict = if m == 0 {
+            "no engine rounds".into()
+        } else if m <= congest_budget(p.n) {
+            format!("within budget ({})", congest_budget(p.n))
+        } else {
+            format!("over budget ({})", congest_budget(p.n))
+        };
+        println!("  {id:<6} {m:>10} bits  {verdict}");
+    }
+    println!();
+}
+
 /// The committed `BENCH_delta.json` baseline, as far as the diff table
-/// needs it: per-experiment wall-clock plus the run's totals.
+/// needs it: per-experiment wall-clock and max-bits-per-edge plus the
+/// run's totals.
 struct Baseline {
     quick: Option<bool>,
     total_wall_clock_s: Option<f64>,
-    experiments: Vec<(String, f64)>,
+    experiments: Vec<(String, f64, Option<u64>)>,
 }
 
 impl Baseline {
@@ -164,7 +231,8 @@ impl Baseline {
             }
             if let (Some(id), Some(wall)) = (str_field(line, "id"), f64_field(line, "wall_clock_s"))
             {
-                base.experiments.push((id, wall));
+                let bits = f64_field(line, "max_edge_bits").map(|b| b as u64);
+                base.experiments.push((id, wall, bits));
             }
         }
         if base.experiments.is_empty() && base.total_wall_clock_s.is_none() {
@@ -191,34 +259,66 @@ fn print_baseline_diff(
         );
     }
     println!(
-        "  {:<8} {:>12} {:>12} {:>10} {:>8}",
-        "id", "baseline_s", "now_s", "delta_s", "ratio"
+        "  {:<8} {:>12} {:>12} {:>10} {:>8} {:>12} {:>10} {:>10}",
+        "id", "baseline_s", "now_s", "delta_s", "ratio", "base_bits/e", "now_bits/e", "delta_bits"
     );
-    let row = |id: &str, base: Option<f64>, now: f64| match base {
-        Some(b) if b > 0.0 => println!(
-            "  {id:<8} {b:>12.3} {now:>12.3} {:>+10.3} {:>7.2}x",
-            now - b,
-            now / b
-        ),
-        Some(b) => println!(
-            "  {id:<8} {b:>12.3} {now:>12.3} {:>+10.3} {:>8}",
-            now - b,
-            "-"
-        ),
-        None => println!("  {id:<8} {:>12} {now:>12.3} {:>10} {:>8}", "-", "-", "-"),
-    };
-    for (id, _, secs) in results {
-        let base = baseline
-            .experiments
-            .iter()
-            .find(|(bid, _)| bid == id)
-            .map(|&(_, w)| w);
-        row(id, base, *secs);
+    let fmt_bits = |b: Option<u64>| b.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+    let row =
+        |id: &str, base: Option<f64>, now: f64, base_bits: Option<u64>, now_bits: Option<u64>| {
+            let bits_delta = match (base_bits, now_bits) {
+                (Some(b), Some(n)) => format!("{:+}", n as i64 - b as i64),
+                _ => "-".into(),
+            };
+            match base {
+                Some(b) if b > 0.0 => println!(
+                    "  {id:<8} {b:>12.3} {now:>12.3} {:>+10.3} {:>7.2}x {:>12} {:>10} {:>10}",
+                    now - b,
+                    now / b,
+                    fmt_bits(base_bits),
+                    fmt_bits(now_bits),
+                    bits_delta
+                ),
+                Some(b) => println!(
+                    "  {id:<8} {b:>12.3} {now:>12.3} {:>+10.3} {:>8} {:>12} {:>10} {:>10}",
+                    now - b,
+                    "-",
+                    fmt_bits(base_bits),
+                    fmt_bits(now_bits),
+                    bits_delta
+                ),
+                None => println!(
+                    "  {id:<8} {:>12} {now:>12.3} {:>10} {:>8} {:>12} {:>10} {:>10}",
+                    "-",
+                    "-",
+                    "-",
+                    fmt_bits(base_bits),
+                    fmt_bits(now_bits),
+                    bits_delta
+                ),
+            }
+        };
+    for (id, table, secs) in results {
+        let base = baseline.experiments.iter().find(|(bid, _, _)| bid == id);
+        row(
+            id,
+            base.map(|&(_, w, _)| w),
+            *secs,
+            base.and_then(|&(_, _, b)| b),
+            Some(table.max_edge_bits()),
+        );
     }
     // The baseline total covers the full sweep; comparing a partial
     // run's total against it would only mislead.
     if results.len() == ALL.len() {
-        row("TOTAL", baseline.total_wall_clock_s, total_wall);
+        let base_max = baseline.experiments.iter().filter_map(|&(_, _, b)| b).max();
+        let now_max = results.iter().map(|(_, t, _)| t.max_edge_bits()).max();
+        row(
+            "TOTAL",
+            baseline.total_wall_clock_s,
+            total_wall,
+            base_max,
+            now_max,
+        );
     }
     println!();
 }
@@ -232,13 +332,20 @@ fn summary_json(results: &[(String, Table, f64)], quick: bool, total_wall: f64) 
     let _ = writeln!(out, "  \"total_wall_clock_s\": {total_wall:.3},");
     let total_rounds: u64 = results.iter().map(|(_, t, _)| t.sim_rounds()).sum();
     let _ = writeln!(out, "  \"total_simulated_rounds\": {total_rounds},");
+    let max_bits = results
+        .iter()
+        .map(|(_, t, _)| t.max_edge_bits())
+        .max()
+        .unwrap_or(0);
+    let _ = writeln!(out, "  \"max_edge_bits\": {max_bits},");
     let _ = writeln!(out, "  \"experiments\": [");
     for (i, (id, table, secs)) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"id\": \"{id}\", \"wall_clock_s\": {secs:.3}, \"simulated_rounds\": {}, \"rows\": {}}}{comma}",
+            "    {{\"id\": \"{id}\", \"wall_clock_s\": {secs:.3}, \"simulated_rounds\": {}, \"max_edge_bits\": {}, \"rows\": {}}}{comma}",
             table.sim_rounds(),
+            table.max_edge_bits(),
             table.len(),
         );
     }

@@ -94,13 +94,14 @@ pub fn t1(scale: Scale) -> Table {
         .flat_map(|&d| ns.iter().map(move |&n| (d, n)))
         .collect();
     // Each (delta, n) cell is independent: sweep them on worker threads.
-    let cells: Vec<(Vec<String>, u64)> = configs
+    let cells: Vec<(Vec<String>, u64, u64)> = configs
         .into_par_iter()
         .map(|(delta, n)| {
             let mut rounds = Vec::new();
             let mut attempts = 0u64;
             let mut fellback = 0u64;
             let mut meter = 0u64;
+            let mut edge_bits = 0u64;
             for seed in 0..scale.seeds() {
                 let g = generators::random_regular(n, delta, seed * 101 + delta as u64);
                 let cfg = if delta == 3 {
@@ -115,6 +116,7 @@ pub fn t1(scale: Scale) -> Table {
                 attempts += stats.attempts as u64;
                 fellback += stats.fell_back as u64;
                 meter += ledger.total();
+                edge_bits = edge_bits.max(ledger.max_edge_bits());
             }
             let ll = log2(log2(n as f64));
             let row = vec![
@@ -126,12 +128,13 @@ pub fn t1(scale: Scale) -> Table {
                 fellback.to_string(),
                 fmt_f(ll * ll),
             ];
-            (row, meter)
+            (row, meter, edge_bits)
         })
         .collect();
-    for (row, meter) in cells {
+    for (row, meter, edge_bits) in cells {
         t.row(row);
         t.add_sim_rounds(meter);
+        t.add_max_edge_bits(edge_bits);
     }
     t
 }
@@ -158,7 +161,7 @@ pub fn t2(scale: Scale) -> Table {
             rounds.push(ledger.total() as f64);
             attempts += stats.attempts as u64;
             fellback += stats.fell_back as u64;
-            t.add_sim_rounds(ledger.total());
+            t.meter_ledger(&ledger);
         }
         t.row(vec![
             n.to_string(),
@@ -195,7 +198,7 @@ pub fn t3(scale: Scale) -> Table {
         .iter()
         .flat_map(|&d| ns.iter().map(move |&n| (d, n)))
         .collect();
-    let cells: Vec<(Vec<String>, u64)> = configs
+    let cells: Vec<(Vec<String>, u64, u64)> = configs
         .into_par_iter()
         .map(|(delta, n)| {
             let g = generators::random_regular(n, delta, 7 + delta as u64);
@@ -213,12 +216,13 @@ pub fn t3(scale: Scale) -> Table {
                 fmt_f(l2 * l2),
                 fmt_f(ledger.total() as f64 / (l2 * l2)),
             ];
-            (row, ledger.total())
+            (row, ledger.total(), ledger.max_edge_bits())
         })
         .collect();
-    for (row, meter) in cells {
+    for (row, meter, edge_bits) in cells {
         t.row(row);
         t.add_sim_rounds(meter);
+        t.add_max_edge_bits(edge_bits);
     }
     t
 }
@@ -264,12 +268,14 @@ pub fn t4(scale: Scale) -> Table {
             let mut ledger = RoundLedger::new();
             let (c, _) = delta_color_rand(&g, cfg, &mut ledger).expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
+            t.meter_ledger(&ledger);
             ledger.total()
         };
         let det_rounds = {
             let mut ledger = RoundLedger::new();
             let (c, _) = delta_color_det(&g, DetConfig::default(), &mut ledger).expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
+            t.meter_ledger(&ledger);
             ledger.total()
         };
         let nd_rounds = {
@@ -277,21 +283,23 @@ pub fn t4(scale: Scale) -> Table {
             let (c, _) = delta_color_netdecomp(&g, ListColorMethod::Randomized, 4, &mut ledger)
                 .expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
+            t.meter_ledger(&ledger);
             ledger.total()
         };
         let ps_rounds = {
             let mut ledger = RoundLedger::new();
             let (c, _) = baseline::ps_style_delta(&g, 2, &mut ledger).expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
+            t.meter_ledger(&ledger);
             ledger.total()
         };
         let dp1_rounds = {
             let mut ledger = RoundLedger::new();
             let c = baseline::randomized_delta_plus_one(&g, 3, &mut ledger).expect("colorable");
             delta_coloring::palette::check_k_coloring(&g, &c, delta + 1).expect("valid");
+            t.meter_ledger(&ledger);
             ledger.total()
         };
-        t.add_sim_rounds(rand_rounds + det_rounds + nd_rounds + ps_rounds + dp1_rounds);
         t.row(vec![
             name.to_string(),
             g.n().to_string(),
@@ -379,7 +387,7 @@ pub fn t5(scale: Scale) -> Table {
     for (name, cfg) in variants {
         let mut ledger = RoundLedger::new();
         let result = delta_color_rand(&g, cfg, &mut ledger);
-        t.add_sim_rounds(ledger.total());
+        t.meter_ledger(&ledger);
         let probe = shattering_probe(&g, &cfg, 99);
         match result {
             Ok((c, stats)) => {
@@ -425,7 +433,7 @@ pub fn f1(scale: Scale) -> Table {
         .iter()
         .flat_map(|&d| ns.iter().map(move |&n| (d, n)))
         .collect();
-    let cells: Vec<(Vec<String>, u64)> = configs
+    let cells: Vec<(Vec<String>, u64, u64)> = configs
         .into_par_iter()
         .map(|(delta, n)| {
             let g = generators::random_regular(n, delta, 13 + delta as u64);
@@ -444,6 +452,7 @@ pub fn f1(scale: Scale) -> Table {
             let mut radii = Vec::new();
             let mut dcc_used = 0usize;
             let mut meter = 0u64;
+            let mut edge_bits = 0u64;
             for &v in &order {
                 if let Some(&c) = coloring.free_colors(&g, v, delta).first() {
                     coloring.set(v, c);
@@ -456,6 +465,7 @@ pub fn f1(scale: Scale) -> Table {
                 radii.push(out.radius as f64);
                 dcc_used += out.used_dcc as usize;
                 meter += ledger.total();
+                edge_bits = edge_bits.max(ledger.max_edge_bits());
             }
             verify::check_delta_coloring(&g, &coloring).expect("valid");
             let bound = brooks::theorem5_radius(n, delta);
@@ -470,12 +480,13 @@ pub fn f1(scale: Scale) -> Table {
                 bound.to_string(),
                 dcc_used.to_string(),
             ];
-            (row, meter)
+            (row, meter, edge_bits)
         })
         .collect();
-    for (row, meter) in cells {
+    for (row, meter, edge_bits) in cells {
         t.row(row);
         t.add_sim_rounds(meter);
+        t.add_max_edge_bits(edge_bits);
     }
     t
 }
@@ -600,7 +611,7 @@ pub fn f3(scale: Scale) -> Table {
         let mut ledger = RoundLedger::new();
         let selected =
             delta_coloring::ruling::ruling_set_randomized(&g, b + 1, 7, &mut ledger, "probe");
-        t.add_sim_rounds(ledger.total());
+        t.meter_ledger(&ledger);
         let mut marked = vec![false; g.n()];
         let mut t_nodes = 0usize;
         for &v in &selected {
@@ -740,7 +751,8 @@ pub fn f5(scale: Scale) -> Table {
         )
         .expect("solvable");
         delta_coloring::palette::check_list_coloring(&g, &c2, &lists).expect("valid");
-        t.add_sim_rounds(l1.total() + l2.total());
+        t.meter_ledger(&l1);
+        t.meter_ledger(&l2);
         t.row(vec![
             delta.to_string(),
             n.to_string(),

@@ -10,6 +10,7 @@ pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
     sim_rounds: u64,
+    max_edge_bits: u64,
 }
 
 impl Table {
@@ -20,6 +21,7 @@ impl Table {
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             sim_rounds: 0,
+            max_edge_bits: 0,
         }
     }
 
@@ -29,9 +31,28 @@ impl Table {
         self.sim_rounds += rounds;
     }
 
+    /// Folds a run's heaviest per-edge-per-round load into the table's
+    /// bandwidth meter (maximum across all runs of the experiment).
+    pub fn add_max_edge_bits(&mut self, bits: u64) {
+        self.max_edge_bits = self.max_edge_bits.max(bits);
+    }
+
+    /// Meters a ledger: simulated rounds (summed) and the heaviest
+    /// per-edge load (maxed) in one call.
+    pub fn meter_ledger(&mut self, ledger: &local_model::RoundLedger) {
+        self.add_sim_rounds(ledger.total());
+        self.add_max_edge_bits(ledger.max_edge_bits());
+    }
+
     /// Total simulated LOCAL rounds charged while producing this table.
     pub fn sim_rounds(&self) -> u64 {
         self.sim_rounds
+    }
+
+    /// Heaviest per-edge-per-round load observed while producing this
+    /// table (0 when no engine rounds ran).
+    pub fn max_edge_bits(&self) -> u64 {
+        self.max_edge_bits
     }
 
     /// Appends a row (must match the header length).

@@ -1,0 +1,267 @@
+//! CONGEST-feasibility classification of every protocol substrate.
+//!
+//! The paper's algorithms are stated in the LOCAL model (unbounded
+//! messages); the interesting scalability question is which substrates
+//! already fit the CONGEST regime of `O(log n)` bits per edge per
+//! round (the KMW lower-bound setting). Every protocol message type in
+//! this crate implements [`WireCodec`]; this module evaluates each
+//! type's [`WireCodec::max_bits`] bound against the operational budget
+//! [`local_model::congest_budget`] (`16·⌈log₂ n⌉` bits) and labels the
+//! substrate:
+//!
+//! * [`BandwidthClass::Congest`] — every message fits the budget: the
+//!   substrate would run unchanged under CONGEST;
+//! * [`BandwidthClass::LocalOnly`] — some message family is unbounded
+//!   (ball relays, floods) or over budget: a CONGEST port would need
+//!   message splitting over extra rounds.
+//!
+//! The experiments binary prints this table next to the *measured*
+//! per-edge loads the engine accounts at run time
+//! ([`local_model::MessageStats`]).
+
+use crate::brooks::BrooksMsg;
+use crate::decomp::DecompMsg;
+use crate::delta::det::DetMsg;
+use crate::delta::netdecomp::NetDecompMsg;
+use crate::delta::rand::RandMsg;
+use crate::delta::slocal::SlocalMsg;
+use crate::gallai::GallaiMsg;
+use crate::layering::LayerMsg;
+use crate::linial::LinialMsg;
+use crate::list_coloring::LcMsg;
+use crate::marking::MkMsg;
+use crate::mis::MisMsg;
+use crate::reduce::ReduceMsg;
+use crate::ruling::RulingMsg;
+use local_model::{congest_budget, WireCodec, WireParams};
+
+/// Which bandwidth regime a substrate's wire format fits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandwidthClass {
+    /// Every message fits the `O(log n)` per-edge-per-round budget.
+    Congest,
+    /// Unbounded (or over-budget) messages: LOCAL-model only.
+    LocalOnly,
+}
+
+impl std::fmt::Display for BandwidthClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BandwidthClass::Congest => write!(f, "CONGEST(O(log n))"),
+            BandwidthClass::LocalOnly => write!(f, "LOCAL-only"),
+        }
+    }
+}
+
+/// One substrate's classification at concrete graph parameters.
+#[derive(Debug, Clone)]
+pub struct SubstrateBandwidth {
+    /// Substrate (module) name.
+    pub name: &'static str,
+    /// Message type name.
+    pub message: &'static str,
+    /// `max_bits` at the given parameters; `None` = unbounded.
+    pub max_bits: Option<u64>,
+    /// The verdict against [`congest_budget`].
+    pub class: BandwidthClass,
+    /// Why (one line).
+    pub note: &'static str,
+}
+
+fn row<M: WireCodec>(
+    name: &'static str,
+    message: &'static str,
+    p: &WireParams,
+    note: &'static str,
+) -> SubstrateBandwidth {
+    let max_bits = M::max_bits(p);
+    let class = match max_bits {
+        Some(b) if b <= congest_budget(p.n) => BandwidthClass::Congest,
+        _ => BandwidthClass::LocalOnly,
+    };
+    SubstrateBandwidth {
+        name,
+        message,
+        max_bits,
+        class,
+        note,
+    }
+}
+
+/// Classifies every protocol substrate at the given graph parameters.
+/// Rows are ordered roughly bottom-up: primitives first, the headline
+/// drivers last.
+pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
+    // Color-class reduction consumes Linial's O(Δ²) coloring, so its
+    // palette is the Linial bound, not Δ+1.
+    let reduce_params =
+        p.with_palette(crate::linial::linial_color_bound(p.max_degree as usize) as u64);
+    vec![
+        row::<LinialMsg>(
+            "linial",
+            "LinialMsg",
+            p,
+            "one gamma-coded color < max(n, q0^2)",
+        ),
+        row::<ReduceMsg>(
+            "reduce",
+            "ReduceMsg",
+            &reduce_params,
+            "one gamma-coded color < Linial bound",
+        ),
+        row::<MisMsg>("mis", "MisMsg", p, "n^3-domain draw + id tiebreak"),
+        row::<LcMsg>("list_coloring", "LcMsg", p, "tag + gamma-coded color"),
+        row::<MkMsg>(
+            "marking",
+            "MkMsg",
+            p,
+            "backoff flood carries Theta(Delta^b) ids",
+        ),
+        row::<RulingMsg>(
+            "ruling",
+            "RulingMsg",
+            p,
+            "power-graph relays batch Delta^(alpha-2) messages",
+        ),
+        row::<GallaiMsg>(
+            "gallai",
+            "GallaiMsg",
+            p,
+            "ball relays carry Theta(Delta^r) edges",
+        ),
+        row::<BrooksMsg>(
+            "brooks",
+            "BrooksMsg",
+            p,
+            "endpoint probe collects a log-radius ball",
+        ),
+        row::<LayerMsg>("layering", "LayerMsg", p, "one gamma-coded BFS layer index"),
+        row::<DecompMsg>(
+            "decomp",
+            "DecompMsg",
+            p,
+            "fixed-point key + gamma-coded center",
+        ),
+        row::<RandMsg>(
+            "delta/rand",
+            "RandMsg",
+            p,
+            "inherits DCC detection + marking flood",
+        ),
+        row::<DetMsg>(
+            "delta/det",
+            "DetMsg",
+            p,
+            "inherits power-graph ruling + repairs",
+        ),
+        row::<NetDecompMsg>(
+            "delta/netdecomp",
+            "NetDecompMsg",
+            p,
+            "inherits separation blocking + repairs",
+        ),
+        row::<SlocalMsg>(
+            "delta/slocal",
+            "SlocalMsg",
+            p,
+            "repairs rewrite whole balls",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes_at(n: u64, delta: u64) -> Vec<(&'static str, BandwidthClass)> {
+        let p = WireParams {
+            n,
+            max_degree: delta,
+            palette: delta + 1,
+        };
+        classify(&p)
+            .into_iter()
+            .map(|r| (r.name, r.class))
+            .collect()
+    }
+
+    #[test]
+    fn substrates_split_as_documented() {
+        for (n, delta) in [(1 << 10, 4), (1 << 14, 4), (1 << 20, 8), (1 << 14, 16)] {
+            let classes = classes_at(n, delta);
+            let class_of = |name: &str| {
+                classes
+                    .iter()
+                    .find(|(r, _)| *r == name)
+                    .map(|&(_, c)| c)
+                    .expect("registered substrate")
+            };
+            // CONGEST-feasible primitives.
+            for name in [
+                "linial",
+                "reduce",
+                "mis",
+                "list_coloring",
+                "layering",
+                "decomp",
+            ] {
+                assert_eq!(
+                    class_of(name),
+                    BandwidthClass::Congest,
+                    "{name} at n={n}, delta={delta}"
+                );
+            }
+            // Unbounded wire formats.
+            for name in [
+                "marking",
+                "ruling",
+                "gallai",
+                "brooks",
+                "delta/rand",
+                "delta/det",
+                "delta/netdecomp",
+                "delta/slocal",
+            ] {
+                assert_eq!(
+                    class_of(name),
+                    BandwidthClass::LocalOnly,
+                    "{name} at n={n}, delta={delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_fourteen_substrates() {
+        let p = WireParams {
+            n: 1 << 12,
+            max_degree: 4,
+            palette: 5,
+        };
+        let rows = classify(&p);
+        assert_eq!(rows.len(), 14);
+        // Bounded rows really are within budget; unbounded rows say so.
+        for r in &rows {
+            match r.max_bits {
+                Some(b) => assert!(
+                    (r.class == BandwidthClass::Congest) == (b <= congest_budget(p.n)),
+                    "{}: bound {b} vs budget {}",
+                    r.name,
+                    congest_budget(p.n)
+                ),
+                None => assert_eq!(r.class, BandwidthClass::LocalOnly, "{}", r.name),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_halving_ruling_case_is_congest_feasible() {
+        // The alpha = 2 carve-out: candidate announcements alone fit.
+        let p = WireParams {
+            n: 1 << 16,
+            max_degree: 4,
+            palette: 5,
+        };
+        assert!(RulingMsg::candidate_max_bits(&p) <= congest_budget(p.n));
+    }
+}

@@ -29,15 +29,85 @@
 //! `max_attempts` it falls back to the deterministic algorithm. Every
 //! produced coloring is verified before being returned.
 
-use crate::gallai::{color_component_respecting, find_dcc_for_node};
-use crate::layering::{color_one_layer, color_upper_layers, layers_from_base, Layering};
-use crate::list_coloring::ListColorMethod;
-use crate::marking::{marking_process, MarkingParams};
-use crate::mis::{luby_mis, members};
+use crate::gallai::{color_component_respecting, find_dcc_for_node, GallaiMsg};
+use crate::layering::{color_one_layer, color_upper_layers, layers_from_base, LayerMsg, Layering};
+use crate::list_coloring::{LcMsg, ListColorMethod};
+use crate::marking::{marking_process, MarkingParams, MkMsg};
+use crate::mis::{luby_mis, members, MisMsg};
 use crate::palette::{ColoringError, PartialColoring};
 use crate::verify::assert_nice;
 use delta_graphs::{Graph, GraphBuilder, NodeId};
-use local_model::RoundLedger;
+use local_model::{BitReader, BitWriter, RoundLedger, WireCodec, WireParams};
+
+/// Wire format of the whole randomized driver: the tagged union of
+/// everything its phases put on the wire. The DCC-detection
+/// ([`GallaiMsg`]) and marking-flood ([`MkMsg`]) phases are unbounded,
+/// so the driver as a whole is **LOCAL-only** (`max_bits` is `None`)
+/// even though its list-coloring/MIS/layering phases are individually
+/// CONGEST-feasible — exactly the paper's situation, where locality
+/// (not bandwidth) is the resource being optimized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RandMsg {
+    /// Phases (1)–(2): DCC detection ball relays.
+    Detect(GallaiMsg),
+    /// Phase (2)/(6): ruling-set MIS on a virtual graph.
+    Ruling(MisMsg),
+    /// Phase (4): the marking process.
+    Marking(MkMsg),
+    /// Phases (3)/(5)/(6): layer-index waves.
+    Layer(LayerMsg),
+    /// Phases (6)–(9): list-coloring trials on the layers.
+    List(LcMsg),
+}
+
+impl WireCodec for RandMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            RandMsg::Detect(m) => {
+                w.write_bits(0, 3);
+                m.encode(w);
+            }
+            RandMsg::Ruling(m) => {
+                w.write_bits(1, 3);
+                m.encode(w);
+            }
+            RandMsg::Marking(m) => {
+                w.write_bits(2, 3);
+                m.encode(w);
+            }
+            RandMsg::Layer(m) => {
+                w.write_bits(3, 3);
+                m.encode(w);
+            }
+            RandMsg::List(m) => {
+                w.write_bits(4, 3);
+                m.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        match r.read_bits(3)? {
+            0 => GallaiMsg::decode(r).map(RandMsg::Detect),
+            1 => MisMsg::decode(r).map(RandMsg::Ruling),
+            2 => MkMsg::decode(r).map(RandMsg::Marking),
+            3 => LayerMsg::decode(r).map(RandMsg::Layer),
+            4 => LcMsg::decode(r).map(RandMsg::List),
+            _ => None,
+        }
+    }
+    fn encoded_bits(&self) -> u64 {
+        3 + match self {
+            RandMsg::Detect(m) => m.encoded_bits(),
+            RandMsg::Ruling(m) => m.encoded_bits(),
+            RandMsg::Marking(m) => m.encoded_bits(),
+            RandMsg::Layer(m) => m.encoded_bits(),
+            RandMsg::List(m) => m.encoded_bits(),
+        }
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
 
 /// How phase (6) computes the ruling set `M'` of the virtual CDCC
 /// graph inside each leftover component.
@@ -540,6 +610,7 @@ fn select_b0_dccs(
     let mut sub = RoundLedger::new();
     let mis = luby_mis(&gdcc, seed ^ 0xdcc, &mut sub, "phase2-ruling");
     ledger.charge("phase2-ruling", sub.total() * (2 * r as u64 + 1));
+    ledger.absorb_bandwidth(&sub);
     let chosen: Vec<Vec<NodeId>> = members(&mis)
         .into_iter()
         .map(|i| dccs[i.index()].clone())
@@ -651,6 +722,7 @@ fn color_small_component(
             let mut sub_ledger = RoundLedger::new();
             let m = luby_mis(&cdcc, seed ^ 0xcdcc, &mut sub_ledger, "phase6-ruling");
             ledger.charge("phase6-ruling", sub_ledger.total() * (r_c as u64 + 1));
+            ledger.absorb_bandwidth(&sub_ledger);
             m
         }
         ComponentRuling::NetDecomp => {
@@ -683,6 +755,7 @@ fn color_small_component(
                 sub_ledger.charge("phase6-ruling", decomp.max_radius() as u64 + 1);
             }
             ledger.charge("phase6-ruling", sub_ledger.total() * (r_c as u64 + 1));
+            ledger.absorb_bandwidth(&sub_ledger);
             m
         }
     };

@@ -19,6 +19,53 @@ use delta_graphs::bfs::{self, Ball};
 use delta_graphs::components::blocks;
 use delta_graphs::props::{is_clique_subset, is_odd_cycle};
 use delta_graphs::{Graph, NodeId};
+use local_model::wire::gamma_bits;
+use local_model::{BitReader, BitWriter, WireCodec, WireParams};
+
+/// Wire format of DCC detection ([`find_dcc_for_node`] runs as a
+/// charged central simulation; this documents what a faithful
+/// distributed execution sends). Collecting a radius-`r` ball means
+/// each round every node forwards its whole current view — up to
+/// `Θ(Δ^r)` edges in one message — so `max_bits` is `None`: DCC
+/// detection is **LOCAL-only**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GallaiMsg {
+    /// Ball-collection relay: the sender's newly learned edges, as
+    /// (smaller id, larger id) pairs.
+    BallEdges(Vec<(u32, u32)>),
+}
+
+impl WireCodec for GallaiMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        let GallaiMsg::BallEdges(edges) = self;
+        w.write_gamma(edges.len() as u64);
+        for &(a, b) in edges {
+            w.write_gamma(a as u64);
+            w.write_gamma(b as u64);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        let len = r.read_gamma()?;
+        let mut edges = Vec::with_capacity(len.min(1 << 20) as usize);
+        for _ in 0..len {
+            let a = r.read_gamma()? as u32;
+            let b = r.read_gamma()? as u32;
+            edges.push((a, b));
+        }
+        Some(GallaiMsg::BallEdges(edges))
+    }
+    fn encoded_bits(&self) -> u64 {
+        let GallaiMsg::BallEdges(edges) = self;
+        gamma_bits(edges.len() as u64)
+            + edges
+                .iter()
+                .map(|&(a, b)| gamma_bits(a as u64) + gamma_bits(b as u64))
+                .sum::<u64>()
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
 
 /// Whether the node-induced subgraph on `nodes` is a degree-choosable
 /// component of `g`: 2-connected, not a clique, not an odd cycle

@@ -17,22 +17,32 @@
 //! without recoloring. This crate implements the paper's algorithms and
 //! every substrate they stand on:
 //!
-//! | Module | Contents | Paper reference |
-//! |---|---|---|
-//! | [`palette`] | colors, partial colorings, lists, validity checks | — |
-//! | [`linial`] | `O(Δ²)` coloring in `O(log* n)` rounds | \[Lin92\], used for symmetry breaking |
-//! | [`reduce`] | color-class reduction to `Δ+1` | — |
-//! | [`mis`] | Luby's MIS (plus power graphs) | Lemma 20 substrate |
-//! | [`ruling`] | ruling sets and ruling forests | Lemma 20 |
-//! | [`list_coloring`] | `(deg+1)`-list coloring, randomized & deterministic | Theorems 18, 19 |
-//! | [`gallai`] | degree-choosable components, Gallai trees, the degree-list solver | Definitions 6–9, Theorem 8 |
-//! | [`brooks`] | sequential Brooks & the distributed Brooks repair | Theorem 5, Lemma 16 |
-//! | [`layering`] | the layering technique | Section 3 |
-//! | [`marking`] | the marking process and T-nodes | Section 2.2, phase (4) |
-//! | [`decomp`] | MPX network decomposition | \[PS92\]/\[AGLP89\] substitute |
-//! | [`delta`] | the headline algorithms | Theorems 1, 3, 4 |
-//! | [`baseline`] | `(Δ+1)` baseline and a PS-style Δ-coloring baseline | \[PS92, PS95\] |
-//! | [`verify`] | end-to-end validity checking | — |
+//! Every protocol message type implements
+//! [`local_model::WireCodec`] — a bit-exact wire format with a
+//! `max_bits(graph_params)` bound — and the engine charges each
+//! transmission's exact size, so every run reports its CONGEST-style
+//! bandwidth footprint alongside its round count. The [`bandwidth`]
+//! module classifies each substrate against the `O(log n)` per-edge
+//! budget; the verdicts below are for the implemented wire formats
+//! (see each message type's docs for why):
+//!
+//! | Module | Contents | Paper reference | Bandwidth |
+//! |---|---|---|---|
+//! | [`palette`] | colors, partial colorings, lists, validity checks | — | — |
+//! | [`linial`] | `O(Δ²)` coloring in `O(log* n)` rounds | \[Lin92\], used for symmetry breaking | CONGEST-feasible |
+//! | [`reduce`] | color-class reduction to `Δ+1` | — | CONGEST-feasible |
+//! | [`mis`] | Luby's MIS (plus power graphs) | Lemma 20 substrate | CONGEST-feasible |
+//! | [`ruling`] | ruling sets and ruling forests | Lemma 20 | LOCAL-only (power-graph relays) |
+//! | [`list_coloring`] | `(deg+1)`-list coloring, randomized & deterministic | Theorems 18, 19 | CONGEST-feasible |
+//! | [`gallai`] | degree-choosable components, Gallai trees, the degree-list solver | Definitions 6–9, Theorem 8 | LOCAL-only (ball relays) |
+//! | [`brooks`] | sequential Brooks & the distributed Brooks repair | Theorem 5, Lemma 16 | LOCAL-only (ball probes) |
+//! | [`layering`] | the layering technique | Section 3 | CONGEST-feasible |
+//! | [`marking`] | the marking process and T-nodes | Section 2.2, phase (4) | LOCAL-only (backoff flood) |
+//! | [`decomp`] | MPX network decomposition | \[PS92\]/\[AGLP89\] substitute | CONGEST-feasible |
+//! | [`delta`] | the headline algorithms | Theorems 1, 3, 4 | LOCAL-only (inherit detection/repairs) |
+//! | [`baseline`] | `(Δ+1)` baseline and a PS-style Δ-coloring baseline | \[PS92, PS95\] | — |
+//! | [`verify`] | end-to-end validity checking | — | — |
+//! | [`bandwidth`] | CONGEST-feasibility registry of all of the above | cf. KMW | — |
 //!
 //! # Quickstart
 //!
@@ -51,6 +61,7 @@
 //! println!("colored in {} simulated LOCAL rounds ({} attempts)", ledger.total(), stats.attempts);
 //! ```
 
+pub mod bandwidth;
 pub mod baseline;
 pub mod brooks;
 pub mod decomp;

@@ -15,7 +15,40 @@
 //! structure in Section 4.1).
 
 use delta_graphs::Graph;
-use local_model::{Engine, Outbox, RoundLedger};
+use local_model::wire::{gamma_bits, gamma_max_bits};
+use local_model::{BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec, WireParams};
+
+/// Wire format of Linial color reduction: one gamma-coded current
+/// color per round. Colors start below `n` and only shrink (to `q²`
+/// for the round's field size `q`), so every message fits in
+/// `O(log n)` bits — the substrate is CONGEST-feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinialMsg {
+    /// "My current color is `c`."
+    Color(u64),
+}
+
+impl WireCodec for LinialMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        let LinialMsg::Color(c) = self;
+        w.write_gamma(*c);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        r.read_gamma().map(LinialMsg::Color)
+    }
+    fn encoded_bits(&self) -> u64 {
+        let LinialMsg::Color(c) = self;
+        gamma_bits(*c)
+    }
+    fn max_bits(p: &WireParams) -> Option<u64> {
+        // Colors are < m at all times; m starts at n and moves to q²
+        // for the (monotonically shrinking) field q, so the largest
+        // color domain over the whole run is max(n, q₀²) for the first
+        // field q₀ = choose_field(n, Δ).
+        let q0 = choose_field(p.n.max(2), p.max_degree.max(1));
+        Some(gamma_max_bits(p.n.max(q0 * q0)))
+    }
+}
 
 /// Smallest prime `>= k` (trial division; `k` is tiny in practice).
 pub(crate) fn next_prime(k: u64) -> u64 {
@@ -121,7 +154,9 @@ pub fn linial_coloring(g: &Graph, ledger: &mut RoundLedger, phase: &str) -> Vec<
         engine.step(
             ledger,
             phase,
-            |_, color: &mut u64, out: &mut Outbox<u64>| out.broadcast(*color),
+            |_, color: &mut u64, out: &mut Outbox<LinialMsg>| {
+                out.broadcast(LinialMsg::Color(*color))
+            },
             move |_, color, inbox| {
                 // Find x in F_q where my polynomial differs from every
                 // neighbor's evaluation.
@@ -129,7 +164,10 @@ pub fn linial_coloring(g: &Graph, ledger: &mut RoundLedger, phase: &str) -> Vec<
                 let mut chosen = None;
                 for x in 0..q {
                     let mine = poly_eval(my, q, x);
-                    if inbox.iter().all(|&(_, c)| poly_eval(c, q, x) != mine) {
+                    if inbox
+                        .iter()
+                        .all(|&(_, LinialMsg::Color(c))| poly_eval(c, q, x) != mine)
+                    {
                         chosen = Some((x, mine));
                         break;
                     }

@@ -20,7 +20,8 @@
 
 use crate::palette::{Color, ColoringError, Lists, PartialColoring};
 use delta_graphs::{Graph, NodeId};
-use local_model::{Engine, Outbox, RoundLedger};
+use local_model::wire::gamma_max_bits;
+use local_model::{BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec, WireParams};
 
 /// Which list-coloring engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,13 +76,46 @@ struct LcState {
     stuck: bool,
 }
 
-/// Messages of the randomized trial-coloring node program.
-#[derive(Debug, Clone, Copy)]
-enum LcMsg {
+/// Messages of the randomized trial-coloring node program. One tag bit
+/// plus one gamma-coded color — `O(log palette)` bits, so the
+/// substrate is CONGEST-feasible whenever the lists are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LcMsg {
     /// "I try to take this color this round."
     Propose(Color),
     /// "I permanently hold this color."
     Colored(Color),
+}
+
+impl WireCodec for LcMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            LcMsg::Propose(c) => {
+                w.write_bool(false);
+                c.encode(w);
+            }
+            LcMsg::Colored(c) => {
+                w.write_bool(true);
+                c.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        let colored = r.read_bool()?;
+        let c = Color::decode(r)?;
+        Some(if colored {
+            LcMsg::Colored(c)
+        } else {
+            LcMsg::Propose(c)
+        })
+    }
+    fn encoded_bits(&self) -> u64 {
+        let (LcMsg::Propose(c) | LcMsg::Colored(c)) = self;
+        1 + c.encoded_bits()
+    }
+    fn max_bits(p: &WireParams) -> Option<u64> {
+        Some(1 + gamma_max_bits(p.palette))
+    }
 }
 
 /// Randomized trial list coloring on the message-passing engine; see

@@ -15,9 +15,51 @@
 
 use crate::palette::{Color, PartialColoring};
 use delta_graphs::{bfs, Graph, NodeId};
-use local_model::{Engine, Outbox, RoundLedger};
+use local_model::wire::{gamma_u32s_bits, read_gamma_u32s, write_gamma_u32s};
+use local_model::{BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec, WireParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Wire format of the marking process. The backoff flood forwards
+/// every newly learned selected id, so a single message can carry up
+/// to `Θ(Δ^b)` identifiers — unbounded in the CONGEST sense
+/// ([`WireCodec::max_bits`] is `None`): the marking process as
+/// implemented is **LOCAL-only** (a CONGEST port would pipeline the
+/// flood over `Θ(Δ^b)` rounds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MkMsg {
+    /// Backoff flood: selected-node ids learned last round, forwarded.
+    Flood(Vec<u32>),
+    /// Survivor → chosen neighbor: "you are marked".
+    Mark,
+}
+
+impl WireCodec for MkMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            MkMsg::Flood(ids) => {
+                w.write_bool(false);
+                write_gamma_u32s(w, ids);
+            }
+            MkMsg::Mark => w.write_bool(true),
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        match r.read_bool()? {
+            true => Some(MkMsg::Mark),
+            false => read_gamma_u32s(r).map(MkMsg::Flood),
+        }
+    }
+    fn encoded_bits(&self) -> u64 {
+        match self {
+            MkMsg::Flood(ids) => 1 + gamma_u32s_bits(ids),
+            MkMsg::Mark => 1,
+        }
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
 
 /// Parameters of the marking process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -136,7 +178,7 @@ pub fn marking_process(
     engine.step(
         ledger,
         phase,
-        |ctx, s: &mut MkState, _out: &mut Outbox<()>| {
+        |ctx, s: &mut MkState, _out: &mut Outbox<MkMsg>| {
             if ctx.random_f64() < p {
                 s.selected = true;
                 s.seen = vec![ctx.id.0];
@@ -152,13 +194,16 @@ pub fn marking_process(
         engine.step(
             ledger,
             phase,
-            |_, s: &mut MkState, out: &mut Outbox<Vec<u32>>| {
+            |_, s: &mut MkState, out: &mut Outbox<MkMsg>| {
                 if !s.frontier.is_empty() {
-                    out.broadcast(std::mem::take(&mut s.frontier));
+                    out.broadcast(MkMsg::Flood(std::mem::take(&mut s.frontier)));
                 }
             },
             |_, s, inbox| {
-                for (_, ids) in inbox {
+                for (_, m) in inbox {
+                    let MkMsg::Flood(ids) = m else {
+                        unreachable!("flood rounds carry Flood messages only");
+                    };
                     for &id in ids {
                         if let Err(at) = s.seen.binary_search(&id) {
                             s.seen.insert(at, id);
@@ -221,10 +266,10 @@ pub fn marking_process(
     engine.step(
         ledger,
         phase,
-        |_, s: &mut MkState, out: &mut Outbox<()>| {
+        |_, s: &mut MkState, out: &mut Outbox<MkMsg>| {
             if let Some((m1, m2)) = s.pick {
-                out.send_to(m1, ());
-                out.send_to(m2, ());
+                out.send_to(m1, MkMsg::Mark);
+                out.send_to(m2, MkMsg::Mark);
             }
         },
         |_, s, inbox| {

@@ -3,8 +3,8 @@
 
 use delta_graphs::power::power_graph;
 use delta_graphs::{Graph, NodeId};
-use local_model::{Engine, Outbox, RoundLedger};
-use rand::RngCore;
+use local_model::wire::{gamma_bits, gamma_max_bits};
+use local_model::{BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec, WireParams};
 
 /// Node status during and after MIS computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,6 +12,64 @@ enum MisState {
     Undecided,
     In,
     Out,
+}
+
+/// Wire format of Luby's MIS. Draws come from a `min(n³, 2⁶⁰)`-sized
+/// domain — `O(log n)` random bits, as in CONGEST formulations of Luby;
+/// the sender id breaks the (1/n-probability per pair per round) ties
+/// deterministically — so every message is `O(log n)` bits and the
+/// substrate is CONGEST-feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisMsg {
+    /// Round 1: "my fresh random draw (with my id as tiebreak)".
+    Draw {
+        /// The random value, drawn from `[0, draw_domain(n))`.
+        value: u64,
+        /// Sender id, the deterministic tiebreak.
+        tiebreak: u32,
+    },
+    /// Round 2: "I joined the MIS".
+    Joined,
+}
+
+/// Size of the per-round random-draw domain for an `n`-node graph:
+/// `n³` capped at `2⁶⁰` (collisions are broken by id, so the cap only
+/// affects astronomically large graphs).
+pub fn draw_domain(n: u64) -> u64 {
+    n.max(2).saturating_pow(3).min(1 << 60)
+}
+
+impl WireCodec for MisMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            MisMsg::Draw { value, tiebreak } => {
+                w.write_bool(false);
+                w.write_gamma(*value);
+                w.write_gamma(*tiebreak as u64);
+            }
+            MisMsg::Joined => w.write_bool(true),
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        match r.read_bool()? {
+            false => Some(MisMsg::Draw {
+                value: r.read_gamma()?,
+                tiebreak: r.read_gamma()? as u32,
+            }),
+            true => Some(MisMsg::Joined),
+        }
+    }
+    fn encoded_bits(&self) -> u64 {
+        match self {
+            MisMsg::Draw { value, tiebreak } => {
+                1 + gamma_bits(*value) + gamma_bits(*tiebreak as u64)
+            }
+            MisMsg::Joined => 1,
+        }
+    }
+    fn max_bits(p: &WireParams) -> Option<u64> {
+        Some(1 + gamma_max_bits(draw_domain(p.n)) + gamma_max_bits(p.n))
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -61,18 +119,34 @@ pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> 
         iterations += 1;
         // Round 1: undecided nodes draw fresh values (a local
         // computation, free in the LOCAL model) and exchange them;
-        // strict local minima join.
+        // strict local minima join. The draw domain is n³ — O(log n)
+        // wire bits. The vendored Lemire reduction is an
+        // order-preserving compression of the raw u64 stream, so the
+        // decisions match a full-width draw except when two neighbors
+        // collide in the n³ domain (~n⁻³ per pair per round) and the id
+        // tiebreak picks the other winner — still a valid MIS.
+        let domain = draw_domain(g.n() as u64);
         engine.step(
             ledger,
             phase,
-            |ctx, s: &mut S, out: &mut Outbox<(u64, u32)>| {
+            |ctx, s: &mut S, out: &mut Outbox<MisMsg>| {
                 if s.state == MisState::Undecided {
-                    s.draw.0 = ctx.rng.next_u64();
-                    out.broadcast(s.draw);
+                    s.draw.0 = ctx.random_below(domain);
+                    out.broadcast(MisMsg::Draw {
+                        value: s.draw.0,
+                        tiebreak: s.draw.1,
+                    });
                 }
             },
             |_, s, inbox| {
-                if s.state == MisState::Undecided && inbox.iter().all(|&(_, d)| s.draw < d) {
+                if s.state != MisState::Undecided {
+                    return; // decided nodes skip the O(degree) scan
+                }
+                let beaten = inbox.iter().any(|&(_, m)| match m {
+                    MisMsg::Draw { value, tiebreak } => (value, tiebreak) <= s.draw,
+                    MisMsg::Joined => unreachable!("round 1 carries draws only"),
+                });
+                if !beaten {
                     s.state = MisState::In;
                 }
             },
@@ -81,9 +155,9 @@ pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> 
         engine.step(
             ledger,
             phase,
-            |_, s: &mut S, out: &mut Outbox<()>| {
+            |_, s: &mut S, out: &mut Outbox<MisMsg>| {
                 if s.state == MisState::In {
-                    out.broadcast(());
+                    out.broadcast(MisMsg::Joined);
                 }
             },
             |_, s, inbox| {
@@ -128,6 +202,11 @@ pub fn luby_mis_on_power(
     let mut sub = RoundLedger::new();
     let member = luby_mis(&gk, seed, &mut sub, phase);
     ledger.charge(phase, sub.total() * k as u64);
+    // Bandwidth is accounted at the virtual-graph (G^k) level: the
+    // relaying a real k-hop simulation needs multiplies per-edge loads
+    // by up to Δ^(k-1), which is why the ruling-set wire format is
+    // classified LOCAL-only for non-constant k (see `bandwidth`).
+    ledger.absorb_bandwidth(&sub);
     member
 }
 

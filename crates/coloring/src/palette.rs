@@ -38,6 +38,23 @@ impl From<u32> for Color {
     }
 }
 
+/// Colors travel gamma-coded: `O(log palette)` bits on the wire, bound
+/// by the palette size of [`local_model::WireParams`].
+impl local_model::WireCodec for Color {
+    fn encode(&self, w: &mut local_model::BitWriter) {
+        w.write_gamma(self.0 as u64);
+    }
+    fn decode(r: &mut local_model::BitReader<'_>) -> Option<Self> {
+        r.read_gamma().map(|v| Color(v as u32))
+    }
+    fn encoded_bits(&self) -> u64 {
+        local_model::wire::gamma_bits(self.0 as u64)
+    }
+    fn max_bits(p: &local_model::WireParams) -> Option<u64> {
+        Some(local_model::wire::gamma_max_bits(p.palette))
+    }
+}
+
 /// The palette `{0, .., k-1}` of the first `k` colors.
 pub fn palette(k: usize) -> Vec<Color> {
     (0..k as u32).map(Color).collect()

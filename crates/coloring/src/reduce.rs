@@ -10,7 +10,35 @@
 
 use crate::palette::PartialColoring;
 use delta_graphs::Graph;
-use local_model::{Engine, Outbox, RoundLedger};
+use local_model::wire::{gamma_bits, gamma_max_bits};
+use local_model::{BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec, WireParams};
+
+/// Wire format of color-class reduction: each node gamma-codes its
+/// current color, which is bounded by the input color count (the
+/// `palette` wire parameter — `O(Δ²)` when fed from Linial), so the
+/// substrate is CONGEST-feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceMsg {
+    /// "My current color is `c`."
+    Color(u32),
+}
+
+impl WireCodec for ReduceMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        let ReduceMsg::Color(c) = self;
+        w.write_gamma(*c as u64);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        r.read_gamma().map(|c| ReduceMsg::Color(c as u32))
+    }
+    fn encoded_bits(&self) -> u64 {
+        let ReduceMsg::Color(c) = self;
+        gamma_bits(*c as u64)
+    }
+    fn max_bits(p: &WireParams) -> Option<u64> {
+        Some(gamma_max_bits(p.palette))
+    }
+}
 
 /// Reduces a proper coloring with colors `>= target` down to colors
 /// `< target`, one class per round, charged to `phase`.
@@ -41,13 +69,13 @@ pub fn reduce_colors(
         engine.step(
             ledger,
             phase,
-            |_, c: &mut u32, out: &mut Outbox<u32>| out.broadcast(*c),
+            |_, c: &mut u32, out: &mut Outbox<ReduceMsg>| out.broadcast(ReduceMsg::Color(*c)),
             move |_, c, inbox| {
                 if *c as usize != class {
                     return;
                 }
                 let mut used = vec![false; target];
-                for &(_, cw) in inbox {
+                for &(_, ReduceMsg::Color(cw)) in inbox {
                     if (cw as usize) < target {
                         used[cw as usize] = true;
                     }

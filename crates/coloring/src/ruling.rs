@@ -15,7 +15,68 @@
 
 use delta_graphs::bfs;
 use delta_graphs::{Graph, NodeId};
-use local_model::RoundLedger;
+use local_model::wire::{
+    gamma_bits, gamma_max_bits, gamma_u32s_bits, read_gamma_u32s, write_gamma_u32s,
+};
+use local_model::{BitReader, BitWriter, RoundLedger, WireCodec, WireParams};
+
+/// Wire format of the ruling-set constructions (these run as charged
+/// central simulations; the message type documents what a faithful
+/// distributed execution sends per round, and the bandwidth registry
+/// classifies it). The bit-halving recursion only ever announces a
+/// single candidate id (`O(log n)` bits), but both the `α > 2`
+/// deterministic construction and the randomized Luby path run on the
+/// power graph `G^{α-1}`, whose rounds relay up to `Δ^(α-2)` foreign
+/// messages over one edge — unbounded, hence `max_bits` is `None` and
+/// the substrate is **LOCAL-only** for non-constant `α`
+/// (the bandwidth registry carves out the CONGEST-feasible `α = 2`
+/// bit-halving case via [`RulingMsg::candidate_max_bits`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RulingMsg {
+    /// Bit-halving candidacy: "id `v` is a surviving candidate".
+    Candidate(u32),
+    /// Power-graph relay: candidate ids forwarded toward distance-`k`
+    /// nodes (one entry per relayed message).
+    Relay(Vec<u32>),
+}
+
+impl RulingMsg {
+    /// Bound for executions that only ever send
+    /// [`RulingMsg::Candidate`] — the `α = 2` bit-halving recursion.
+    pub fn candidate_max_bits(p: &WireParams) -> u64 {
+        1 + gamma_max_bits(p.n)
+    }
+}
+
+impl WireCodec for RulingMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            RulingMsg::Candidate(id) => {
+                w.write_bool(false);
+                w.write_gamma(*id as u64);
+            }
+            RulingMsg::Relay(ids) => {
+                w.write_bool(true);
+                write_gamma_u32s(w, ids);
+            }
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        match r.read_bool()? {
+            false => Some(RulingMsg::Candidate(r.read_gamma()? as u32)),
+            true => read_gamma_u32s(r).map(RulingMsg::Relay),
+        }
+    }
+    fn encoded_bits(&self) -> u64 {
+        match self {
+            RulingMsg::Candidate(id) => 1 + gamma_bits(*id as u64),
+            RulingMsg::Relay(ids) => 1 + gamma_u32s_bits(ids),
+        }
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
 
 /// Computes an `(alpha, alpha-1)` ruling set via Luby MIS on
 /// `G^{alpha-1}`; rounds charged with the `×(alpha-1)` simulation factor.

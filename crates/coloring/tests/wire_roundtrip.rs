@@ -1,0 +1,178 @@
+//! Property tests for every protocol [`WireCodec`]: exact roundtrips
+//! (`decode(encode(m)) == m`, consuming every bit), size honesty
+//! (`encode` writes exactly `encoded_bits(m)` bits), and bound
+//! soundness (`encoded_bits(m) <= max_bits(p)` for every message the
+//! protocol can legally send at parameters `p`).
+
+use delta_coloring::brooks::BrooksMsg;
+use delta_coloring::decomp::DecompMsg;
+use delta_coloring::delta::{DetMsg, NetDecompMsg, RandMsg, SlocalMsg};
+use delta_coloring::gallai::GallaiMsg;
+use delta_coloring::layering::LayerMsg;
+use delta_coloring::linial::LinialMsg;
+use delta_coloring::list_coloring::LcMsg;
+use delta_coloring::marking::MkMsg;
+use delta_coloring::mis::{draw_domain, MisMsg};
+use delta_coloring::palette::Color;
+use delta_coloring::reduce::ReduceMsg;
+use delta_coloring::ruling::RulingMsg;
+use local_model::wire::{decode_from_bytes, encode_to_bytes};
+use local_model::{WireCodec, WireParams};
+use proptest::prelude::*;
+
+fn roundtrip<M: WireCodec + PartialEq + std::fmt::Debug>(m: &M) {
+    let (bytes, bits) = encode_to_bytes(m);
+    assert_eq!(bits, m.encoded_bits(), "size honesty for {m:?}");
+    let back: M = decode_from_bytes(&bytes, bits).unwrap_or_else(|| panic!("roundtrip of {m:?}"));
+    assert_eq!(&back, m);
+}
+
+/// Checks `encoded_bits <= max_bits` for a message legal at `p`.
+fn bounded<M: WireCodec + std::fmt::Debug>(m: &M, p: &WireParams) {
+    let bound = M::max_bits(p).expect("bounded message family");
+    assert!(
+        m.encoded_bits() <= bound,
+        "{m:?}: {} bits exceeds max_bits {bound}",
+        m.encoded_bits()
+    );
+}
+
+fn params(n: u64, delta: u64) -> WireParams {
+    WireParams {
+        n,
+        max_degree: delta,
+        palette: delta + 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn mis_messages(n in 4u64..1 << 24, sel in 0u64..u64::MAX, id in 0u64..1 << 24) {
+        let p = params(n, 4);
+        let m = MisMsg::Draw { value: sel % draw_domain(n), tiebreak: (id % n) as u32 };
+        roundtrip(&m);
+        bounded(&m, &p);
+        roundtrip(&MisMsg::Joined);
+        bounded(&MisMsg::Joined, &p);
+    }
+
+    #[test]
+    fn linial_messages(n in 4u64..1 << 24, delta in 3u64..16, sel in 0u64..u64::MAX) {
+        let p = params(n, delta);
+        // Legal colors: below the initial id space (later rounds only
+        // shrink the domain).
+        let m = LinialMsg::Color(sel % n);
+        roundtrip(&m);
+        bounded(&m, &p);
+    }
+
+    #[test]
+    fn reduce_and_list_messages(palette in 2u64..1 << 16, sel in 0u64..u64::MAX, colored in proptest::bool::ANY) {
+        let p = params(1 << 14, 4).with_palette(palette);
+        let rm = ReduceMsg::Color((sel % palette) as u32);
+        roundtrip(&rm);
+        bounded(&rm, &p);
+        let c = Color((sel % palette) as u32);
+        let lm = if colored { LcMsg::Colored(c) } else { LcMsg::Propose(c) };
+        roundtrip(&lm);
+        bounded(&lm, &p);
+    }
+
+    #[test]
+    fn layer_and_decomp_messages(n in 4u64..1 << 24, sel in 0u64..u64::MAX, key in 0u64..u64::MAX) {
+        let p = params(n, 4);
+        let lm = LayerMsg::Layer((sel % n) as u32);
+        roundtrip(&lm);
+        bounded(&lm, &p);
+        let dm = DecompMsg::Offer { key, center: (sel % n) as u32 };
+        roundtrip(&dm);
+        bounded(&dm, &p);
+    }
+
+    #[test]
+    fn unbounded_families_roundtrip(ids in proptest::collection::vec(0u32..1 << 24, 0..40), color in 0u32..1 << 12) {
+        let p = params(1 << 14, 4);
+        // Marking flood + mark.
+        roundtrip(&MkMsg::Flood(ids.clone()));
+        roundtrip(&MkMsg::Mark);
+        prop_assert!(MkMsg::max_bits(&p).is_none());
+        // Ruling candidate/relay.
+        roundtrip(&RulingMsg::Candidate(color));
+        roundtrip(&RulingMsg::Relay(ids.clone()));
+        prop_assert!(RulingMsg::max_bits(&p).is_none());
+        // Ball relays.
+        let edges: Vec<(u32, u32)> = ids.iter().map(|&a| (a, a.wrapping_add(1))).collect();
+        let gm = GallaiMsg::BallEdges(edges);
+        roundtrip(&gm);
+        prop_assert!(GallaiMsg::max_bits(&p).is_none());
+        // Brooks repair messages.
+        roundtrip(&BrooksMsg::Probe(gm.clone()));
+        roundtrip(&BrooksMsg::Shift(color));
+        roundtrip(&BrooksMsg::Assign(color));
+        prop_assert!(BrooksMsg::max_bits(&p).is_none());
+    }
+
+    #[test]
+    fn driver_unions_roundtrip(ids in proptest::collection::vec(0u32..1 << 20, 0..20), color in 0u32..1 << 10, key in 0u64..u64::MAX) {
+        let p = params(1 << 14, 4);
+        let rand_msgs = [
+            RandMsg::Detect(GallaiMsg::BallEdges(ids.iter().map(|&a| (a, a ^ 1)).collect())),
+            RandMsg::Ruling(MisMsg::Draw { value: key % draw_domain(1 << 14), tiebreak: color }),
+            RandMsg::Marking(MkMsg::Flood(ids.clone())),
+            RandMsg::Layer(LayerMsg::Layer(color)),
+            RandMsg::List(LcMsg::Propose(Color(color))),
+        ];
+        for m in &rand_msgs {
+            roundtrip(m);
+        }
+        prop_assert!(RandMsg::max_bits(&p).is_none());
+        let det_msgs = [
+            DetMsg::Linial(LinialMsg::Color(color as u64)),
+            DetMsg::Ruling(RulingMsg::Relay(ids.clone())),
+            DetMsg::Layer(LayerMsg::Layer(color)),
+            DetMsg::List(LcMsg::Colored(Color(color))),
+            DetMsg::Repair(BrooksMsg::Shift(color)),
+        ];
+        for m in &det_msgs {
+            roundtrip(m);
+        }
+        prop_assert!(DetMsg::max_bits(&p).is_none());
+        let nd_msgs = [
+            NetDecompMsg::Decomp(DecompMsg::Offer { key, center: color }),
+            NetDecompMsg::Layer(LayerMsg::Layer(color)),
+            NetDecompMsg::List(LcMsg::Propose(Color(color))),
+            NetDecompMsg::Repair(BrooksMsg::Assign(color)),
+        ];
+        for m in &nd_msgs {
+            roundtrip(m);
+        }
+        prop_assert!(NetDecompMsg::max_bits(&p).is_none());
+        let sl_msgs = [
+            SlocalMsg::Commit(color),
+            SlocalMsg::Repair(BrooksMsg::Probe(GallaiMsg::BallEdges(vec![]))),
+        ];
+        for m in &sl_msgs {
+            roundtrip(m);
+        }
+        prop_assert!(SlocalMsg::max_bits(&p).is_none());
+    }
+
+    #[test]
+    fn bounded_substrates_fit_the_congest_budget(n in 16u64..1 << 26, delta in 3u64..32) {
+        use delta_coloring::bandwidth::{classify, BandwidthClass};
+        let p = params(n, delta);
+        for row in classify(&p) {
+            if let Some(b) = row.max_bits {
+                prop_assert_eq!(
+                    row.class == BandwidthClass::Congest,
+                    b <= local_model::congest_budget(n),
+                    "{} misclassified", row.name
+                );
+            } else {
+                prop_assert_eq!(row.class, BandwidthClass::LocalOnly, "{}", row.name);
+            }
+        }
+    }
+}

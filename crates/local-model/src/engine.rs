@@ -71,11 +71,20 @@
 //! # Accounting
 //!
 //! Every round is charged to a named phase on a
-//! [`crate::RoundLedger`], and the engine keeps [`MessageStats`]
-//! (broadcast/directed message counts and deliveries) as the substrate
-//! for CONGEST-style message-size accounting.
+//! [`crate::RoundLedger`], and the engine keeps [`MessageStats`]:
+//! broadcast/directed message counts, deliveries, and — because every
+//! message type implements [`WireCodec`] — exact CONGEST-style bit
+//! accounting. During the routing pass the engine charges each
+//! message's [`WireCodec::encoded_bits`] (no serialization happens on
+//! the hot path; the wire bytes exist only in the codec test suites),
+//! tracks the heaviest per-edge-per-round load, and, under
+//! [`BandwidthPolicy::Congest`], counts every (edge, round) pair whose
+//! load exceeds the budget. The same numbers are charged to the round's
+//! [`crate::RoundLedger`], so whole algorithms surface their bandwidth
+//! footprint end to end.
 
 use crate::ledger::RoundLedger;
+use crate::wire::WireCodec;
 use delta_graphs::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -83,6 +92,7 @@ use rayon::prelude::*;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Per-node execution context handed to node programs: the node's
 /// identity, degree, and a deterministic private random generator.
@@ -160,8 +170,10 @@ pub trait NodeProgram: Sync {
     /// Per-node state.
     type State: Send;
     /// Message type (cloned per delivery into the mailbox arena;
-    /// `'static` so the engine can cache per-type delivery scratch).
-    type Msg: Clone + Send + Sync + 'static;
+    /// `'static` so the engine can cache per-type delivery scratch;
+    /// [`WireCodec`] so every transmission is charged its exact wire
+    /// size).
+    type Msg: Clone + Send + Sync + WireCodec + 'static;
 
     /// Send phase: read/update own state, queue outgoing messages.
     fn send(&self, ctx: &mut NodeCtx<'_>, state: &mut Self::State, out: &mut Outbox<Self::Msg>);
@@ -198,22 +210,78 @@ pub const PARALLEL_THRESHOLD: usize = 4096;
 /// regression tests to drive whole algorithms down both schedules.
 static FORCE_MODE: AtomicU8 = AtomicU8::new(0);
 
-/// Overrides the execution mode of every engine in the process
-/// (`None` restores per-engine modes). Intended for tests that compare
-/// the sequential and parallel schedules; serialize such tests, since
-/// the override is global.
-pub fn force_exec_mode(mode: Option<ExecMode>) {
-    let v = match mode {
-        None | Some(ExecMode::Auto) => 0,
-        Some(ExecMode::Sequential) => 1,
-        Some(ExecMode::Parallel) => 2,
-    };
-    FORCE_MODE.store(v, Ordering::SeqCst);
+/// Serializes [`ExecModeGuard`] holders: at most one override is live
+/// at a time, so concurrently running tests queue up instead of
+/// stomping each other's mode.
+static FORCE_MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Scoped override of every engine's execution mode (RAII).
+///
+/// While the guard lives, every [`Engine`] in the process runs the
+/// forced schedule; dropping it restores per-engine modes. Guards
+/// acquire a process-wide lock, so two threads forcing modes
+/// concurrently serialize instead of racing — `cargo test`'s parallel
+/// test threads cannot corrupt each other's forced schedule.
+#[must_use = "the override ends when the guard is dropped"]
+pub struct ExecModeGuard {
+    _lock: MutexGuard<'static, ()>,
 }
 
-/// Message-volume counters, accumulated across rounds. One broadcast
-/// counts once in `broadcasts` and `degree(sender)` times in
-/// `deliveries`; a directed message counts once in each.
+impl Drop for ExecModeGuard {
+    fn drop(&mut self) {
+        FORCE_MODE.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Forces the execution mode of every engine in the process for the
+/// lifetime of the returned guard. Intended for tests that compare the
+/// sequential and parallel schedules.
+///
+/// Blocks until any other live guard is dropped.
+pub fn force_exec_mode(mode: ExecMode) -> ExecModeGuard {
+    let lock = FORCE_MODE_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let v = match mode {
+        ExecMode::Auto => 0,
+        ExecMode::Sequential => 1,
+        ExecMode::Parallel => 2,
+    };
+    FORCE_MODE.store(v, Ordering::SeqCst);
+    ExecModeGuard { _lock: lock }
+}
+
+/// Per-edge-per-round bandwidth regime the engine accounts against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BandwidthPolicy {
+    /// The LOCAL model: unbounded messages, no violations.
+    #[default]
+    Local,
+    /// The CONGEST model: every directed edge may carry at most `bits`
+    /// bits per round; heavier (edge, round) pairs are counted in
+    /// [`MessageStats::congest_violations`] (accounting only — delivery
+    /// is never truncated, so results are unaffected).
+    Congest {
+        /// Per-edge-per-round bit budget.
+        bits: u64,
+    },
+}
+
+impl BandwidthPolicy {
+    /// The `O(log n)` CONGEST policy for an `n`-node graph
+    /// (budget [`crate::wire::congest_budget`]).
+    pub fn congest_for(n: usize) -> Self {
+        BandwidthPolicy::Congest {
+            bits: crate::wire::congest_budget(n as u64),
+        }
+    }
+}
+
+/// Message-volume and bandwidth counters, accumulated across rounds.
+/// One broadcast counts once in `broadcasts` and `degree(sender)` times
+/// in `deliveries`; a directed message counts once in each. Bits are
+/// per-transmission: a broadcast's [`WireCodec::encoded_bits`] is
+/// charged once per incident edge.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MessageStats {
     /// Broadcast messages queued.
@@ -222,6 +290,14 @@ pub struct MessageStats {
     pub directed: u64,
     /// Point-to-point deliveries performed.
     pub deliveries: u64,
+    /// Total bits transmitted, summed over every directed edge each
+    /// message (or broadcast copy) traversed.
+    pub bits_sent: u64,
+    /// Maximum bits carried by a single directed edge in one round.
+    pub max_edge_bits: u64,
+    /// (edge, round) pairs whose load exceeded the
+    /// [`BandwidthPolicy::Congest`] budget (always 0 under `Local`).
+    pub congest_violations: u64,
 }
 
 /// Reusable per-message-type delivery scratch: the persistent outboxes
@@ -261,6 +337,20 @@ struct Mailbox<M> {
     /// by destination arc with ties in send order — no sorting needed,
     /// the counting pass is a complete stable sort by construction.
     dir_idx: Vec<u32>,
+    /// Per-sender broadcast size in bits this round (`n` entries,
+    /// refilled — not cleared — every round during the routing pass).
+    bcast_bits: Vec<u64>,
+    /// Per-sender count of arcs that carried at least one directed
+    /// message from that sender this round; used to know how many of a
+    /// broadcaster's edges carried *only* the broadcast. Reset to 0 via
+    /// `dir_senders` after each round, so it stays O(traffic) to clean.
+    dir_arc_count: Vec<u32>,
+    /// Senders with a nonzero `dir_arc_count`, for the O(traffic) reset.
+    dir_senders: Vec<u32>,
+    /// Senders that queued a broadcast this round (presence cannot be
+    /// read off `bcast_bits`: zero-size payloads like `()` are real
+    /// broadcasts of 0 bits).
+    bcast_senders: Vec<u32>,
 }
 
 impl<M> Mailbox<M> {
@@ -273,6 +363,10 @@ impl<M> Mailbox<M> {
             routed_to: Vec::new(),
             dir_start: Vec::new(),
             dir_idx: Vec::new(),
+            bcast_bits: Vec::new(),
+            dir_arc_count: Vec::new(),
+            dir_senders: Vec::new(),
+            bcast_senders: Vec::new(),
         }
     }
 
@@ -282,6 +376,8 @@ impl<M> Mailbox<M> {
             self.outboxes.resize_with(graph.n(), Outbox::new);
             self.inbox_start.resize(graph.n() + 1, 0);
             self.dir_start.resize(graph.n() + 1, 0);
+            self.bcast_bits.resize(graph.n(), 0);
+            self.dir_arc_count.resize(graph.n(), 0);
         }
     }
 }
@@ -323,6 +419,7 @@ pub struct Engine<'g, S> {
     states: Vec<S>,
     rngs: Vec<StdRng>,
     mode: ExecMode,
+    policy: BandwidthPolicy,
     rounds_run: u64,
     stats: MessageStats,
     /// Per-message-type [`Mailbox`] scratch, keyed by `TypeId::of::<M>()`.
@@ -345,6 +442,7 @@ impl<'g, S: Send> Engine<'g, S> {
             states,
             rngs,
             mode: ExecMode::Auto,
+            policy: BandwidthPolicy::Local,
             rounds_run: 0,
             stats: MessageStats::default(),
             scratch: HashMap::new(),
@@ -355,6 +453,19 @@ impl<'g, S: Send> Engine<'g, S> {
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Sets the bandwidth policy (builder style). The policy only
+    /// changes the accounting ([`MessageStats::congest_violations`]);
+    /// delivery is never truncated.
+    pub fn with_bandwidth(mut self, policy: BandwidthPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The bandwidth policy accounting runs under.
+    pub fn bandwidth_policy(&self) -> BandwidthPolicy {
+        self.policy
     }
 
     /// The communication graph.
@@ -447,7 +558,7 @@ impl<'g, S: Send> Engine<'g, S> {
         send: SEND,
         recv: RECV,
     ) where
-        M: Clone + Send + Sync + 'static,
+        M: Clone + Send + Sync + WireCodec + 'static,
         SEND: Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>) + Sync,
         RECV: Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]) + Sync,
     {
@@ -491,8 +602,15 @@ impl<'g, S: Send> Engine<'g, S> {
 
         // Routing: resolve and group this round's directed messages
         // (sequential — pure index arithmetic and memcpy-sized clones;
-        // the per-node compute is the part worth parallelizing).
-        route_messages(graph, mailbox, &mut self.stats);
+        // the per-node compute is the part worth parallelizing). The
+        // same pass charges every message's wire size, so bandwidth
+        // accounting costs one `encoded_bits` call per transmission and
+        // zero allocations.
+        let bw = route_messages(graph, mailbox, &mut self.stats, self.policy);
+        self.stats.bits_sent += bw.bits;
+        self.stats.max_edge_bits = self.stats.max_edge_bits.max(bw.max_edge_bits);
+        self.stats.congest_violations += bw.violations;
+        ledger.charge_bandwidth(bw.bits, bw.max_edge_bits, bw.violations);
 
         // Phase 2: simultaneous delivery; every node consumes its inbox
         // as a borrowed slice of the arena. Recipients are processed in
@@ -589,6 +707,17 @@ fn run_send<S, M>(
     send(&mut ctx, state, out);
 }
 
+/// One round's bandwidth totals, produced by [`route_messages`].
+#[derive(Debug, Clone, Copy, Default)]
+struct RoundBandwidth {
+    /// Bits transmitted this round (per-edge-traversal accounting).
+    bits: u64,
+    /// Heaviest per-directed-edge load this round.
+    max_edge_bits: u64,
+    /// Edges over the CONGEST budget this round.
+    violations: u64,
+}
+
 /// Routing pass: resolves every directed message to its destination arc
 /// (one `neighbor_position` lookup per message — the validity check and
 /// the routing are the same lookup, followed by the `O(1)`
@@ -598,7 +727,26 @@ fn run_send<S, M>(
 /// anywhere), and accumulates the round's [`MessageStats`]. Broadcasts
 /// need no routing work here: the fill pass reads them straight off
 /// the sender's outbox.
-fn route_messages<M: Clone>(graph: &Graph, mailbox: &mut Mailbox<M>, stats: &mut MessageStats) {
+///
+/// # Bandwidth accounting
+///
+/// The directed edge `w → v` (identified by `v`'s arc toward `w`, the
+/// destination arc the fill pass already groups by) carries `w`'s
+/// broadcast (if any) plus every directed message `w → v`. Its load is
+/// computed without any per-arc array: each recipient's bucket is
+/// already arc-sorted, so consecutive runs of equal destination arcs
+/// give the directed load per edge in one linear sweep, and the
+/// sender's broadcast size is added from the per-node `bcast_bits`
+/// table. Edges that carry *only* a broadcast are covered per sender:
+/// `degree - (arcs with directed traffic)` edges at `bcast_bits`
+/// apiece. All scratch is round-reused and reset in O(traffic), so the
+/// zero-allocation warm path is preserved.
+fn route_messages<M: Clone + WireCodec>(
+    graph: &Graph,
+    mailbox: &mut Mailbox<M>,
+    stats: &mut MessageStats,
+    policy: BandwidthPolicy,
+) -> RoundBandwidth {
     let n = graph.n();
     let mut rev: Option<&[u32]> = None;
     mailbox.routed.clear();
@@ -606,10 +754,15 @@ fn route_messages<M: Clone>(graph: &Graph, mailbox: &mut Mailbox<M>, stats: &mut
     mailbox.dir_start.fill(0);
     for (i, out) in mailbox.outboxes.iter().enumerate() {
         let v = NodeId::from_index(i);
-        if out.broadcast.is_some() {
-            stats.broadcasts += 1;
-            stats.deliveries += graph.degree(v) as u64;
-        }
+        mailbox.bcast_bits[i] = match &out.broadcast {
+            Some(m) => {
+                stats.broadcasts += 1;
+                stats.deliveries += graph.degree(v) as u64;
+                mailbox.bcast_senders.push(i as u32);
+                m.encoded_bits()
+            }
+            None => 0,
+        };
         stats.directed += out.directed.len() as u64;
         for (to, m) in &out.directed {
             // A directed message only reaches an actual neighbor; in the
@@ -647,6 +800,65 @@ fn route_messages<M: Clone>(graph: &Graph, mailbox: &mut Mailbox<M>, stats: &mut
         mailbox.dir_idx[*cursor as usize] = i as u32;
         *cursor += 1;
     }
+
+    // Bandwidth: per-edge loads from the arc-sorted buckets (see the
+    // function docs). Deterministic integer arithmetic over the
+    // sequentially staged traffic, so the numbers are bit-identical
+    // across execution modes.
+    let budget = match policy {
+        BandwidthPolicy::Local => u64::MAX,
+        BandwidthPolicy::Congest { bits } => bits,
+    };
+    let mut bw = RoundBandwidth::default();
+    for v in 0..n {
+        let bucket = bucket_bounds(&mailbox.dir_start, v);
+        let mut i = bucket.start;
+        while i < bucket.end {
+            let arc = mailbox.routed[mailbox.dir_idx[i] as usize].0;
+            let mut dir_load = 0u64;
+            while i < bucket.end {
+                let (a, ref m) = mailbox.routed[mailbox.dir_idx[i] as usize];
+                if a != arc {
+                    break;
+                }
+                dir_load += m.encoded_bits();
+                i += 1;
+            }
+            let sender = graph.arc_head(arc as usize);
+            let load = dir_load + mailbox.bcast_bits[sender.index()];
+            bw.bits += dir_load;
+            bw.max_edge_bits = bw.max_edge_bits.max(load);
+            if load > budget {
+                bw.violations += 1;
+            }
+            if mailbox.dir_arc_count[sender.index()] == 0 {
+                mailbox.dir_senders.push(sender.0);
+            }
+            mailbox.dir_arc_count[sender.index()] += 1;
+        }
+    }
+    for i in 0..mailbox.bcast_senders.len() {
+        let v = mailbox.bcast_senders[i] as usize;
+        let deg = graph.degree(NodeId::from_index(v)) as u64;
+        let b = mailbox.bcast_bits[v];
+        bw.bits += b * deg;
+        // Edges from v that carried no directed message still carry the
+        // broadcast alone; edges with directed traffic were already
+        // accounted (broadcast included) in the bucket sweep above.
+        let uncovered = deg - mailbox.dir_arc_count[v] as u64;
+        if uncovered > 0 {
+            bw.max_edge_bits = bw.max_edge_bits.max(b);
+            if b > budget {
+                bw.violations += uncovered;
+            }
+        }
+    }
+    for i in 0..mailbox.dir_senders.len() {
+        mailbox.dir_arc_count[mailbox.dir_senders[i] as usize] = 0;
+    }
+    mailbox.dir_senders.clear();
+    mailbox.bcast_senders.clear();
+    bw
 }
 
 /// Fill pass for the recipient block `[i0, i1)`: builds the block's
@@ -806,25 +1018,110 @@ mod tests {
     fn broadcast_and_directed_share_a_round() {
         // Broadcast from one node combined with a directed reply path;
         // per-sender inbox order is broadcast first.
+        const B: u8 = 0;
+        const D1: u8 = 1;
+        const D2: u8 = 2;
         let g = generators::path(3);
         let mut ledger = RoundLedger::new();
-        let mut engine = Engine::new(&g, 0, |_| Vec::<(u32, &'static str)>::new());
+        let mut engine = Engine::new(&g, 0, |_| Vec::<(u32, u8)>::new());
         engine.step(
             &mut ledger,
             "t",
-            |ctx, _, out: &mut Outbox<&'static str>| {
+            |ctx, _, out: &mut Outbox<u8>| {
                 if ctx.id == NodeId(1) {
-                    out.broadcast("b");
-                    out.send_to(NodeId(0), "d1");
-                    out.send_to(NodeId(0), "d2");
+                    out.broadcast(B);
+                    out.send_to(NodeId(0), D1);
+                    out.send_to(NodeId(0), D2);
                 }
             },
             |_, s, inbox| {
                 s.extend(inbox.iter().map(|&(w, m)| (w.0, m)));
             },
         );
-        assert_eq!(engine.states()[0], vec![(1, "b"), (1, "d1"), (1, "d2")]);
-        assert_eq!(engine.states()[2], vec![(1, "b")]);
+        assert_eq!(engine.states()[0], vec![(1, B), (1, D1), (1, D2)]);
+        assert_eq!(engine.states()[2], vec![(1, B)]);
+        // Bandwidth: node 1's broadcast (8 bits) crosses both its edges;
+        // the two directed u8s (8 bits each) ride the 1→0 edge, making
+        // that edge's load 24 bits — the round's per-edge maximum.
+        let stats = engine.message_stats();
+        assert_eq!(stats.bits_sent, 8 * 2 + 8 * 2);
+        assert_eq!(stats.max_edge_bits, 24);
+        assert_eq!(stats.congest_violations, 0);
+        assert_eq!(ledger.bits_sent(), stats.bits_sent);
+        assert_eq!(ledger.max_edge_bits(), 24);
+    }
+
+    #[test]
+    fn congest_policy_counts_violations() {
+        // Star center broadcasts a u64 (64 bits) to 4 leaves under an
+        // 8-bit budget: 4 violating edges. Leaves send nothing.
+        let g = generators::star(4);
+        let mut ledger = RoundLedger::new();
+        let mut engine =
+            Engine::new(&g, 0, |_| 0u64).with_bandwidth(BandwidthPolicy::Congest { bits: 8 });
+        engine.step(
+            &mut ledger,
+            "t",
+            |ctx, _, out: &mut Outbox<u64>| {
+                if ctx.id == NodeId(0) {
+                    out.broadcast(42);
+                }
+            },
+            |_, s, inbox| *s += inbox.len() as u64,
+        );
+        let stats = engine.message_stats();
+        assert_eq!(stats.bits_sent, 64 * 4);
+        assert_eq!(stats.max_edge_bits, 64);
+        assert_eq!(stats.congest_violations, 4);
+        assert_eq!(ledger.congest_violations(), 4);
+        // A directed-over-budget edge also counts, once per edge.
+        engine.step(
+            &mut ledger,
+            "t",
+            |ctx, _, out: &mut Outbox<u64>| {
+                if ctx.id == NodeId(1) {
+                    out.send_to(NodeId(0), 7);
+                    out.send_to(NodeId(0), 9);
+                }
+            },
+            |_, _, _| {},
+        );
+        let stats = engine.message_stats();
+        assert_eq!(stats.congest_violations, 5);
+        assert_eq!(stats.max_edge_bits, 128);
+    }
+
+    #[test]
+    fn default_congest_policy_admits_log_sized_messages() {
+        // The O(log n) policy from `congest_for` admits NodeId-sized
+        // gossip: no violations, and the loads respect the static
+        // `max_bits` bound at the graph's own wire parameters.
+        let g = generators::cycle(64);
+        let policy = BandwidthPolicy::congest_for(g.n());
+        assert_eq!(
+            policy,
+            BandwidthPolicy::Congest {
+                bits: crate::wire::congest_budget(64)
+            }
+        );
+        let mut ledger = RoundLedger::new();
+        let mut engine = Engine::new(&g, 0, |v| v).with_bandwidth(policy);
+        engine.step(
+            &mut ledger,
+            "gossip",
+            |ctx, s, out: &mut Outbox<NodeId>| {
+                out.broadcast(*s);
+                out.send_to(*g.neighbors(ctx.id).first().unwrap(), *s);
+            },
+            |_, _, _| {},
+        );
+        let stats = engine.message_stats();
+        assert_eq!(stats.congest_violations, 0);
+        let p = crate::wire::WireParams::of(&g);
+        let per_msg = <NodeId as WireCodec>::max_bits(&p).unwrap();
+        // Heaviest edge: one broadcast + one directed NodeId.
+        assert!(stats.max_edge_bits <= 2 * per_msg);
+        assert!(stats.max_edge_bits > 0);
     }
 
     #[test]

@@ -25,6 +25,14 @@ use std::fmt;
 pub struct RoundLedger {
     entries: Vec<(String, u64)>,
     total: u64,
+    /// Total bits transmitted across all directed edges (CONGEST-style
+    /// accounting; charged by the engine per round).
+    bits_sent: u64,
+    /// Maximum bits any single directed edge carried in one round.
+    max_edge_bits: u64,
+    /// Number of (edge, round) pairs that exceeded the engine's
+    /// [`crate::BandwidthPolicy::Congest`] budget (0 under `Local`).
+    congest_violations: u64,
 }
 
 impl RoundLedger {
@@ -48,9 +56,34 @@ impl RoundLedger {
         self.entries.push((phase.to_string(), rounds));
     }
 
+    /// Charges one round's bandwidth: total bits transmitted, the
+    /// heaviest per-edge load, and any CONGEST-budget violations. The
+    /// engine calls this once per [`crate::Engine::step`]; manual
+    /// simulations may charge their own estimates.
+    pub fn charge_bandwidth(&mut self, bits: u64, max_edge_bits: u64, violations: u64) {
+        self.bits_sent += bits;
+        self.max_edge_bits = self.max_edge_bits.max(max_edge_bits);
+        self.congest_violations += violations;
+    }
+
     /// Total rounds charged so far.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Total bits transmitted across all directed edges.
+    pub fn bits_sent(&self) -> u64 {
+        self.bits_sent
+    }
+
+    /// Maximum bits any single directed edge carried in one round.
+    pub fn max_edge_bits(&self) -> u64 {
+        self.max_edge_bits
+    }
+
+    /// (edge, round) pairs that exceeded the CONGEST budget.
+    pub fn congest_violations(&self) -> u64 {
+        self.congest_violations
     }
 
     /// Total rounds charged to phases with the given name.
@@ -81,11 +114,24 @@ impl RoundLedger {
         out
     }
 
-    /// Merges another ledger's entries into this one.
+    /// Merges another ledger's entries into this one, including its
+    /// bandwidth section (bits add up; the per-edge maximum is the max).
     pub fn absorb(&mut self, other: &RoundLedger) {
         for (p, r) in &other.entries {
             self.charge(p, *r);
         }
+        self.absorb_bandwidth(other);
+    }
+
+    /// Merges only the bandwidth section of `other` — for callers that
+    /// fold a sub-ledger's rounds manually (e.g. with a power-graph
+    /// simulation factor) but must not lose its bit accounting.
+    pub fn absorb_bandwidth(&mut self, other: &RoundLedger) {
+        self.charge_bandwidth(
+            other.bits_sent,
+            other.max_edge_bits,
+            other.congest_violations,
+        );
     }
 }
 
@@ -94,6 +140,13 @@ impl fmt::Display for RoundLedger {
         writeln!(f, "total rounds: {}", self.total)?;
         for (p, r) in self.by_phase() {
             writeln!(f, "  {p:<32} {r:>8}")?;
+        }
+        if self.bits_sent > 0 {
+            writeln!(
+                f,
+                "bandwidth: {} bits sent, max {} bits/edge/round, {} congest violations",
+                self.bits_sent, self.max_edge_bits, self.congest_violations
+            )?;
         }
         Ok(())
     }
@@ -145,6 +198,28 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.total(), 8);
         assert_eq!(a.phase_total("x"), 3);
+    }
+
+    #[test]
+    fn bandwidth_accumulates_and_absorbs() {
+        let mut a = RoundLedger::new();
+        a.charge_bandwidth(100, 10, 0);
+        a.charge_bandwidth(50, 25, 2);
+        assert_eq!(a.bits_sent(), 150);
+        assert_eq!(a.max_edge_bits(), 25);
+        assert_eq!(a.congest_violations(), 2);
+        let mut b = RoundLedger::new();
+        b.charge_bandwidth(7, 40, 1);
+        a.absorb(&b);
+        assert_eq!(a.bits_sent(), 157);
+        assert_eq!(a.max_edge_bits(), 40);
+        assert_eq!(a.congest_violations(), 3);
+        let mut c = RoundLedger::new();
+        c.absorb_bandwidth(&a);
+        assert_eq!(c.bits_sent(), 157);
+        assert_eq!(c.total(), 0, "absorb_bandwidth leaves rounds alone");
+        let s = a.to_string();
+        assert!(s.contains("157 bits sent"));
     }
 
     #[test]

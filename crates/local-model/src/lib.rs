@@ -25,17 +25,23 @@
 //!
 //! Every algorithm in the `delta-coloring` crate charges the rounds a
 //! real LOCAL execution would take to a [`RoundLedger`], broken down by
-//! phase, which is what the experiments report. The engine additionally
-//! tracks [`MessageStats`] as a hook for message-size (CONGEST-style)
-//! accounting.
+//! phase, which is what the experiments report. Every message type
+//! implements [`WireCodec`] — a bit-exact wire format with a
+//! `max_bits` bound — and the engine charges each transmission's exact
+//! wire size during routing, extending [`MessageStats`] and the ledger
+//! with CONGEST-style bandwidth accounting (bits sent, heaviest
+//! per-edge-per-round load, and budget violations under
+//! [`BandwidthPolicy::Congest`]).
 
 pub mod engine;
 pub mod ledger;
 pub mod oracle;
+pub mod wire;
 
 pub use engine::{
-    force_exec_mode, Engine, ExecMode, MessageStats, NodeCtx, NodeProgram, Outbox,
-    PARALLEL_THRESHOLD,
+    force_exec_mode, BandwidthPolicy, Engine, ExecMode, ExecModeGuard, MessageStats, NodeCtx,
+    NodeProgram, Outbox, PARALLEL_THRESHOLD,
 };
 pub use ledger::RoundLedger;
 pub use oracle::BallOracle;
+pub use wire::{congest_budget, BitReader, BitWriter, WireCodec, WireParams};

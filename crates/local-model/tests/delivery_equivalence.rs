@@ -84,7 +84,10 @@ fn reference_inboxes(g: &Graph, p: &Pattern) -> Vec<Vec<(NodeId, u64)>> {
         .collect()
 }
 
-/// The specification for [`MessageStats`] after the round.
+/// The specification for [`MessageStats`] after the round, including
+/// the bandwidth section: every `u64` payload costs 64 bits per edge
+/// traversal, and the directed edge `w → v` carries `w`'s broadcast
+/// plus all directed messages `w → v`.
 fn reference_stats(g: &Graph, p: &Pattern) -> MessageStats {
     let mut s = MessageStats::default();
     for v in g.nodes() {
@@ -95,6 +98,19 @@ fn reference_stats(g: &Graph, p: &Pattern) -> MessageStats {
         let sent = resolved_directed(g, p, v).len() as u64;
         s.directed += sent;
         s.deliveries += sent;
+    }
+    for w in g.nodes() {
+        let bcast_bits = if p.broadcast[w.index()].is_some() {
+            64
+        } else {
+            0
+        };
+        let directed = resolved_directed(g, p, w);
+        for &v in g.neighbors(w) {
+            let load = bcast_bits + 64 * directed.iter().filter(|&&(to, _)| to == v).count() as u64;
+            s.bits_sent += load;
+            s.max_edge_bits = s.max_edge_bits.max(load);
+        }
     }
     s
 }
@@ -137,6 +153,8 @@ proptest! {
                 expected_stats.broadcasts += e.broadcasts;
                 expected_stats.directed += e.directed;
                 expected_stats.deliveries += e.deliveries;
+                expected_stats.bits_sent += e.bits_sent;
+                expected_stats.max_edge_bits = expected_stats.max_edge_bits.max(e.max_edge_bits);
             }
             prop_assert_eq!(engine.message_stats(), expected_stats, "stats diverged ({mode:?})");
             for (round, p) in patterns.iter().enumerate() {

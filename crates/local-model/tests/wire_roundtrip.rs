@@ -1,0 +1,65 @@
+//! Property tests for the generic [`WireCodec`] implementations: exact
+//! roundtrips (`decode(encode(m)) == m`, consuming every bit), size
+//! honesty (`encode` writes exactly `encoded_bits(m)` bits), and bound
+//! soundness (`encoded_bits(m) <= max_bits(p)` for in-domain values).
+
+use delta_graphs::NodeId;
+use local_model::wire::{decode_from_bytes, encode_to_bytes, gamma_bits};
+use local_model::{WireCodec, WireParams};
+use proptest::prelude::*;
+
+fn roundtrip<M: WireCodec + PartialEq + std::fmt::Debug>(m: &M) {
+    let (bytes, bits) = encode_to_bytes(m);
+    assert_eq!(bits, m.encoded_bits(), "size honesty for {m:?}");
+    let back: M = decode_from_bytes(&bytes, bits).unwrap_or_else(|| panic!("roundtrip of {m:?}"));
+    assert_eq!(&back, m);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn u64_and_u32_roundtrip(v in 0u64..u64::MAX, w in 0u32..u32::MAX) {
+        roundtrip(&v);
+        roundtrip(&w);
+        roundtrip(&(v, w));
+    }
+
+    #[test]
+    fn node_ids_roundtrip_and_respect_bounds(n in 2u64..1 << 32, sel in 0u64..1 << 32) {
+        let id = NodeId((sel % n) as u32);
+        roundtrip(&id);
+        let p = WireParams { n, max_degree: 4, palette: 5 };
+        let bound = NodeId::max_bits(&p).unwrap();
+        prop_assert!(id.encoded_bits() <= bound, "{id:?}: {} > {bound}", id.encoded_bits());
+        prop_assert_eq!(id.encoded_bits(), gamma_bits(id.0 as u64));
+    }
+
+    #[test]
+    fn options_and_vecs_roundtrip(items in proptest::collection::vec(0u64..1 << 48, 0..30), some in proptest::bool::ANY) {
+        let opt = some.then(|| items.first().copied().unwrap_or(7));
+        roundtrip(&opt);
+        roundtrip(&items);
+        let ids: Vec<NodeId> = items.iter().map(|&v| NodeId(v as u32)).collect();
+        roundtrip(&ids);
+        // Nested containers compose.
+        roundtrip(&vec![items.clone(), Vec::new()]);
+    }
+
+    #[test]
+    fn tuples_sum_their_parts(a in 0u64..1 << 60, b in 0u32..1 << 30, c in proptest::bool::ANY) {
+        let m = (a, b, c);
+        roundtrip(&m);
+        prop_assert_eq!(m.encoded_bits(), a.encoded_bits() + b.encoded_bits() + 1);
+        let p = WireParams { n: 1 << 20, max_degree: 8, palette: 9 };
+        prop_assert_eq!(<(u64, u32, bool)>::max_bits(&p), Some(64 + 32 + 1));
+        prop_assert!(m.encoded_bits() <= 97);
+    }
+
+    #[test]
+    fn truncation_never_panics(items in proptest::collection::vec(0u64..1 << 20, 1..10), cut in 1u64..64) {
+        let (bytes, bits) = encode_to_bytes(&items);
+        let cut = cut.min(bits);
+        prop_assert!(decode_from_bytes::<Vec<u64>>(&bytes, bits - cut).is_none());
+    }
+}

@@ -14,25 +14,33 @@ use delta_coloring::mis::luby_mis;
 use delta_coloring::palette::{Lists, PartialColoring};
 use delta_graphs::{generators, Graph};
 use local_model::{force_exec_mode, Engine, ExecMode, Outbox, RoundLedger};
-use std::sync::{Mutex, MutexGuard};
-
-/// The execution-mode override is process-global; tests comparing the
-/// two schedules must not interleave.
-static MODE_LOCK: Mutex<()> = Mutex::new(());
-
-fn lock() -> MutexGuard<'static, ()> {
-    MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
-}
 
 /// Runs `f` once under each forced schedule and returns both results.
+/// The [`force_exec_mode`] guard holds a process-wide lock, so these
+/// tests serialize against each other (and anyone else forcing a mode)
+/// automatically — no external mutex needed.
 fn under_both_modes<T>(f: impl Fn() -> T) -> (T, T) {
-    let _guard = lock();
-    force_exec_mode(Some(ExecMode::Sequential));
-    let seq = f();
-    force_exec_mode(Some(ExecMode::Parallel));
-    let par = f();
-    force_exec_mode(None);
+    let seq = {
+        let _mode = force_exec_mode(ExecMode::Sequential);
+        f()
+    };
+    let par = {
+        let _mode = force_exec_mode(ExecMode::Parallel);
+        f()
+    };
     (seq, par)
+}
+
+/// The schedule-independent fingerprint of a ledger: rounds plus the
+/// full bandwidth section (bits, heaviest edge, violations) — all of
+/// which must be bit-identical across execution modes.
+fn ledger_fingerprint(ledger: &RoundLedger) -> (u64, u64, u64, u64) {
+    (
+        ledger.total(),
+        ledger.bits_sent(),
+        ledger.max_edge_bits(),
+        ledger.congest_violations(),
+    )
 }
 
 fn families(seed: u64) -> Vec<(String, Graph)> {
@@ -71,7 +79,7 @@ fn raw_engine_program_is_schedule_independent() {
                     },
                 );
             }
-            (engine.into_states(), ledger.total())
+            (engine.into_states(), ledger_fingerprint(&ledger))
         });
         assert_eq!(seq, par, "{name}: engine schedules diverged");
     }
@@ -84,7 +92,7 @@ fn luby_mis_is_schedule_independent() {
             let (seq, par) = under_both_modes(|| {
                 let mut ledger = RoundLedger::new();
                 let mis = luby_mis(&g, seed, &mut ledger, "mis");
-                (mis, ledger.total())
+                (mis, ledger_fingerprint(&ledger))
             });
             assert_eq!(seq, par, "{name}/seed {seed}: MIS diverged");
         }
@@ -110,7 +118,7 @@ fn list_coloring_is_schedule_independent() {
                 "lc",
             )
             .expect("deg+1 instances are solvable");
-            (c, ledger.total())
+            (c, ledger_fingerprint(&ledger))
         });
         assert_eq!(seq.1, par.1, "{name}: round counts diverged");
         assert!(seq.0 == par.0, "{name}: colorings diverged");
@@ -131,7 +139,7 @@ fn marking_is_schedule_independent() {
             &mut ledger,
             "mark",
         );
-        (out.t_nodes, out.marked, ledger.total())
+        (out.t_nodes, out.marked, ledger_fingerprint(&ledger))
     });
     assert_eq!(seq, par, "marking diverged");
 }
@@ -143,7 +151,7 @@ fn full_randomized_delta_coloring_is_schedule_independent() {
         let cfg = RandConfig::large_delta(&g, 4);
         let mut ledger = RoundLedger::new();
         let (c, stats) = delta_color_rand(&g, cfg, &mut ledger).expect("colorable");
-        (c, stats.attempts, ledger.total())
+        (c, stats.attempts, ledger_fingerprint(&ledger))
     });
     assert_eq!(seq.1, par.1, "attempt counts diverged");
     assert_eq!(seq.2, par.2, "round counts diverged");
