@@ -17,7 +17,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use delta_graphs::{generators, Graph};
-use local_model::{Engine, ExecMode, Outbox, RoundLedger};
+use local_model::{run_ball_phase, Engine, ExecMode, Outbox, RoundLedger};
 use std::hint::black_box;
 
 /// Rounds executed per measured iteration.
@@ -151,5 +151,39 @@ fn bench_engine_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_rounds);
+/// Ball-collection throughput: the certificate-flood relay overhead of
+/// `local_model::ball` across radii 1..=3 and the three graph families.
+/// One measured iteration is a full all-nodes collection (every node
+/// assembles its radius-r view and reduces it to a count), so the
+/// number tracks the subsystem's end-to-end relay cost — the quantity
+/// the ruling/marking/DCC migrations ride on — in the perf trajectory.
+fn bench_ball_collection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ball-collection");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    for family in ["cycle", "rr4", "torus"] {
+        let g = graph_for(family, n);
+        for radius in 1usize..=3 {
+            let id = BenchmarkId::new(format!("{family}/r{radius}"), g.n());
+            group.bench_with_input(id, &radius, |b, &r| {
+                b.iter(|| {
+                    let mut ledger = RoundLedger::new();
+                    let sizes = run_ball_phase::<(), _, _, _>(
+                        &g,
+                        0,
+                        r,
+                        |_| (),
+                        |_, view| view.len() + view.edges.len(),
+                        &mut ledger,
+                        "bench",
+                    );
+                    black_box((sizes[0], ledger.bits_sent()))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_rounds, bench_ball_collection);
 criterion_main!(benches);

@@ -15,8 +15,9 @@
 //!
 //! After the tables, a **bandwidth table** classifies every protocol
 //! substrate (wire-format `max_bits` bound vs the `O(log n)` CONGEST
-//! budget: CONGEST-feasible or LOCAL-only) and lists each experiment's
-//! measured per-edge load.
+//! budget: CONGEST-feasible or LOCAL-only), says how each substrate
+//! executes (engine-backed with measured loads vs charged central
+//! simulation), and lists each experiment's measured per-edge load.
 //!
 //! Before anything is written, the fresh numbers are **diffed against
 //! the committed baseline** (`BENCH_delta.json` in the working
@@ -149,21 +150,22 @@ fn print_bandwidth_table(quick: bool, results: &[(String, Table, f64)]) {
         p.max_degree
     );
     println!(
-        "{:<18} {:<14} {:>10}  {:<18} why",
-        "substrate", "message", "max_bits", "class"
+        "{:<18} {:<18} {:>10}  {:<18} {:<18} why",
+        "substrate", "message", "max_bits", "class", "execution"
     );
-    println!("{}", "-".repeat(96));
+    println!("{}", "-".repeat(118));
     for row in classify(&p) {
         let bits = row
             .max_bits
             .map(|b| b.to_string())
             .unwrap_or_else(|| "unbounded".into());
         println!(
-            "{:<18} {:<14} {:>10}  {:<18} {}",
+            "{:<18} {:<18} {:>10}  {:<18} {:<18} {}",
             row.name,
             row.message,
             bits,
             row.class.to_string(),
+            row.execution.to_string(),
             row.note
         );
     }

@@ -1,4 +1,6 @@
-//! CONGEST-feasibility classification of every protocol substrate.
+//! CONGEST-feasibility classification of every protocol substrate,
+//! plus how each substrate *executes* — through the engine (rounds and
+//! per-edge bits measured) or as a charged central simulation.
 //!
 //! The paper's algorithms are stated in the LOCAL model (unbounded
 //! messages); the interesting scalability question is which substrates
@@ -15,6 +17,16 @@
 //!   (ball relays, floods) or over budget: a CONGEST port would need
 //!   message splitting over extra rounds.
 //!
+//! Orthogonally, [`Execution`] records whether the substrate's rounds
+//! actually run through [`local_model::Engine::step`] — in which case
+//! its bandwidth numbers in the experiment tables are **measured**
+//! wire-exact loads, not static estimates. Since the ball-collection
+//! subsystem landed ([`local_model::ball`]), the ruling-set, marking,
+//! and DCC-detection phases execute engine-backed; only the
+//! centrally simulated remainders (power-graph Luby, layer BFS waves,
+//! MPX decomposition, the Brooks token walk and its deep probes) still
+//! charge estimated rounds.
+//!
 //! The experiments binary prints this table next to the *measured*
 //! per-edge loads the engine accounts at run time
 //! ([`local_model::MessageStats`]).
@@ -29,11 +41,10 @@ use crate::gallai::GallaiMsg;
 use crate::layering::LayerMsg;
 use crate::linial::LinialMsg;
 use crate::list_coloring::LcMsg;
-use crate::marking::MkMsg;
 use crate::mis::MisMsg;
 use crate::reduce::ReduceMsg;
 use crate::ruling::RulingMsg;
-use local_model::{congest_budget, WireCodec, WireParams};
+use local_model::{congest_budget, BallMsg, ReachMsg, WireCodec, WireParams};
 
 /// Which bandwidth regime a substrate's wire format fits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +64,30 @@ impl std::fmt::Display for BandwidthClass {
     }
 }
 
+/// How a substrate's rounds execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// Every round runs through [`local_model::Engine::step`]: round
+    /// counts and per-edge bit loads are measured, wire-exact.
+    Engine,
+    /// Some phases run engine-backed (measured), the rest are charged
+    /// central simulations.
+    Mixed,
+    /// Centrally simulated with explicit round charges; bandwidth
+    /// numbers are declared bounds, not measurements.
+    Central,
+}
+
+impl std::fmt::Display for Execution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Execution::Engine => write!(f, "engine (measured)"),
+            Execution::Mixed => write!(f, "mixed"),
+            Execution::Central => write!(f, "central (charged)"),
+        }
+    }
+}
+
 /// One substrate's classification at concrete graph parameters.
 #[derive(Debug, Clone)]
 pub struct SubstrateBandwidth {
@@ -64,6 +99,8 @@ pub struct SubstrateBandwidth {
     pub max_bits: Option<u64>,
     /// The verdict against [`congest_budget`].
     pub class: BandwidthClass,
+    /// How the substrate's rounds execute (measured vs charged).
+    pub execution: Execution,
     /// Why (one line).
     pub note: &'static str,
 }
@@ -72,6 +109,7 @@ fn row<M: WireCodec>(
     name: &'static str,
     message: &'static str,
     p: &WireParams,
+    execution: Execution,
     note: &'static str,
 ) -> SubstrateBandwidth {
     let max_bits = M::max_bits(p);
@@ -84,86 +122,130 @@ fn row<M: WireCodec>(
         message,
         max_bits,
         class,
+        execution,
         note,
     }
 }
 
 /// Classifies every protocol substrate at the given graph parameters.
-/// Rows are ordered roughly bottom-up: primitives first, the headline
-/// drivers last.
+/// Rows are ordered roughly bottom-up: the ball-collection subsystem
+/// and the primitives first, the headline drivers last.
 pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
     // Color-class reduction consumes Linial's O(Δ²) coloring, so its
     // palette is the Linial bound, not Δ+1.
     let reduce_params =
         p.with_palette(crate::linial::linial_color_bound(p.max_degree as usize) as u64);
     vec![
+        row::<BallMsg<()>>(
+            "ball/collect",
+            "BallMsg",
+            p,
+            Execution::Engine,
+            "radius-r certificate flood: Theta(Delta^r) adjacency lists",
+        ),
+        row::<ReachMsg<()>>(
+            "ball/reach",
+            "ReachMsg",
+            p,
+            Execution::Engine,
+            "membership flood: batches every source crossing an edge",
+        ),
         row::<LinialMsg>(
             "linial",
             "LinialMsg",
             p,
+            Execution::Engine,
             "one gamma-coded color < max(n, q0^2)",
         ),
         row::<ReduceMsg>(
             "reduce",
             "ReduceMsg",
             &reduce_params,
+            Execution::Engine,
             "one gamma-coded color < Linial bound",
         ),
-        row::<MisMsg>("mis", "MisMsg", p, "n^3-domain draw + id tiebreak"),
-        row::<LcMsg>("list_coloring", "LcMsg", p, "tag + gamma-coded color"),
-        row::<MkMsg>(
-            "marking",
-            "MkMsg",
+        row::<MisMsg>(
+            "mis",
+            "MisMsg",
             p,
-            "backoff flood carries Theta(Delta^b) ids",
+            Execution::Engine,
+            "n^3-domain draw + id tiebreak",
+        ),
+        row::<LcMsg>(
+            "list_coloring",
+            "LcMsg",
+            p,
+            Execution::Engine,
+            "tag + gamma-coded color",
+        ),
+        row::<ReachMsg<()>>(
+            "marking",
+            "ReachMsg + MkMsg",
+            p,
+            Execution::Engine,
+            "backoff reach-flood of Theta(Delta^b) ids; picks via 2-balls",
         ),
         row::<RulingMsg>(
             "ruling",
             "RulingMsg",
             p,
-            "power-graph relays batch Delta^(alpha-2) messages",
+            Execution::Mixed,
+            "bit-halving reach-floods measured; Luby path on materialized G^k",
         ),
         row::<GallaiMsg>(
             "gallai",
             "GallaiMsg",
             p,
-            "ball relays carry Theta(Delta^r) edges",
+            Execution::Engine,
+            "DCC detection collects radius-r balls: Theta(Delta^r) edges",
         ),
         row::<BrooksMsg>(
             "brooks",
             "BrooksMsg",
             p,
-            "endpoint probe collects a log-radius ball",
+            Execution::Mixed,
+            "first probe is an engine 2-ball; deep probes + walk central",
         ),
-        row::<LayerMsg>("layering", "LayerMsg", p, "one gamma-coded BFS layer index"),
+        row::<LayerMsg>(
+            "layering",
+            "LayerMsg",
+            p,
+            Execution::Central,
+            "one gamma-coded BFS layer index",
+        ),
         row::<DecompMsg>(
             "decomp",
             "DecompMsg",
             p,
+            Execution::Central,
             "fixed-point key + gamma-coded center",
         ),
         row::<RandMsg>(
             "delta/rand",
             "RandMsg",
             p,
+            Execution::Mixed,
             "inherits DCC detection + marking flood",
         ),
         row::<DetMsg>(
             "delta/det",
             "DetMsg",
             p,
+            Execution::Mixed,
             "inherits power-graph ruling + repairs",
         ),
         row::<NetDecompMsg>(
             "delta/netdecomp",
             "NetDecompMsg",
             p,
+            Execution::Mixed,
             "inherits separation blocking + repairs",
         ),
         row::<SlocalMsg>(
             "delta/slocal",
             "SlocalMsg",
             p,
+            Execution::Mixed,
             "repairs rewrite whole balls",
         ),
     ]
@@ -172,6 +254,7 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::marking::MkMsg;
 
     fn classes_at(n: u64, delta: u64) -> Vec<(&'static str, BandwidthClass)> {
         let p = WireParams {
@@ -211,8 +294,11 @@ mod tests {
                     "{name} at n={n}, delta={delta}"
                 );
             }
-            // Unbounded wire formats.
+            // Unbounded wire formats: the ball-collection relays and
+            // everything built on them.
             for name in [
+                "ball/collect",
+                "ball/reach",
                 "marking",
                 "ruling",
                 "gallai",
@@ -232,14 +318,14 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_all_fourteen_substrates() {
+    fn registry_covers_all_sixteen_substrates() {
         let p = WireParams {
             n: 1 << 12,
             max_degree: 4,
             palette: 5,
         };
         let rows = classify(&p);
-        assert_eq!(rows.len(), 14);
+        assert_eq!(rows.len(), 16);
         // Bounded rows really are within budget; unbounded rows say so.
         for r in &rows {
             match r.max_bits {
@@ -255,6 +341,42 @@ mod tests {
     }
 
     #[test]
+    fn engine_backed_substrates_are_labeled_measured() {
+        let p = WireParams {
+            n: 1 << 12,
+            max_degree: 4,
+            palette: 5,
+        };
+        let exec_of = |name: &str| {
+            classify(&p)
+                .into_iter()
+                .find(|r| r.name == name)
+                .map(|r| r.execution)
+                .expect("registered substrate")
+        };
+        // The ball subsystem made these phases real message-passing
+        // programs: their loads in the experiment tables are measured.
+        for name in [
+            "ball/collect",
+            "ball/reach",
+            "linial",
+            "reduce",
+            "mis",
+            "list_coloring",
+            "marking",
+            "gallai",
+        ] {
+            assert_eq!(exec_of(name), Execution::Engine, "{name}");
+        }
+        for name in ["ruling", "brooks", "delta/rand", "delta/det"] {
+            assert_eq!(exec_of(name), Execution::Mixed, "{name}");
+        }
+        for name in ["layering", "decomp"] {
+            assert_eq!(exec_of(name), Execution::Central, "{name}");
+        }
+    }
+
+    #[test]
     fn bit_halving_ruling_case_is_congest_feasible() {
         // The alpha = 2 carve-out: candidate announcements alone fit.
         let p = WireParams {
@@ -263,5 +385,17 @@ mod tests {
             palette: 5,
         };
         assert!(RulingMsg::candidate_max_bits(&p) <= congest_budget(p.n));
+    }
+
+    #[test]
+    fn marking_control_messages_are_bounded() {
+        // The propose/claim/accept placement rounds individually fit
+        // CONGEST; the substrate is LOCAL-only because of the flood.
+        let p = WireParams {
+            n: 1 << 16,
+            max_degree: 4,
+            palette: 5,
+        };
+        assert!(MkMsg::max_bits(&p).unwrap() <= congest_budget(p.n));
     }
 }

@@ -26,14 +26,21 @@ use delta_graphs::components::{block_order, blocks, is_connected};
 use delta_graphs::props;
 use delta_graphs::{Graph, NodeId};
 use local_model::wire::gamma_bits;
-use local_model::{BitReader, BitWriter, RoundLedger, WireCodec, WireParams};
+use local_model::{
+    collect_ball_centered, BitReader, BitWriter, RoundLedger, WireCodec, WireParams,
+};
 
-/// Wire format of the Theorem 5 repair ([`repair_single_uncolored`]
-/// runs as a charged central simulation; this documents what a faithful
-/// distributed execution sends). Locating the repair endpoint collects
-/// the `2·log_{Δ-1} n` ball (a [`GallaiMsg`] relay — unbounded), so
-/// `max_bits` is `None` and the repair is **LOCAL-only**; the
-/// color-shift walk itself is `O(log palette)` bits per step.
+/// Wire format of the Theorem 5 repair. The *first* endpoint probe (the
+/// radius-2 ball that resolves the overwhelming majority of repairs)
+/// **executes through the engine** via
+/// [`local_model::collect_ball_centered`] — a TTL probe wave plus a
+/// certificate flood back, `2·r` measured rounds confined to the ball;
+/// the doubling deepening beyond radius 2 and the token walk remain
+/// charged central simulations (this enum declares their equivalent
+/// wire shapes). Locating a deep endpoint collects the `2·log_{Δ-1} n`
+/// ball (a [`GallaiMsg`] relay — unbounded), so `max_bits` is `None`
+/// and the repair is **LOCAL-only**; the color-shift walk itself is
+/// `O(log palette)` bits per step.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BrooksMsg {
     /// Endpoint search: ball-collection relay.
@@ -415,7 +422,10 @@ pub struct RepairOutcome {
 /// ```
 ///
 /// Charges `2 × (radius actually inspected)` rounds: one sweep to
-/// collect the ball, one to announce the recoloring.
+/// collect the ball, one to announce the recoloring. The initial
+/// radius-2 inspection runs engine-backed (4 measured rounds with real
+/// per-edge bit loads, confined to the probed ball); deeper doubling
+/// probes are centrally simulated and charged the remainder.
 ///
 /// # Errors
 ///
@@ -450,9 +460,17 @@ pub fn repair_single_uncolored(
     // giant block a full Theorem-5 ball would form.
     let mut target: Option<(u32, NodeId, Option<Vec<NodeId>>)> = None; // (dist, node, dcc)
     let mut r_explored = 2usize;
+    // Rounds already charged by the engine-backed probe; the final
+    // central charge below covers only the remainder.
+    let mut engine_rounds = 0u64;
     let mut ball;
     loop {
-        ball = bfs::ball(g, v, r_explored);
+        ball = if engine_rounds == 0 {
+            engine_rounds = 2 * r_explored as u64;
+            collect_ball_centered(g, v, r_explored, ledger, phase)
+        } else {
+            g.ball(v, r_explored)
+        };
         // Nearest small-degree node.
         for (i, &gl) in ball.globals.iter().enumerate() {
             if g.degree(gl) < delta {
@@ -513,7 +531,7 @@ pub fn repair_single_uncolored(
         if let Some(&c) = coloring.free_colors(g, token, delta).first() {
             coloring.set(token, c);
             let rounds = 2 * (radius.max(r_explored).max(1) as u64);
-            ledger.charge(phase, rounds);
+            ledger.charge(phase, rounds.saturating_sub(engine_rounds));
             return Ok(RepairOutcome {
                 radius,
                 moved,
@@ -534,7 +552,7 @@ pub fn repair_single_uncolored(
     if let Some(&c) = coloring.free_colors(g, token, delta).first() {
         coloring.set(token, c);
         let rounds = 2 * (radius.max(r_explored).max(1) as u64);
-        ledger.charge(phase, rounds);
+        ledger.charge(phase, rounds.saturating_sub(engine_rounds));
         return Ok(RepairOutcome {
             radius,
             moved,
@@ -554,7 +572,7 @@ pub fn repair_single_uncolored(
     }
     gallai::color_component_respecting(g, &component, delta, coloring)?;
     let rounds = 2 * (radius.max(r_explored).max(1) as u64);
-    ledger.charge(phase, rounds);
+    ledger.charge(phase, rounds.saturating_sub(engine_rounds));
     Ok(RepairOutcome {
         radius,
         moved,
@@ -665,6 +683,28 @@ mod tests {
             );
             assert!(ledger.total() >= 1);
         }
+    }
+
+    #[test]
+    fn repair_probe_is_measured_on_the_wire() {
+        // A hand-built tight instance (deterministic, unlike sampling a
+        // brooks_color output): the star center sees all Δ colors, so
+        // the repair must run the engine-backed radius-2 probe — which
+        // must leave nonzero measured bits on the ledger.
+        let g = generators::star(3);
+        let mut c = PartialColoring::new(4);
+        c.set(NodeId(1), Color(0));
+        c.set(NodeId(2), Color(1));
+        c.set(NodeId(3), Color(2));
+        assert!(
+            c.free_colors(&g, NodeId(0), 3).is_empty(),
+            "tight by construction"
+        );
+        let mut ledger = RoundLedger::new();
+        repair_single_uncolored(&g, &mut c, NodeId(0), 3, &mut ledger, "repair").unwrap();
+        check_k_coloring(&g, &c, 3).unwrap();
+        assert!(ledger.bits_sent() > 0, "probe bits measured");
+        assert!(ledger.total() >= 4, "2r engine rounds charged");
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! `max_attempts` it falls back to the deterministic algorithm. Every
 //! produced coloring is verified before being returned.
 
-use crate::gallai::{color_component_respecting, find_dcc_for_node, GallaiMsg};
+use crate::gallai::{color_component_respecting, GallaiMsg};
 use crate::layering::{color_one_layer, color_upper_layers, layers_from_base, LayerMsg, Layering};
 use crate::list_coloring::{LcMsg, ListColorMethod};
 use crate::marking::{marking_process, MarkingParams, MkMsg};
@@ -554,19 +554,23 @@ fn select_b0_dccs(
     ledger: &mut RoundLedger,
 ) -> Result<(Vec<Vec<NodeId>>, Vec<NodeId>), ColoringError> {
     let r = config.r_detect;
-    ledger.charge("phase1-dcc-detect", r as u64);
+    // Engine-backed collective detection: every node collects its
+    // radius-r ball as a real message-passing program (rounds + bits
+    // measured by the engine, charged to the phase below).
+    let found_all = crate::gallai::find_dccs_all(
+        g,
+        r,
+        2 * r,
+        crate::gallai::dcc_size_cap(g.max_degree()),
+        ledger,
+        "phase1-dcc-detect",
+    );
     // Deduplicate selected DCCs by vertex set.
-    let mut dcc_index: std::collections::HashMap<Vec<NodeId>, usize> =
-        std::collections::HashMap::new();
+    let mut seen: std::collections::HashSet<Vec<NodeId>> = std::collections::HashSet::new();
     let mut dccs: Vec<Vec<NodeId>> = Vec::new();
-    for v in g.nodes() {
-        if let Some(found) =
-            find_dcc_for_node(g, v, r, 2 * r, crate::gallai::dcc_size_cap(g.max_degree()))
-        {
-            dcc_index.entry(found.nodes.clone()).or_insert_with(|| {
-                dccs.push(found.nodes.clone());
-                dccs.len() - 1
-            });
+    for found in found_all.into_iter().flatten() {
+        if seen.insert(found.nodes.clone()) {
+            dccs.push(found.nodes);
         }
     }
     if dccs.is_empty() {
@@ -654,26 +658,25 @@ fn color_small_component(
         })
         .collect();
 
-    // In-component DCCs (radius r_c, detection radius capped for cost).
+    // In-component DCCs (radius r_c, detection radius capped for cost):
+    // the same engine-backed collective detection, on the component's
+    // induced subgraph.
     let detect_r = r_c.min(config.r_detect.max(2) + 2);
-    let mut dcc_index: std::collections::HashMap<Vec<NodeId>, usize> =
-        std::collections::HashMap::new();
+    let found_all = crate::gallai::find_dccs_all(
+        &sub,
+        detect_r,
+        2 * detect_r,
+        crate::gallai::dcc_size_cap(delta),
+        ledger,
+        "phase6-cdcc",
+    );
+    let mut seen: std::collections::HashSet<Vec<NodeId>> = std::collections::HashSet::new();
     let mut dccs: Vec<Vec<NodeId>> = Vec::new();
-    for lv in sub.nodes() {
-        if let Some(found) = find_dcc_for_node(
-            &sub,
-            lv,
-            detect_r,
-            2 * detect_r,
-            crate::gallai::dcc_size_cap(delta),
-        ) {
-            dcc_index.entry(found.nodes.clone()).or_insert_with(|| {
-                dccs.push(found.nodes.clone());
-                dccs.len() - 1
-            });
+    for found in found_all.into_iter().flatten() {
+        if seen.insert(found.nodes.clone()) {
+            dccs.push(found.nodes);
         }
     }
-    ledger.charge("phase6-cdcc", detect_r as u64);
 
     // Virtual graph CDCC: singletons for free nodes + DCC nodes.
     let k = free.len() + dccs.len();

@@ -20,14 +20,18 @@ use delta_graphs::components::blocks;
 use delta_graphs::props::{is_clique_subset, is_odd_cycle};
 use delta_graphs::{Graph, NodeId};
 use local_model::wire::gamma_bits;
-use local_model::{BitReader, BitWriter, WireCodec, WireParams};
+use local_model::{run_ball_phase, BitReader, BitWriter, RoundLedger, WireCodec, WireParams};
 
-/// Wire format of DCC detection ([`find_dcc_for_node`] runs as a
-/// charged central simulation; this documents what a faithful
-/// distributed execution sends). Collecting a radius-`r` ball means
-/// each round every node forwards its whole current view — up to
-/// `Θ(Δ^r)` edges in one message — so `max_bits` is `None`: DCC
-/// detection is **LOCAL-only**.
+/// Wire format of DCC detection. The collective driver
+/// ([`find_dccs_all`]) **executes through the engine**: every node
+/// floods adjacency certificates for `r` rounds via the ball-collection
+/// subsystem ([`local_model::BallMsg`] on the wire; this enum is the
+/// equivalent declared shape) and searches its assembled view locally,
+/// so rounds and per-edge bits are measured. Either way a relay can
+/// carry up to `Θ(Δ^r)` edges in one message, so `max_bits` is `None`:
+/// DCC detection is **LOCAL-only**. The single-node
+/// [`find_dcc_for_node`] remains the central reference oracle for
+/// tests and ad-hoc probes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GallaiMsg {
     /// Ball-collection relay: the sender's newly learned edges, as
@@ -120,6 +124,34 @@ pub fn find_dcc_for_node(
 /// the shattering/expansion path instead.
 pub fn dcc_size_cap(delta: usize) -> usize {
     4 * delta + 12
+}
+
+/// Engine-backed collective DCC detection: every node simultaneously
+/// collects its radius-`r` ball as a real message-passing program
+/// ([`local_model::run_ball_phase`] — `r` measured engine rounds of
+/// certificate floods, charged to `phase` with their exact wire bits)
+/// and searches the assembled view for a qualifying degree-choosable
+/// component through it. Entry `v` equals
+/// `find_dcc_for_node(g, v, r, max_radius, max_size)` — the central
+/// oracle — for every node, but the rounds and bandwidth are measured,
+/// and the phase is schedule-independent.
+pub fn find_dccs_all(
+    g: &Graph,
+    r: usize,
+    max_radius: usize,
+    max_size: usize,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<Option<FoundDcc>> {
+    run_ball_phase::<(), _, _, _>(
+        g,
+        0,
+        r,
+        |_| (),
+        |_, view| find_dcc_in_ball(&view.to_ball(), max_radius, max_size),
+        ledger,
+        phase,
+    )
 }
 
 /// Ball-local DCC search (see [`find_dcc_for_node`]).
@@ -514,6 +546,31 @@ mod tests {
             let dcc = found.unwrap();
             assert!(is_dcc(&g, &dcc.nodes));
             assert!(dcc.nodes.contains(&v));
+        }
+    }
+
+    #[test]
+    fn collective_detection_matches_the_central_oracle() {
+        use local_model::RoundLedger;
+        for (g, r) in [
+            (generators::torus(5, 5), 2),
+            (generators::random_regular(120, 4, 9), 2),
+            (generators::cycle(12), 1),
+            (generators::random_gallai_tree(8, 4, 1), 3),
+        ] {
+            let mut ledger = RoundLedger::new();
+            let all = find_dccs_all(&g, r, 2 * r, usize::MAX, &mut ledger, "dcc");
+            assert_eq!(ledger.total(), r as u64);
+            assert!(ledger.bits_sent() > 0, "certificate flood is measured");
+            for v in g.nodes() {
+                let want = find_dcc_for_node(&g, v, r, 2 * r, usize::MAX);
+                let got = &all[v.index()];
+                assert_eq!(
+                    got.as_ref().map(|f| (&f.nodes, f.radius)),
+                    want.as_ref().map(|f| (&f.nodes, f.radius)),
+                    "node {v}"
+                );
+            }
         }
     }
 

@@ -21,28 +21,42 @@
 //! [`local_model::WireCodec`] — a bit-exact wire format with a
 //! `max_bits(graph_params)` bound — and the engine charges each
 //! transmission's exact size, so every run reports its CONGEST-style
-//! bandwidth footprint alongside its round count. The [`bandwidth`]
-//! module classifies each substrate against the `O(log n)` per-edge
-//! budget; the verdicts below are for the implemented wire formats
-//! (see each message type's docs for why):
+//! bandwidth footprint alongside its round count. Since the
+//! ball-collection subsystem ([`local_model::ball`]) landed, the
+//! neighborhood-inspection phases execute as real message-passing
+//! programs too: ruling sets flood candidate ids level by level
+//! (`local_model::run_reach_phase`), the marking process runs its
+//! backoff flood, radius-2 pick probes, and mark placement on the
+//! engine, and DCC detection assembles radius-`r` views from relayed
+//! adjacency certificates ([`gallai::find_dccs_all`]) — their rounds
+//! and per-edge bits in the tables are **measured**, not estimated. The
+//! [`bandwidth`] module classifies each substrate against the
+//! `O(log n)` per-edge budget and records how it executes; the
+//! verdicts below are for the implemented wire formats (see each
+//! message type's docs for why):
 //!
-//! | Module | Contents | Paper reference | Bandwidth |
-//! |---|---|---|---|
-//! | [`palette`] | colors, partial colorings, lists, validity checks | — | — |
-//! | [`linial`] | `O(Δ²)` coloring in `O(log* n)` rounds | \[Lin92\], used for symmetry breaking | CONGEST-feasible |
-//! | [`reduce`] | color-class reduction to `Δ+1` | — | CONGEST-feasible |
-//! | [`mis`] | Luby's MIS (plus power graphs) | Lemma 20 substrate | CONGEST-feasible |
-//! | [`ruling`] | ruling sets and ruling forests | Lemma 20 | LOCAL-only (power-graph relays) |
-//! | [`list_coloring`] | `(deg+1)`-list coloring, randomized & deterministic | Theorems 18, 19 | CONGEST-feasible |
-//! | [`gallai`] | degree-choosable components, Gallai trees, the degree-list solver | Definitions 6–9, Theorem 8 | LOCAL-only (ball relays) |
-//! | [`brooks`] | sequential Brooks & the distributed Brooks repair | Theorem 5, Lemma 16 | LOCAL-only (ball probes) |
-//! | [`layering`] | the layering technique | Section 3 | CONGEST-feasible |
-//! | [`marking`] | the marking process and T-nodes | Section 2.2, phase (4) | LOCAL-only (backoff flood) |
-//! | [`decomp`] | MPX network decomposition | \[PS92\]/\[AGLP89\] substitute | CONGEST-feasible |
-//! | [`delta`] | the headline algorithms | Theorems 1, 3, 4 | LOCAL-only (inherit detection/repairs) |
-//! | [`baseline`] | `(Δ+1)` baseline and a PS-style Δ-coloring baseline | \[PS92, PS95\] | — |
-//! | [`verify`] | end-to-end validity checking | — | — |
-//! | [`bandwidth`] | CONGEST-feasibility registry of all of the above | cf. KMW | — |
+//! | Module | Contents | Paper reference | Bandwidth | Execution |
+//! |---|---|---|---|---|
+//! | [`palette`] | colors, partial colorings, lists, validity checks | — | — | — |
+//! | [`linial`] | `O(Δ²)` coloring in `O(log* n)` rounds | \[Lin92\], used for symmetry breaking | CONGEST-feasible | engine (measured) |
+//! | [`reduce`] | color-class reduction to `Δ+1` | — | CONGEST-feasible | engine (measured) |
+//! | [`mis`] | Luby's MIS (plus power graphs) | Lemma 20 substrate | CONGEST-feasible | engine (measured) |
+//! | [`ruling`] | ruling sets and ruling forests | Lemma 20 | LOCAL-only (power-graph relays) | mixed: bit-halving engine-backed, Luby path central |
+//! | [`list_coloring`] | `(deg+1)`-list coloring, randomized & deterministic | Theorems 18, 19 | CONGEST-feasible | engine (measured) |
+//! | [`gallai`] | degree-choosable components, Gallai trees, the degree-list solver | Definitions 6–9, Theorem 8 | LOCAL-only (ball relays) | engine (measured) via [`gallai::find_dccs_all`] |
+//! | [`brooks`] | sequential Brooks & the distributed Brooks repair | Theorem 5, Lemma 16 | LOCAL-only (ball probes) | mixed: radius-2 probe engine-backed, deepening + walk central |
+//! | [`layering`] | the layering technique | Section 3 | CONGEST-feasible | central (charged) |
+//! | [`marking`] | the marking process and T-nodes | Section 2.2, phase (4) | LOCAL-only (backoff flood) | engine (measured) |
+//! | [`decomp`] | MPX network decomposition | \[PS92\]/\[AGLP89\] substitute | CONGEST-feasible | central (charged) |
+//! | [`delta`] | the headline algorithms | Theorems 1, 3, 4 | LOCAL-only (inherit detection/repairs) | mixed |
+//! | [`baseline`] | `(Δ+1)` baseline and a PS-style Δ-coloring baseline | \[PS92, PS95\] | — | mixed |
+//! | [`verify`] | end-to-end validity checking | — | — | — |
+//! | [`bandwidth`] | CONGEST-feasibility + execution registry of all of the above | cf. KMW | — | — |
+//!
+//! Phases that remain genuinely centralized (with charged round
+//! estimates): the power-graph Luby MIS behind randomized ruling sets,
+//! the layering BFS waves, MPX decomposition, and the Brooks repair's
+//! deep doubling probes and token walk.
 //!
 //! # Quickstart
 //!

@@ -9,55 +9,74 @@
 //! two same-colored neighbors, i.e. guaranteed slack ("one free color")
 //! whenever it is colored later.
 //!
+//! The whole process executes on the message-passing engine: the
+//! backoff is a [`local_model::run_reach_phase`] flood of selected ids,
+//! the neighborhood probe behind the survivor picks is a radius-2
+//! [`local_model::run_ball_phase`], and the marks land through a
+//! 3-round propose/claim/accept exchange — every round and every bit on
+//! the wire is measured, and the whole process is schedule-independent
+//! (see `tests/determinism.rs`).
+//!
 //! Lemma 12 (Δ >= 4, b = 6) and Lemma 14 (Δ = 3, b = 12) show the graph
 //! of unmarked nodes still expands, which drives the shattering analysis
 //! (Lemmas 22, 23, 30, 31).
 
 use crate::palette::{Color, PartialColoring};
 use delta_graphs::{bfs, Graph, NodeId};
-use local_model::wire::{gamma_u32s_bits, read_gamma_u32s, write_gamma_u32s};
-use local_model::{BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec, WireParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use local_model::wire::{gamma_bits, gamma_max_bits};
+use local_model::{
+    run_ball_phase, run_reach_phase, BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec,
+    WireParams,
+};
 
-/// Wire format of the marking process. The backoff flood forwards
-/// every newly learned selected id, so a single message can carry up
-/// to `Θ(Δ^b)` identifiers — unbounded in the CONGEST sense
-/// ([`WireCodec::max_bits`] is `None`): the marking process as
-/// implemented is **LOCAL-only** (a CONGEST port would pipeline the
-/// flood over `Θ(Δ^b)` rounds).
+/// Wire format of the marking process's **mark-placement** rounds
+/// (propose / claim / accept) — each message is `O(log n)` bits. The
+/// process as a whole is still **LOCAL-only**: its backoff flood
+/// executes as an engine-backed [`local_model::run_reach_phase`] whose
+/// [`local_model::ReachMsg`] relays batch every selected id crossing an
+/// edge (`Θ(Δ^b)` of them, unbounded), and the pick step collects
+/// radius-2 [`local_model::BallView`]s — both measured on the wire by
+/// the engine; the bandwidth registry classifies the substrate by the
+/// flood, not by these bounded control messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MkMsg {
-    /// Backoff flood: selected-node ids learned last round, forwarded.
-    Flood(Vec<u32>),
-    /// Survivor → chosen neighbor: "you are marked".
-    Mark,
+    /// Survivor → chosen neighbor: "I propose to mark you".
+    Propose,
+    /// Proposed node → all neighbors: "my strongest proposer is `id`"
+    /// (conflict resolution: of two adjacent proposed nodes, the one
+    /// with the smaller proposer keeps its mark).
+    Claim(u32),
+    /// Accepted mark → its winning proposer: "your mark stuck".
+    Accept,
 }
 
 impl WireCodec for MkMsg {
     fn encode(&self, w: &mut BitWriter) {
         match self {
-            MkMsg::Flood(ids) => {
-                w.write_bool(false);
-                write_gamma_u32s(w, ids);
+            MkMsg::Propose => w.write_bits(0, 2),
+            MkMsg::Claim(id) => {
+                w.write_bits(1, 2);
+                w.write_gamma(*id as u64);
             }
-            MkMsg::Mark => w.write_bool(true),
+            MkMsg::Accept => w.write_bits(2, 2),
         }
     }
     fn decode(r: &mut BitReader<'_>) -> Option<Self> {
-        match r.read_bool()? {
-            true => Some(MkMsg::Mark),
-            false => read_gamma_u32s(r).map(MkMsg::Flood),
+        match r.read_bits(2)? {
+            0 => Some(MkMsg::Propose),
+            1 => r.read_gamma().map(|id| MkMsg::Claim(id as u32)),
+            2 => Some(MkMsg::Accept),
+            _ => None,
         }
     }
     fn encoded_bits(&self) -> u64 {
         match self {
-            MkMsg::Flood(ids) => 1 + gamma_u32s_bits(ids),
-            MkMsg::Mark => 1,
+            MkMsg::Propose | MkMsg::Accept => 2,
+            MkMsg::Claim(id) => 2 + gamma_bits(*id as u64),
         }
     }
-    fn max_bits(_p: &WireParams) -> Option<u64> {
-        None
+    fn max_bits(p: &WireParams) -> Option<u64> {
+        Some(2 + gamma_max_bits(p.n))
     }
 }
 
@@ -149,9 +168,12 @@ pub struct TNode {
 /// }
 /// ```
 ///
-/// LOCAL cost: 1 round to select, `b` rounds for the backoff flood,
-/// 1 round to deliver the marks — `b + 2` engine rounds, charged to
-/// `phase`.
+/// LOCAL cost, all engine-executed and measured: 1 round to select,
+/// `b` rounds of backoff flood ([`local_model::run_reach_phase`]),
+/// 2 rounds of radius-2 ball collection for the survivor picks
+/// ([`local_model::run_ball_phase`]), and 3 rounds of
+/// propose / claim / accept mark placement — `b + 6` rounds charged to
+/// `phase`, with nonzero `bits_sent` whenever anything was selected.
 pub fn marking_process(
     h: &Graph,
     params: MarkingParams,
@@ -160,125 +182,174 @@ pub fn marking_process(
     ledger: &mut RoundLedger,
     phase: &str,
 ) -> MarkingOutcome {
-    #[derive(Clone, Default)]
-    struct MkState {
-        selected: bool,
-        /// Selected ids seen within the flood horizon (sorted, incl. self).
-        seen: Vec<u32>,
-        /// Newly learned ids, forwarded next flood round.
-        frontier: Vec<u32>,
-        /// The two neighbors this survivor marks (stashed by the driver).
-        pick: Option<(NodeId, NodeId)>,
-        marked: bool,
-    }
-
     let p = params.p;
-    let mut engine = Engine::new(h, seed, |_| MkState::default());
-    // Round 1: every node privately flips its selection coin.
-    engine.step(
+    // Round 1: every node privately flips its selection coin (no
+    // traffic; the draw comes from the node's engine rng stream).
+    let mut sel_engine = Engine::new(h, seed, |_| false);
+    sel_engine.step(
         ledger,
         phase,
-        |ctx, s: &mut MkState, _out: &mut Outbox<MkMsg>| {
+        |ctx, s: &mut bool, _out: &mut Outbox<MkMsg>| {
             if ctx.random_f64() < p {
-                s.selected = true;
-                s.seen = vec![ctx.id.0];
-                s.frontier = vec![ctx.id.0];
+                *s = true;
             }
         },
         |_, _, _| {},
     );
-    let initially_selected = engine.states().iter().filter(|s| s.selected).count();
-    // Rounds 2..=b+1: flood selected ids b hops so every selected node
-    // learns of competitors within the backoff distance.
-    for _ in 0..params.b {
-        engine.step(
-            ledger,
-            phase,
-            |_, s: &mut MkState, out: &mut Outbox<MkMsg>| {
-                if !s.frontier.is_empty() {
-                    out.broadcast(MkMsg::Flood(std::mem::take(&mut s.frontier)));
-                }
-            },
-            |_, s, inbox| {
-                for (_, m) in inbox {
-                    let MkMsg::Flood(ids) = m else {
-                        unreachable!("flood rounds carry Flood messages only");
-                    };
-                    for &id in ids {
-                        if let Err(at) = s.seen.binary_search(&id) {
-                            s.seen.insert(at, id);
-                            s.frontier.push(id);
-                        }
+    let selected = sel_engine.into_states();
+    let initially_selected = selected.iter().filter(|&&s| s).count();
+
+    // Rounds 2..=b+1: backoff — selected ids flood `b` hops; a selected
+    // node survives only if it hears no competitor.
+    let survivor: Vec<bool> = run_reach_phase(
+        h,
+        0,
+        params.b,
+        |v| selected[v.index()].then_some(()),
+        |v| (v.0, false),
+        |acc: &mut (u32, bool), id, _dist, _m| {
+            if id != acc.0 {
+                acc.1 = true;
+            }
+        },
+        |ctx, &(_, heard_competitor)| selected[ctx.id.index()] && !heard_competitor,
+        ledger,
+        phase,
+    );
+
+    // Rounds b+2..=b+3: radius-2 ball collection; each survivor picks
+    // two random non-adjacent uncolored neighbors with its private rng.
+    // Pair adjacency is exactly radius-2 knowledge, delivered by the
+    // collected view's edge certificates.
+    let picks: Vec<Option<(NodeId, NodeId)>> = run_ball_phase(
+        h,
+        seed ^ 0x9e37_79b9_7f4a_7c15,
+        2,
+        |v| coloring.is_colored(v),
+        |ctx, view| {
+            if !survivor[ctx.id.index()] {
+                return None;
+            }
+            let nbrs: Vec<u32> = view
+                .members
+                .iter()
+                .zip(&view.dist)
+                .zip(&view.payloads)
+                .filter(|((_, &d), &colored)| d == 1 && !colored)
+                .map(|((&id, _), _)| id)
+                .collect();
+            let mut pairs = Vec::new();
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b2 in &nbrs[i + 1..] {
+                    if view.edges.binary_search(&(a.min(b2), a.max(b2))).is_err() {
+                        pairs.push((a, b2));
                     }
                 }
-            },
-        );
-    }
-    // Backoff: a selected node survives only if it saw no competitor.
-    let survivors: Vec<NodeId> = engine
-        .states()
-        .iter()
-        .enumerate()
-        .filter(|(i, s)| s.selected && s.seen.iter().all(|&w| w == *i as u32))
-        .map(|(i, _)| NodeId::from_index(i))
-        .collect();
-    // Survivor picks: two random non-adjacent neighbors each. Pair
-    // adjacency is radius-2 knowledge — information the backoff flood
-    // already delivered for b >= 2; the sequential accept order only
-    // matters for ablation backoffs b < 4, where 1-balls may overlap.
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut marked = vec![false; h.n()];
-    let mut t_nodes = Vec::new();
-    for &v in &survivors {
-        // Pick two random non-adjacent neighbors (uncolored, unmarked,
-        // and not adjacent to an existing mark — for the paper's b >= 6
-        // the last condition never triggers, but it keeps the coloring
-        // proper under ablation backoffs b < 4).
-        let nbrs: Vec<NodeId> = h
-            .neighbors(v)
-            .iter()
-            .copied()
-            .filter(|&w| {
-                !coloring.is_colored(w)
-                    && !marked[w.index()]
-                    && !h.neighbors(w).iter().any(|&x| marked[x.index()])
-            })
-            .collect();
-        let mut pairs = Vec::new();
-        for (i, &a) in nbrs.iter().enumerate() {
-            for &b2 in &nbrs[i + 1..] {
-                if !h.has_edge(a, b2) {
-                    pairs.push((a, b2));
-                }
             }
-        }
-        if pairs.is_empty() {
-            continue; // neighborhood is a clique: cannot form a T-node
-        }
-        let (m1, m2) = pairs[rng.random_range(0..pairs.len())];
-        marked[m1.index()] = true;
-        marked[m2.index()] = true;
-        engine.states_mut()[v.index()].pick = Some((m1, m2));
-        t_nodes.push(TNode { node: v, m1, m2 });
+            if pairs.is_empty() {
+                return None; // neighborhood is a clique: no T-node here
+            }
+            let (m1, m2) = pairs[ctx.random_below(pairs.len() as u64) as usize];
+            Some((NodeId(m1), NodeId(m2)))
+        },
+        ledger,
+        phase,
+    );
+
+    // Rounds b+4..=b+6: conflict-free mark placement. For the paper's
+    // b >= 4 survivors are too far apart for their picks to interact and
+    // every proposal is accepted unopposed; the resolution keeps the
+    // marked set independent (hence the coloring proper) under ablation
+    // backoffs b < 4 too: of two adjacent proposed marks, the one whose
+    // strongest (smallest-id) proposer is smaller keeps its mark.
+    #[derive(Clone, Default)]
+    struct ResState {
+        pick: Option<(NodeId, NodeId)>,
+        /// Smallest id among the survivors that proposed to mark me.
+        proposer: Option<u32>,
+        marked: bool,
+        accepted: (bool, bool),
     }
-    // Round b+2: survivors deliver their marks as per-neighbor directed
-    // messages; recipients record the mark.
+    let mut engine = Engine::new(h, seed ^ 0x5151, |v| ResState {
+        pick: picks[v.index()],
+        ..Default::default()
+    });
     engine.step(
         ledger,
         phase,
-        |_, s: &mut MkState, out: &mut Outbox<MkMsg>| {
+        |_, s: &mut ResState, out: &mut Outbox<MkMsg>| {
             if let Some((m1, m2)) = s.pick {
-                out.send_to(m1, MkMsg::Mark);
-                out.send_to(m2, MkMsg::Mark);
+                out.send_to(m1, MkMsg::Propose);
+                out.send_to(m2, MkMsg::Propose);
             }
         },
         |_, s, inbox| {
-            if !inbox.is_empty() {
-                s.marked = true;
+            for &(w, ref m) in inbox {
+                if matches!(m, MkMsg::Propose) {
+                    s.proposer = Some(s.proposer.map_or(w.0, |q| q.min(w.0)));
+                }
             }
         },
     );
-    let marked: Vec<bool> = engine.states().iter().map(|s| s.marked).collect();
+    engine.step(
+        ledger,
+        phase,
+        |_, s: &mut ResState, out: &mut Outbox<MkMsg>| {
+            if let Some(q) = s.proposer {
+                out.broadcast(MkMsg::Claim(q));
+            }
+        },
+        |_, s, inbox| {
+            if let Some(mine) = s.proposer {
+                // Adjacent claims never tie: one survivor's two picks
+                // are non-adjacent by construction.
+                let lost = inbox
+                    .iter()
+                    .any(|(_, m)| matches!(m, MkMsg::Claim(q) if *q < mine));
+                s.marked = !lost;
+            }
+        },
+    );
+    engine.step(
+        ledger,
+        phase,
+        |_, s: &mut ResState, out: &mut Outbox<MkMsg>| {
+            if s.marked {
+                out.send_to(
+                    NodeId(s.proposer.expect("marked nodes were proposed")),
+                    MkMsg::Accept,
+                );
+            }
+        },
+        |_, s, inbox| {
+            if let Some((m1, m2)) = s.pick {
+                for &(w, ref m) in inbox {
+                    if matches!(m, MkMsg::Accept) {
+                        if w == m1 {
+                            s.accepted.0 = true;
+                        }
+                        if w == m2 {
+                            s.accepted.1 = true;
+                        }
+                    }
+                }
+            }
+        },
+    );
+    let states = engine.into_states();
+    let marked: Vec<bool> = states.iter().map(|s| s.marked).collect();
+    let t_nodes: Vec<TNode> = states
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s.pick {
+            Some((m1, m2)) if s.accepted == (true, true) => Some(TNode {
+                node: NodeId::from_index(i),
+                m1,
+                m2,
+            }),
+            _ => None,
+        })
+        .collect();
     for (i, &m) in marked.iter().enumerate() {
         if m {
             coloring.set(NodeId::from_index(i), Color::FIRST);
@@ -342,7 +413,11 @@ mod tests {
         let mut ledger = RoundLedger::new();
         let out = marking_process(&g, params, 1, &mut coloring, &mut ledger, "mark");
         assert!(check_marking(&g, &out, 6));
-        assert_eq!(ledger.total(), 8);
+        // 1 select + b flood + 2 ball + 3 placement rounds, all engine
+        // rounds with measured traffic.
+        assert_eq!(ledger.total(), 6 + 6);
+        assert!(ledger.bits_sent() > 0);
+        assert!(ledger.max_edge_bits() > 0);
         // Marked nodes carry the first color.
         for t in &out.t_nodes {
             assert_eq!(coloring.get(t.m1), Some(Color::FIRST));

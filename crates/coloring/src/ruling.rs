@@ -18,15 +18,17 @@ use delta_graphs::{Graph, NodeId};
 use local_model::wire::{
     gamma_bits, gamma_max_bits, gamma_u32s_bits, read_gamma_u32s, write_gamma_u32s,
 };
-use local_model::{BitReader, BitWriter, RoundLedger, WireCodec, WireParams};
+use local_model::{run_reach_phase, BitReader, BitWriter, RoundLedger, WireCodec, WireParams};
 
-/// Wire format of the ruling-set constructions (these run as charged
-/// central simulations; the message type documents what a faithful
-/// distributed execution sends per round, and the bandwidth registry
-/// classifies it). The bit-halving recursion only ever announces a
-/// single candidate id (`O(log n)` bits), but both the `α > 2`
-/// deterministic construction and the randomized Luby path run on the
-/// power graph `G^{α-1}`, whose rounds relay up to `Δ^(α-2)` foreign
+/// Wire format of the ruling-set constructions. The deterministic
+/// bit-halving path **executes through the engine** — each merge level
+/// is one [`local_model::run_reach_phase`] flood of candidate ids at
+/// radius `α-1`, so its rounds and per-edge bits are measured, not
+/// estimated (the concrete messages on the wire are
+/// [`local_model::ReachMsg`] relays; [`RulingMsg::Relay`] is the
+/// equivalent declared shape). The randomized Luby path still runs on a
+/// materialized power graph `G^{α-1}` (a charged central simulation).
+/// Either way, a power-graph round relays up to `Δ^(α-2)` foreign
 /// messages over one edge — unbounded, hence `max_bits` is `None` and
 /// the substrate is **LOCAL-only** for non-constant `α`
 /// (the bandwidth registry carves out the CONGEST-feasible `α = 2`
@@ -109,51 +111,32 @@ pub fn ruling_set_randomized(
     crate::mis::members(&mask)
 }
 
-/// Deterministic `(2, O(log n))` ruling set by recursive id-bit
-/// halving: split nodes by the highest differing id bit, recurse in
-/// parallel, and keep the second half's ruling nodes only if they are
-/// not adjacent to (within distance 1 of) the first half's.
+/// Deterministic `(2, O(log n))` ruling set by id-bit halving, executed
+/// on the message-passing engine (see
+/// [`ruling_set_deterministic_alpha`]; this is the `alpha = 2` case,
+/// whose per-level floods are single-hop candidate announcements).
 ///
-/// Charges `O(log n)` rounds (3 per bit level).
+/// Charges one measured engine round per bit level.
 pub fn ruling_set_deterministic(g: &Graph, ledger: &mut RoundLedger, phase: &str) -> Vec<NodeId> {
-    if g.n() == 0 {
-        return Vec::new();
-    }
-    let bits = (usize::BITS - (g.n() - 1).max(1).leading_zeros()) as usize;
-    let all: Vec<NodeId> = g.nodes().collect();
-    let mut set = rec_ruling(g, all, bits as i32 - 1);
-    set.sort_unstable();
-    // 3 rounds per recursion level (filtering needs one exchange;
-    // bookkeeping two more), matching the classical analysis.
-    ledger.charge(phase, 3 * bits as u64 + 1);
-    set
+    ruling_set_deterministic_alpha(g, 2, ledger, phase)
 }
 
-fn rec_ruling(g: &Graph, nodes: Vec<NodeId>, bit: i32) -> Vec<NodeId> {
-    if nodes.len() <= 1 || bit < 0 {
-        // Unique dense ids guarantee singletons by bit < 0.
-        return nodes;
-    }
-    let (v0, v1): (Vec<NodeId>, Vec<NodeId>) =
-        nodes.into_iter().partition(|v| v.0 & (1 << bit) == 0);
-    let mut r0 = rec_ruling(g, v0, bit - 1);
-    let r1 = rec_ruling(g, v1, bit - 1);
-    // Keep second-half ruling nodes only if not adjacent to the first
-    // half's result; dropped nodes stay dominated within +1.
-    let in_r0: std::collections::HashSet<NodeId> = r0.iter().copied().collect();
-    for v in r1 {
-        if !g.neighbors(v).iter().any(|w| in_r0.contains(w)) {
-            r0.push(v);
-        }
-    }
-    r0
-}
-
-/// Deterministic `(alpha, O(alpha·log n))` ruling set: bit-halving where
-/// adjacency is "distance < alpha in G" — logically the recursion on
-/// `G^{alpha-1}`, but implemented with truncated multi-source BFS so the
-/// power graph is never materialized. Rounds charged `×(alpha-1)` per
-/// level, matching the power-graph simulation cost.
+/// Deterministic `(alpha, O(alpha·log n))` ruling set by id-bit halving
+/// where adjacency is "distance < alpha in G" — the classical recursion
+/// on the power graph `G^{alpha-1}`, executed **bottom-up as a real
+/// message-passing program**: all merges of one bit level run
+/// simultaneously (their node sets are disjoint), so each level is one
+/// engine-backed [`run_reach_phase`] in which the level's candidates
+/// (surviving nodes whose level bit is 0) flood their ids `alpha-1`
+/// hops and every surviving second-half node drops out iff it hears a
+/// candidate of its own merge group. Rounds and per-edge bits are
+/// measured by the engine — `alpha-1` rounds per level, `⌈log₂ n⌉`
+/// levels.
+///
+/// The only phase state is a reusable survivor mask (updated level by
+/// level); the per-merge `HashSet`/BFS scratch of the old centrally
+/// simulated recursion is gone, and per-node flood dedup lives inside
+/// the reach phase's `O(ring)` window.
 ///
 /// # Panics
 ///
@@ -164,65 +147,45 @@ pub fn ruling_set_deterministic_alpha(
     ledger: &mut RoundLedger,
     phase: &str,
 ) -> Vec<NodeId> {
-    assert!(alpha >= 2);
-    if alpha == 2 {
-        return ruling_set_deterministic(g, ledger, phase);
-    }
+    assert!(alpha >= 2, "alpha must be at least 2");
     if g.n() == 0 {
         return Vec::new();
     }
-    let bits = (usize::BITS - (g.n() - 1).max(1).leading_zeros()) as usize;
-    let all: Vec<NodeId> = g.nodes().collect();
-    let mut set = rec_ruling_dist(g, all, bits as i32 - 1, alpha);
-    set.sort_unstable();
-    ledger.charge(phase, (3 * bits as u64 + 1) * (alpha - 1) as u64);
-    set
-}
-
-fn rec_ruling_dist(g: &Graph, nodes: Vec<NodeId>, bit: i32, alpha: usize) -> Vec<NodeId> {
-    if nodes.len() <= 1 || bit < 0 {
-        return nodes;
-    }
-    let (v0, v1): (Vec<NodeId>, Vec<NodeId>) =
-        nodes.into_iter().partition(|v| v.0 & (1 << bit) == 0);
-    let mut r0 = rec_ruling_dist(g, v0, bit - 1, alpha);
-    let r1 = rec_ruling_dist(g, v1, bit - 1, alpha);
-    if r0.is_empty() {
-        return r1;
-    }
-    if r1.is_empty() {
-        return r0;
-    }
-    // Nodes within distance alpha-1 of r0 (truncated multi-source BFS;
-    // cost proportional to the region visited, not to n).
-    let near = within_distance(g, &r0, alpha - 1);
-    for v in r1 {
-        if !near.contains(&v) {
-            r0.push(v);
-        }
-    }
-    r0
-}
-
-/// The set of nodes within distance `d` of `sources` (inclusive).
-fn within_distance(g: &Graph, sources: &[NodeId], d: usize) -> std::collections::HashSet<NodeId> {
-    let mut seen: std::collections::HashSet<NodeId> = sources.iter().copied().collect();
-    let mut frontier: Vec<NodeId> = sources.to_vec();
-    for _ in 1..=d {
-        let mut next = Vec::new();
-        for &u in &frontier {
-            for &w in g.neighbors(u) {
-                if seen.insert(w) {
-                    next.push(w);
+    let bits = usize::BITS - (g.n() - 1).max(1).leading_zeros();
+    // Survivor mask: the phase's only persistent state, reused across
+    // levels. Initially everyone is the ruling set of its singleton
+    // recursion leaf.
+    let mut survive = vec![true; g.n()];
+    for bit in 0..bits {
+        // Merge level `bit`: groups are ids agreeing above `bit`; the
+        // group's first half (bit clear) keeps its survivors, and a
+        // second-half survivor stays only if no first-half survivor of
+        // its own group is within distance alpha-1.
+        let survive_in = &survive;
+        let decisions = run_reach_phase(
+            g,
+            0,
+            alpha - 1,
+            |v| (survive_in[v.index()] && v.0 & (1 << bit) == 0).then_some(()),
+            |v| (v.0, false),
+            |acc: &mut (u32, bool), id, _dist, _m| {
+                // Same merge group = same id prefix above the level bit.
+                if id != acc.0 && (id as u64) >> (bit + 1) == (acc.0 as u64) >> (bit + 1) {
+                    acc.1 = true;
                 }
-            }
-        }
-        frontier = next;
-        if frontier.is_empty() {
-            break;
-        }
+            },
+            |ctx, &(_, hit)| survive_in[ctx.id.index()] && (ctx.id.0 & (1 << bit) == 0 || !hit),
+            ledger,
+            phase,
+        );
+        survive = decisions;
     }
-    seen
+    survive
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
 }
 
 /// A ruling forest: every node assigned to its closest ruling node
@@ -319,6 +282,10 @@ mod tests {
             let beta = 2 * (g.n().ilog2() as usize + 1);
             assert!(is_ruling_set(&g, &set, 2, beta));
             assert!(ledger.total() <= 3 * (g.n().ilog2() as u64 + 2) + 1);
+            // The construction is engine-backed: its candidate floods
+            // are measured, not estimated.
+            assert!(ledger.bits_sent() > 0);
+            assert!(ledger.max_edge_bits() > 0);
         }
     }
 
@@ -329,6 +296,8 @@ mod tests {
         let set = ruling_set_deterministic_alpha(&g, 4, &mut ledger, "rs");
         let beta = 3 * 2 * (g.n().ilog2() as usize + 1) + 3;
         assert!(is_ruling_set(&g, &set, 4, beta));
+        assert!(ledger.bits_sent() > 0);
+        assert_eq!(ledger.total(), 3 * (g.n().ilog2() as u64 + 1));
     }
 
     #[test]

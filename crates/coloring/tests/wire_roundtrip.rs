@@ -92,12 +92,41 @@ proptest! {
     }
 
     #[test]
+    fn marking_placement_messages(n in 4u64..1 << 24, sel in 0u64..u64::MAX) {
+        // The propose/claim/accept rounds are bounded control traffic
+        // (the marking flood itself travels as local_model::ReachMsg).
+        let p = params(n, 4);
+        for m in [MkMsg::Propose, MkMsg::Claim((sel % n) as u32), MkMsg::Accept] {
+            roundtrip(&m);
+            bounded(&m, &p);
+        }
+    }
+
+    #[test]
+    fn ball_subsystem_relays_roundtrip(ids in proptest::collection::vec(0u32..1 << 24, 0..24), flag in proptest::bool::ANY) {
+        use local_model::ball::BallItem;
+        use local_model::{BallMsg, CenterMsg, ReachMsg};
+        let p = params(1 << 14, 4);
+        let items: Vec<BallItem<bool>> = ids
+            .iter()
+            .map(|&id| BallItem { id, adj: ids.clone(), payload: flag })
+            .collect();
+        roundtrip(&BallMsg(items));
+        prop_assert!(BallMsg::<bool>::max_bits(&p).is_none());
+        let reach = ReachMsg(ids.iter().map(|&id| (id, ())).collect());
+        roundtrip(&reach);
+        prop_assert!(ReachMsg::<()>::max_bits(&p).is_none());
+        let probe = CenterMsg {
+            probe_ttl: flag.then_some(ids.len() as u32),
+            items: vec![],
+        };
+        roundtrip(&probe);
+        prop_assert!(CenterMsg::max_bits(&p).is_none());
+    }
+
+    #[test]
     fn unbounded_families_roundtrip(ids in proptest::collection::vec(0u32..1 << 24, 0..40), color in 0u32..1 << 12) {
         let p = params(1 << 14, 4);
-        // Marking flood + mark.
-        roundtrip(&MkMsg::Flood(ids.clone()));
-        roundtrip(&MkMsg::Mark);
-        prop_assert!(MkMsg::max_bits(&p).is_none());
         // Ruling candidate/relay.
         roundtrip(&RulingMsg::Candidate(color));
         roundtrip(&RulingMsg::Relay(ids.clone()));
@@ -120,7 +149,7 @@ proptest! {
         let rand_msgs = [
             RandMsg::Detect(GallaiMsg::BallEdges(ids.iter().map(|&a| (a, a ^ 1)).collect())),
             RandMsg::Ruling(MisMsg::Draw { value: key % draw_domain(1 << 14), tiebreak: color }),
-            RandMsg::Marking(MkMsg::Flood(ids.clone())),
+            RandMsg::Marking(MkMsg::Claim(color)),
             RandMsg::Layer(LayerMsg::Layer(color)),
             RandMsg::List(LcMsg::Propose(Color(color))),
         ];

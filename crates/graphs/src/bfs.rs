@@ -186,34 +186,58 @@ impl Ball {
 /// The LOCAL-model cost of this operation is `r` rounds; callers charge
 /// the round ledger accordingly (see the `local-model` crate).
 pub fn ball(g: &Graph, center: NodeId, r: usize) -> Ball {
-    let mut members = Vec::new();
-    let mut dist_global = vec![UNREACHABLE; g.n()];
-    let mut q = VecDeque::new();
-    dist_global[center.index()] = 0;
-    q.push_back(center);
-    members.push(center);
-    while let Some(u) = q.pop_front() {
-        let du = dist_global[u.index()];
-        if du as usize >= r {
-            continue;
-        }
-        for &w in g.neighbors(u) {
-            if dist_global[w.index()] == UNREACHABLE {
-                dist_global[w.index()] = du + 1;
-                members.push(w);
-                q.push_back(w);
+    g.ball(center, r)
+}
+
+impl Graph {
+    /// The exact induced radius-`r` subgraph around `center` (truncated
+    /// BFS over the cached CSR adjacency, then [`Graph::induced`]).
+    ///
+    /// This is the central **reference oracle** for the engine-backed
+    /// ball collection in the `local-model` crate: a distributed
+    /// radius-`r` collection must reproduce this subgraph id-for-id
+    /// (pinned by the `ball_equivalence` proptests there).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use delta_graphs::{generators, NodeId};
+    /// let g = generators::cycle(8);
+    /// let b = g.ball(NodeId(0), 2);
+    /// assert_eq!(b.len(), 5); // 0, 1, 2, 7, 6
+    /// assert_eq!(b.graph.m(), 4); // induced path
+    /// ```
+    pub fn ball(&self, center: NodeId, r: usize) -> Ball {
+        let mut members = Vec::new();
+        let mut dist_global = vec![UNREACHABLE; self.n()];
+        let mut q = VecDeque::new();
+        dist_global[center.index()] = 0;
+        q.push_back(center);
+        members.push(center);
+        while let Some(u) = q.pop_front() {
+            let du = dist_global[u.index()];
+            if du as usize >= r {
+                continue;
+            }
+            for &w in self.neighbors(u) {
+                if dist_global[w.index()] == UNREACHABLE {
+                    dist_global[w.index()] = du + 1;
+                    members.push(w);
+                    q.push_back(w);
+                }
             }
         }
-    }
-    let (graph, globals) = g.induced(&members);
-    let dist = globals.iter().map(|v| dist_global[v.index()]).collect();
-    let center_local = NodeId::from_index(globals.binary_search(&center).expect("center in ball"));
-    Ball {
-        graph,
-        globals,
-        center: center_local,
-        dist,
-        radius: r,
+        let (graph, globals) = self.induced(&members);
+        let dist = globals.iter().map(|v| dist_global[v.index()]).collect();
+        let center_local =
+            NodeId::from_index(globals.binary_search(&center).expect("center in ball"));
+        Ball {
+            graph,
+            globals,
+            center: center_local,
+            dist,
+            radius: r,
+        }
     }
 }
 

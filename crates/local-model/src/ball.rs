@@ -1,0 +1,1004 @@
+//! Engine-backed ball collection: the standard "collect your radius-`r`
+//! neighborhood, then decide locally" compilation of LOCAL algorithms,
+//! executed as a real message-passing program.
+//!
+//! An `r`-round LOCAL algorithm is exactly a function from a node's
+//! radius-`r` ball to its output (the KMW locality framing). This module
+//! makes that compilation *operational* on the [`crate::Engine`]: nodes
+//! flood wire-encoded per-node payloads outward for exactly `r` engine
+//! rounds, with per-node dedup, and every transmission is charged its
+//! exact wire size through the engine's bandwidth accounting — so phases
+//! that used to be centrally simulated produce a real round ledger,
+//! measured per-edge bit loads, and determinism coverage.
+//!
+//! Three drivers, by how much of the neighborhood the local rule needs:
+//!
+//! * [`run_ball_phase`] — the full compilation: every node assembles a
+//!   [`BallView`] (member ids, member payloads, and the induced edges
+//!   among members, reconstructed from relayed adjacency certificates)
+//!   and a local rule `Fn(&mut NodeCtx, &BallView<M>) -> D` decides.
+//!   Memory is `Θ(Σ_v |B_r(v)|·Δ)`, so this is the tool for the small
+//!   constant radii of DCC detection and marking picks.
+//! * [`run_reach_phase`] — the membership-only flood: *source* nodes'
+//!   ids (plus a payload) travel `r` hops and each node folds every
+//!   distinct source it hears into a streaming accumulator. No
+//!   adjacency certificates, no retained neighborhood — the right
+//!   primitive for ruling sets on power graphs, where the radius is
+//!   `Θ(log n)` and a full view would not fit.
+//! * [`collect_ball_centered`] — single-center collection for repair
+//!   procedures: a TTL probe wave expands from the center while
+//!   certificates of probed nodes flood back, confining traffic to the
+//!   ball and costing `2r` rounds (out and back), the usual LOCAL
+//!   charge for an adaptive single-node inspection.
+//!
+//! # Dedup without per-node seen-sets
+//!
+//! In a synchronous new-items-only flood, a node first hears about a
+//! source at round `d = dist(v, c)`, and every duplicate arrives at
+//! round `d + 1` or `d + 2` (a neighbor `u` relays `c` exactly once, at
+//! round `dist(u, c) + 1`, and `dist(u, c) ∈ {d-1, d, d+1}`). So exact
+//! dedup needs only the two most recent "first heard" rings plus
+//! within-round dedup — `O(traffic)` total work and `O(ring)` memory,
+//! instead of a per-node set over all sources. [`run_reach_phase`]
+//! exploits this; the full collectors keep their members anyway.
+//!
+//! All decisions are computed inside the engine's recv phase from
+//! node-local state only, so they are bit-identical across
+//! [`crate::ExecMode`]s (covered by the repository determinism suite and
+//! the `ball_equivalence` proptests).
+
+use crate::engine::{node_rngs, Engine, NodeCtx, Outbox};
+use crate::ledger::RoundLedger;
+use crate::wire::{
+    gamma_bits, gamma_u32s_bits, read_gamma_u32s, write_gamma_u32s, BitReader, BitWriter,
+    WireCodec, WireParams,
+};
+use delta_graphs::bfs::Ball;
+use delta_graphs::{Graph, GraphBuilder, NodeId};
+
+/// One node's contribution to a ball flood: its identity, its full
+/// (sorted) adjacency list — the *certificate* from which receivers
+/// reconstruct induced edges — and an application payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BallItem<M> {
+    /// Global id of the described node.
+    pub id: u32,
+    /// The node's sorted adjacency list (global ids).
+    pub adj: Vec<u32>,
+    /// Application payload shared with every node that collects `id`.
+    pub payload: M,
+}
+
+impl<M: WireCodec> WireCodec for BallItem<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_gamma(self.id as u64);
+        write_gamma_u32s(w, &self.adj);
+        self.payload.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        let id = r.read_gamma()? as u32;
+        let adj = read_gamma_u32s(r)?;
+        let payload = M::decode(r)?;
+        Some(BallItem { id, adj, payload })
+    }
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.id as u64) + gamma_u32s_bits(&self.adj) + self.payload.encoded_bits()
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None // carries a whole adjacency list
+    }
+}
+
+/// Ball-collection relay: the items the sender first learned last
+/// round. Unbounded (`max_bits` is `None`): a single relay can carry
+/// `Θ(Δ^r)` certificates, which is exactly why ball-collection phases
+/// are LOCAL-only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BallMsg<M>(pub Vec<BallItem<M>>);
+
+impl<M: WireCodec> WireCodec for BallMsg<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_gamma(self.0.len() as u64);
+        for item in &self.0 {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        let len = r.read_gamma()?;
+        let mut items = Vec::with_capacity(len.min(1 << 20) as usize);
+        for _ in 0..len {
+            items.push(BallItem::decode(r)?);
+        }
+        Some(BallMsg(items))
+    }
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.0.len() as u64) + self.0.iter().map(WireCodec::encoded_bits).sum::<u64>()
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
+
+/// Reach-flood relay: `(source id, payload)` pairs first learned last
+/// round. Unbounded (`max_bits` is `None`): one relay batches every
+/// source crossing the edge this round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachMsg<M>(pub Vec<(u32, M)>);
+
+impl<M: WireCodec> WireCodec for ReachMsg<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_gamma(self.0.len() as u64);
+        for (id, m) in &self.0 {
+            w.write_gamma(*id as u64);
+            m.encode(w);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        let len = r.read_gamma()?;
+        let mut items = Vec::with_capacity(len.min(1 << 20) as usize);
+        for _ in 0..len {
+            let id = r.read_gamma()? as u32;
+            items.push((id, M::decode(r)?));
+        }
+        Some(ReachMsg(items))
+    }
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.0.len() as u64)
+            + self
+                .0
+                .iter()
+                .map(|(id, m)| gamma_bits(*id as u64) + m.encoded_bits())
+                .sum::<u64>()
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
+
+/// The radius-`r` neighborhood a node assembled from the flood: the
+/// induced subgraph on every node within distance `r`, as member ids,
+/// payloads, and the edges among members.
+///
+/// Member arrays are parallel and sorted by global id; the engine's
+/// deterministic delivery makes the whole view bit-identical across
+/// execution modes. [`BallView::to_ball`] converts into the
+/// [`delta_graphs::bfs::Ball`] shape (a materialized local [`Graph`]),
+/// which is what the structure-inspection helpers consume; the
+/// `ball_equivalence` proptests pin it to the [`Graph::ball`] oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BallView<M> {
+    /// Global id of the collecting node.
+    pub center: NodeId,
+    /// The radius the view was collected with.
+    pub radius: usize,
+    /// Sorted global ids of every node within distance `radius`.
+    pub members: Vec<u32>,
+    /// Distance from the center, parallel to `members`.
+    pub dist: Vec<u32>,
+    /// Payloads, parallel to `members`.
+    pub payloads: Vec<M>,
+    /// Induced edges among members as `(u, v)` with `u < v`, sorted.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl<M> BallView<M> {
+    /// Number of members (including the center).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view contains only its center.
+    pub fn is_empty(&self) -> bool {
+        self.members.len() <= 1
+    }
+
+    /// Index of a global id within the member arrays.
+    pub fn position(&self, id: NodeId) -> Option<usize> {
+        self.members.binary_search(&id.0).ok()
+    }
+
+    /// The payload of a member, if present.
+    pub fn payload_of(&self, id: NodeId) -> Option<&M> {
+        self.position(id).map(|i| &self.payloads[i])
+    }
+
+    /// The distance of a member from the center, if present.
+    pub fn dist_of(&self, id: NodeId) -> Option<u32> {
+        self.position(id).map(|i| self.dist[i])
+    }
+
+    /// Materializes the view as a [`Ball`] (local induced [`Graph`] plus
+    /// the local/global mapping) for the structure helpers that consume
+    /// that shape.
+    pub fn to_ball(&self) -> Ball {
+        let mut b = GraphBuilder::new(self.members.len());
+        for &(u, v) in &self.edges {
+            let lu = self
+                .members
+                .binary_search(&u)
+                .expect("edge endpoint is a member");
+            let lv = self
+                .members
+                .binary_search(&v)
+                .expect("edge endpoint is a member");
+            b.add_edge(lu as u32, lv as u32);
+        }
+        let center = NodeId::from_index(
+            self.members
+                .binary_search(&self.center.0)
+                .expect("center is a member"),
+        );
+        Ball {
+            graph: b.build(),
+            globals: self.members.iter().map(|&g| NodeId(g)).collect(),
+            center,
+            dist: self.dist.clone(),
+            radius: self.radius,
+        }
+    }
+}
+
+/// Per-node state of the full ball collector.
+struct BallState<M, D> {
+    /// Collected items in arrival order (own item first).
+    items: Vec<BallItem<M>>,
+    /// Distance of each collected item, parallel to `items`.
+    dist: Vec<u32>,
+    /// Sorted ids of collected items, for dedup.
+    seen: Vec<u32>,
+    /// Indices (into `items`) first learned last round, relayed next.
+    frontier: Vec<u32>,
+    /// The local rule's output, produced in the final recv.
+    decision: Option<D>,
+}
+
+fn assemble_view<M: Clone, D>(
+    center: NodeId,
+    radius: usize,
+    state: &BallState<M, D>,
+) -> BallView<M> {
+    // Arrival order is grouped by distance but arbitrary within a ring;
+    // sort a permutation by id for the canonical member arrays.
+    let mut order: Vec<u32> = (0..state.items.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| state.items[i as usize].id);
+    let members: Vec<u32> = order.iter().map(|&i| state.items[i as usize].id).collect();
+    let dist: Vec<u32> = order.iter().map(|&i| state.dist[i as usize]).collect();
+    let payloads: Vec<M> = order
+        .iter()
+        .map(|&i| state.items[i as usize].payload.clone())
+        .collect();
+    let mut edges = Vec::new();
+    for &i in &order {
+        let item = &state.items[i as usize];
+        for &w in &item.adj {
+            if item.id < w && members.binary_search(&w).is_ok() {
+                edges.push((item.id, w));
+            }
+        }
+    }
+    edges.sort_unstable();
+    BallView {
+        center,
+        radius,
+        members,
+        dist,
+        payloads,
+        edges,
+    }
+}
+
+/// Runs one radius-`r` ball-collection phase for **every node
+/// simultaneously** (the batch semantics of LOCAL ball collection:
+/// everyone floods at once, `r` rounds total) and applies `rule` to each
+/// node's assembled [`BallView`] — with access to the node's private,
+/// seed-deterministic randomness — returning the per-node decisions.
+///
+/// Costs exactly `radius` engine rounds, charged (rounds *and* measured
+/// bits) to `phase` on the ledger. `radius == 0` costs nothing and the
+/// views contain only the centers.
+///
+/// # Example
+///
+/// Count the triangles through each node — 1-hop topology:
+///
+/// ```
+/// use delta_graphs::generators;
+/// use local_model::{ball::run_ball_phase, RoundLedger};
+///
+/// let g = generators::complete(4);
+/// let mut ledger = RoundLedger::new();
+/// let tri = run_ball_phase(
+///     &g,
+///     0,
+///     1,
+///     |_| (),
+///     |_, view| view.edges.iter().filter(|&&(u, v)| {
+///         u != view.center.0 && v != view.center.0
+///     }).count(),
+///     &mut ledger,
+///     "triangles",
+/// );
+/// assert!(tri.iter().all(|&t| t == 3)); // K4: every node in 3 triangles
+/// assert_eq!(ledger.total(), 1);
+/// assert!(ledger.bits_sent() > 0);
+/// ```
+pub fn run_ball_phase<M, D, P, R>(
+    graph: &Graph,
+    seed: u64,
+    radius: usize,
+    payload_of: P,
+    rule: R,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<D>
+where
+    M: Clone + Send + Sync + WireCodec + 'static,
+    D: Send,
+    P: Fn(NodeId) -> M + Sync,
+    R: Fn(&mut NodeCtx<'_>, &BallView<M>) -> D + Sync,
+{
+    if radius == 0 {
+        // A 0-round algorithm sees only itself; no engine involvement,
+        // but decisions still draw from the same per-node rng streams an
+        // engine with this seed would provide.
+        let mut rngs = node_rngs(seed, graph.n());
+        return graph
+            .nodes()
+            .map(|v| {
+                let own = BallItem {
+                    id: v.0,
+                    adj: graph.neighbors(v).iter().map(|w| w.0).collect(),
+                    payload: payload_of(v),
+                };
+                let state = BallState::<M, D> {
+                    items: vec![own],
+                    dist: vec![0],
+                    seen: vec![v.0],
+                    frontier: Vec::new(),
+                    decision: None,
+                };
+                let view = assemble_view(v, 0, &state);
+                let mut ctx = NodeCtx {
+                    id: v,
+                    degree: graph.degree(v),
+                    rng: &mut rngs[v.index()],
+                };
+                rule(&mut ctx, &view)
+            })
+            .collect();
+    }
+    let mut engine = Engine::new(graph, seed, |v| {
+        let own = BallItem {
+            id: v.0,
+            adj: graph.neighbors(v).iter().map(|w| w.0).collect(),
+            payload: payload_of(v),
+        };
+        BallState {
+            items: vec![own],
+            dist: vec![0],
+            seen: vec![v.0],
+            frontier: vec![0],
+            decision: None,
+        }
+    });
+    for t in 1..=radius as u32 {
+        let last = t as usize == radius;
+        engine.step(
+            ledger,
+            phase,
+            |_, s: &mut BallState<M, D>, out: &mut Outbox<BallMsg<M>>| {
+                if !s.frontier.is_empty() {
+                    let items = std::mem::take(&mut s.frontier)
+                        .into_iter()
+                        .map(|i| s.items[i as usize].clone())
+                        .collect();
+                    out.broadcast(BallMsg(items));
+                }
+            },
+            |ctx, s, inbox| {
+                for (_, msg) in inbox {
+                    for item in &msg.0 {
+                        if let Err(at) = s.seen.binary_search(&item.id) {
+                            s.seen.insert(at, item.id);
+                            s.frontier.push(s.items.len() as u32);
+                            s.items.push(item.clone());
+                            s.dist.push(t);
+                        }
+                    }
+                }
+                if last {
+                    let view = assemble_view(ctx.id, radius, s);
+                    s.decision = Some(rule(ctx, &view));
+                }
+            },
+        );
+    }
+    engine
+        .into_states()
+        .into_iter()
+        .map(|s| s.decision.expect("final round decided every node"))
+        .collect()
+}
+
+/// Collects every node's radius-`r` [`BallView`] through the engine
+/// (see [`run_ball_phase`]); `radius` rounds and their measured bits are
+/// charged to `phase`. Retains `Θ(Σ_v |B_r(v)|)` memory — intended for
+/// small radii, tests, and benchmarks; production phases should decide
+/// inside [`run_ball_phase`] instead of keeping the views.
+pub fn collect_ball_views<M>(
+    graph: &Graph,
+    radius: usize,
+    payload_of: impl Fn(NodeId) -> M + Sync,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<BallView<M>>
+where
+    M: Clone + Send + Sync + WireCodec + 'static,
+{
+    run_ball_phase(
+        graph,
+        0,
+        radius,
+        payload_of,
+        |_, view| view.clone(),
+        ledger,
+        phase,
+    )
+}
+
+/// Per-node state of the streaming reach flood.
+struct ReachState<M, A, D> {
+    acc: A,
+    /// Sources first heard last round (sorted ids) — dist `t-1` at round `t`.
+    ring_last: Vec<u32>,
+    /// Sources first heard the round before (sorted ids) — dist `t-2`.
+    ring_prev: Vec<u32>,
+    /// `(id, payload)` pairs first learned last round, relayed next
+    /// round; sorted by id (mirrors `ring_last`).
+    frontier: Vec<(u32, M)>,
+    decision: Option<D>,
+}
+
+/// Runs one radius-`r` **reach flood**: every node for which `source`
+/// returns a payload floods its id (plus the payload) `r` hops; every
+/// node absorbs each distinct source it hears — including itself, at
+/// distance 0 — into a streaming accumulator via `absorb(acc, source_id,
+/// dist, payload)` (sources of one round are absorbed in ascending id
+/// order), and `finish` turns the accumulator into the node's decision
+/// with access to its private randomness.
+///
+/// This is the membership-only sibling of [`run_ball_phase`]: no
+/// adjacency certificates travel and nothing is retained beyond the
+/// caller's accumulator and an `O(ring)` dedup window (see the module
+/// docs), so it scales to the `Θ(log n)`-radius floods of power-graph
+/// ruling sets. Costs exactly `radius` engine rounds charged to `phase`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_reach_phase<M, A, D, SRC, INIT, ABS, FIN>(
+    graph: &Graph,
+    seed: u64,
+    radius: usize,
+    source: SRC,
+    init: INIT,
+    absorb: ABS,
+    finish: FIN,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<D>
+where
+    M: Clone + Send + Sync + WireCodec + 'static,
+    A: Send,
+    D: Send,
+    SRC: Fn(NodeId) -> Option<M> + Sync,
+    INIT: Fn(NodeId) -> A + Sync,
+    ABS: Fn(&mut A, u32, u32, &M) + Sync,
+    FIN: Fn(&mut NodeCtx<'_>, &A) -> D + Sync,
+{
+    if radius == 0 {
+        let mut rngs = node_rngs(seed, graph.n());
+        return graph
+            .nodes()
+            .map(|v| {
+                let mut acc = init(v);
+                if let Some(m) = source(v) {
+                    absorb(&mut acc, v.0, 0, &m);
+                }
+                let mut ctx = NodeCtx {
+                    id: v,
+                    degree: graph.degree(v),
+                    rng: &mut rngs[v.index()],
+                };
+                finish(&mut ctx, &acc)
+            })
+            .collect();
+    }
+    let mut engine = Engine::new(graph, seed, |v| {
+        let mut acc = init(v);
+        let own = source(v);
+        if let Some(m) = &own {
+            absorb(&mut acc, v.0, 0, m);
+        }
+        ReachState {
+            acc,
+            ring_last: own.iter().map(|_| v.0).collect(),
+            ring_prev: Vec::new(),
+            frontier: own.map(|m| (v.0, m)).into_iter().collect(),
+            decision: None,
+        }
+    });
+    for t in 1..=radius as u32 {
+        let last = t as usize == radius;
+        engine.step(
+            ledger,
+            phase,
+            |_, s: &mut ReachState<M, A, D>, out: &mut Outbox<ReachMsg<M>>| {
+                // Rotate the dedup window: the frontier's sources were
+                // first heard at round t-1 and become the newest ring.
+                s.ring_prev = std::mem::take(&mut s.ring_last);
+                s.ring_last = s.frontier.iter().map(|&(id, _)| id).collect();
+                if !s.frontier.is_empty() {
+                    out.broadcast(ReachMsg(std::mem::take(&mut s.frontier)));
+                }
+            },
+            |ctx, s, inbox| {
+                // Gather this round's arrivals, dedup by id (payload
+                // copies of one source are identical), then drop
+                // duplicates from the two-ring window — exact dedup, see
+                // the module docs.
+                let mut arrivals: Vec<(u32, M)> = Vec::new();
+                for (_, msg) in inbox {
+                    arrivals.extend(msg.0.iter().cloned());
+                }
+                arrivals.sort_unstable_by_key(|&(id, _)| id);
+                arrivals.dedup_by_key(|&mut (id, _)| id);
+                for (id, m) in arrivals {
+                    if s.ring_last.binary_search(&id).is_ok()
+                        || s.ring_prev.binary_search(&id).is_ok()
+                    {
+                        continue;
+                    }
+                    absorb(&mut s.acc, id, t, &m);
+                    if !last {
+                        s.frontier.push((id, m));
+                    } else {
+                        // The final ring is never relayed, but `finish`
+                        // runs below, so only the accumulator matters.
+                    }
+                }
+                if last {
+                    s.decision = Some(finish(ctx, &s.acc));
+                }
+            },
+        );
+    }
+    engine
+        .into_states()
+        .into_iter()
+        .map(|s| s.decision.expect("final round decided every node"))
+        .collect()
+}
+
+/// One step of the single-center collection: an optional probe relay
+/// (TTL of the wave front) plus the certificates first learned last
+/// round. Unbounded (`max_bits` is `None`) like every ball relay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CenterMsg {
+    /// Probe relay: the remaining TTL for receivers.
+    pub probe_ttl: Option<u32>,
+    /// Certificates flooding back toward the center.
+    pub items: Vec<CenterItem>,
+}
+
+/// A certificate traveling back to the collecting center: the described
+/// node's id, its distance from the center (stamped when probed), and
+/// its sorted adjacency list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CenterItem {
+    /// Global id of the described node.
+    pub id: u32,
+    /// Distance from the collection center.
+    pub dist: u32,
+    /// The node's sorted adjacency list (global ids).
+    pub adj: Vec<u32>,
+}
+
+impl WireCodec for CenterItem {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_gamma(self.id as u64);
+        w.write_gamma(self.dist as u64);
+        write_gamma_u32s(w, &self.adj);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        Some(CenterItem {
+            id: r.read_gamma()? as u32,
+            dist: r.read_gamma()? as u32,
+            adj: read_gamma_u32s(r)?,
+        })
+    }
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.id as u64) + gamma_bits(self.dist as u64) + gamma_u32s_bits(&self.adj)
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
+
+impl WireCodec for CenterMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        self.probe_ttl.encode(w);
+        w.write_gamma(self.items.len() as u64);
+        for item in &self.items {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        let probe_ttl = Option::<u32>::decode(r)?;
+        let len = r.read_gamma()?;
+        let mut items = Vec::with_capacity(len.min(1 << 20) as usize);
+        for _ in 0..len {
+            items.push(CenterItem::decode(r)?);
+        }
+        Some(CenterMsg { probe_ttl, items })
+    }
+    fn encoded_bits(&self) -> u64 {
+        self.probe_ttl.encoded_bits()
+            + gamma_bits(self.items.len() as u64)
+            + self.items.iter().map(WireCodec::encoded_bits).sum::<u64>()
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
+
+struct CenterState {
+    /// Round this node was probed (center: 0), and the remaining TTL.
+    probed: Option<(u32, u32)>,
+    /// Whether the probe was already relayed.
+    probe_sent: bool,
+    /// Sorted ids of certificates seen (dedup).
+    seen: Vec<u32>,
+    /// Collected certificates (only consumed at the center).
+    items: Vec<CenterItem>,
+    /// Certificates first learned last round, relayed next round.
+    frontier: Vec<CenterItem>,
+}
+
+/// Collects the radius-`r` ball of a **single** node through the engine:
+/// a TTL-`r` probe wave expands from `center` (so only nodes inside the
+/// ball ever transmit) while the probed nodes' adjacency certificates
+/// flood back along the wave; after `2r` rounds — out and back, the
+/// standard LOCAL charge for an adaptive single-center inspection — the
+/// center has assembled its exact radius-`r` [`Ball`].
+///
+/// Engine rounds and measured bits are charged to `phase`. `radius == 0`
+/// charges nothing.
+pub fn collect_ball_centered(
+    graph: &Graph,
+    center: NodeId,
+    radius: usize,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Ball {
+    if radius == 0 || graph.n() <= 1 {
+        return graph.ball(center, radius);
+    }
+    let own_item = |v: NodeId, dist: u32| CenterItem {
+        id: v.0,
+        dist,
+        adj: graph.neighbors(v).iter().map(|w| w.0).collect(),
+    };
+    let mut engine = Engine::new(graph, 0, |v| {
+        if v == center {
+            let item = own_item(v, 0);
+            CenterState {
+                probed: Some((0, radius as u32)),
+                probe_sent: false,
+                seen: vec![v.0],
+                items: vec![item.clone()],
+                frontier: vec![item],
+            }
+        } else {
+            CenterState {
+                probed: None,
+                probe_sent: false,
+                seen: Vec::new(),
+                items: Vec::new(),
+                frontier: Vec::new(),
+            }
+        }
+    });
+    for t in 1..=(2 * radius) as u32 {
+        engine.step(
+            ledger,
+            phase,
+            |_, s: &mut CenterState, out: &mut Outbox<CenterMsg>| {
+                let Some((_, ttl)) = s.probed else {
+                    return;
+                };
+                let probe_ttl = if !s.probe_sent && ttl > 0 {
+                    s.probe_sent = true;
+                    Some(ttl - 1)
+                } else {
+                    None
+                };
+                let items = std::mem::take(&mut s.frontier);
+                if probe_ttl.is_some() || !items.is_empty() {
+                    out.broadcast(CenterMsg { probe_ttl, items });
+                }
+            },
+            |ctx, s, inbox| {
+                for (_, msg) in inbox {
+                    if let Some(ttl) = msg.probe_ttl {
+                        if s.probed.is_none() {
+                            // All probes arriving this round carry the
+                            // same TTL (radius - t): the wave front is
+                            // synchronous.
+                            s.probed = Some((t, ttl));
+                            let item = own_item(ctx.id, t);
+                            s.seen.push(ctx.id.0);
+                            s.seen.sort_unstable();
+                            s.items.push(item.clone());
+                            s.frontier.push(item);
+                        }
+                    }
+                    if s.probed.is_some() {
+                        for item in &msg.items {
+                            if let Err(at) = s.seen.binary_search(&item.id) {
+                                s.seen.insert(at, item.id);
+                                s.items.push(item.clone());
+                                s.frontier.push(item.clone());
+                            }
+                        }
+                    }
+                }
+            },
+        );
+    }
+    let state = &engine.states()[center.index()];
+    let mut order: Vec<usize> = (0..state.items.len()).collect();
+    order.sort_unstable_by_key(|&i| state.items[i].id);
+    let members: Vec<u32> = order.iter().map(|&i| state.items[i].id).collect();
+    let dist: Vec<u32> = order.iter().map(|&i| state.items[i].dist).collect();
+    let mut b = GraphBuilder::new(members.len());
+    for &i in &order {
+        let item = &state.items[i];
+        let lu = members.binary_search(&item.id).expect("own id is a member");
+        for &w in &item.adj {
+            if item.id < w {
+                if let Ok(lw) = members.binary_search(&w) {
+                    b.add_edge(lu as u32, lw as u32);
+                }
+            }
+        }
+    }
+    let center_local = NodeId::from_index(
+        members
+            .binary_search(&center.0)
+            .expect("center collects itself"),
+    );
+    Ball {
+        graph: b.build(),
+        globals: members.iter().map(|&g| NodeId(g)).collect(),
+        center: center_local,
+        dist,
+        radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_graphs::{bfs, generators};
+
+    fn views_match_oracle<M: Clone + PartialEq + std::fmt::Debug>(
+        g: &Graph,
+        r: usize,
+        views: &[BallView<M>],
+    ) {
+        for (i, view) in views.iter().enumerate() {
+            let v = NodeId::from_index(i);
+            let oracle = g.ball(v, r);
+            assert_eq!(view.center, v);
+            let want: Vec<u32> = oracle.globals.iter().map(|w| w.0).collect();
+            assert_eq!(view.members, want, "members of {v}");
+            // Oracle globals are sorted, so dists align index-wise.
+            assert_eq!(view.dist, oracle.dist, "dist of {v}");
+            let ball = view.to_ball();
+            assert_eq!(ball.graph, oracle.graph, "induced edges of {v}");
+            assert_eq!(ball.center, oracle.center);
+        }
+    }
+
+    #[test]
+    fn full_views_match_central_oracle() {
+        for g in [
+            generators::cycle(12),
+            generators::torus(4, 5),
+            generators::random_regular(60, 4, 3),
+            generators::star(5),
+            Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap(), // disconnected
+        ] {
+            for r in 0..=3 {
+                let mut ledger = RoundLedger::new();
+                let views = collect_ball_views::<()>(&g, r, |_| (), &mut ledger, "b");
+                assert_eq!(ledger.total(), r as u64);
+                views_match_oracle(&g, r, &views);
+                if r > 0 && g.m() > 0 {
+                    assert!(ledger.bits_sent() > 0, "flood must be measured");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payloads_travel_with_items() {
+        let g = generators::cycle(8);
+        let mut ledger = RoundLedger::new();
+        let views = collect_ball_views(&g, 2, |v| v.0 * 10, &mut ledger, "b");
+        for view in &views {
+            for (i, &m) in view.members.iter().enumerate() {
+                assert_eq!(view.payloads[i], m * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn rule_sees_rng_and_runs_once_per_node() {
+        let g = generators::path(6);
+        let mut ledger = RoundLedger::new();
+        let run = |seed| {
+            run_ball_phase(
+                &g,
+                seed,
+                1,
+                |_| (),
+                |ctx, view| (view.len() as u64) * 1000 + ctx.random_below(1000),
+                &mut RoundLedger::new(),
+                "b",
+            )
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same decisions");
+        assert_ne!(a, run(8));
+        let d = run_ball_phase(&g, 0, 1, |_| (), |_, v| v.len(), &mut ledger, "b");
+        assert_eq!(d, vec![2, 3, 3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn reach_phase_finds_exactly_the_sources_within_radius() {
+        let g = generators::cycle(16);
+        let sources = [0u32, 5];
+        for r in 1..=4usize {
+            let mut ledger = RoundLedger::new();
+            let heard: Vec<Vec<(u32, u32)>> = run_reach_phase(
+                &g,
+                0,
+                r,
+                |v| sources.contains(&v.0).then_some(()),
+                |_| Vec::new(),
+                |acc: &mut Vec<(u32, u32)>, id, dist, _| acc.push((id, dist)),
+                |_, acc| acc.clone(),
+                &mut ledger,
+                "reach",
+            );
+            assert_eq!(ledger.total(), r as u64);
+            assert!(ledger.bits_sent() > 0);
+            for (i, got) in heard.iter().enumerate() {
+                let v = NodeId::from_index(i);
+                let d = bfs::distances(&g, v);
+                let mut want: Vec<(u32, u32)> = sources
+                    .iter()
+                    .filter(|&&s| d[s as usize] as usize <= r)
+                    .map(|&s| (s, d[s as usize]))
+                    .collect();
+                // Absorption is in (dist, id-within-round) order.
+                want.sort_by_key(|&(s, dd)| (dd, s));
+                assert_eq!(got, &want, "node {v} radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn reach_dedup_window_is_exact_on_dense_graphs() {
+        // Dense graphs maximize duplicate arrivals; every source must be
+        // absorbed exactly once.
+        for g in [
+            generators::complete(7),
+            generators::torus(4, 4),
+            generators::random_regular(40, 6, 1),
+        ] {
+            let counts: Vec<usize> = run_reach_phase(
+                &g,
+                0,
+                3,
+                |_| Some(()),
+                |_| std::collections::HashMap::new(),
+                |acc: &mut std::collections::HashMap<u32, usize>, id, _, _| {
+                    *acc.entry(id).or_default() += 1;
+                },
+                |_, acc| {
+                    assert!(acc.values().all(|&c| c == 1), "double absorption");
+                    acc.len()
+                },
+                &mut RoundLedger::new(),
+                "reach",
+            );
+            for (i, &c) in counts.iter().enumerate() {
+                let v = NodeId::from_index(i);
+                let within = bfs::distances(&g, v)
+                    .iter()
+                    .filter(|&&d| d != bfs::UNREACHABLE && d <= 3)
+                    .count();
+                assert_eq!(c, within, "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn centered_collection_matches_oracle_and_confines_traffic() {
+        let g = generators::torus(6, 6);
+        for r in 0..=3usize {
+            let mut ledger = RoundLedger::new();
+            let ball = collect_ball_centered(&g, NodeId(7), r, &mut ledger, "probe");
+            let oracle = g.ball(NodeId(7), r);
+            assert_eq!(ball.globals, oracle.globals, "radius {r}");
+            assert_eq!(ball.graph, oracle.graph, "radius {r}");
+            assert_eq!(ball.dist, oracle.dist, "radius {r}");
+            assert_eq!(ball.center, oracle.center);
+            assert_eq!(ledger.total(), 2 * r as u64);
+            if r > 0 {
+                // Traffic is confined to the ball: far fewer deliveries
+                // than an all-nodes flood would cost.
+                assert!(ledger.bits_sent() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn centered_collection_on_path_endpoints() {
+        let g = generators::path(9);
+        for (v, r) in [(NodeId(0), 3), (NodeId(8), 2), (NodeId(4), 5)] {
+            let mut ledger = RoundLedger::new();
+            let ball = collect_ball_centered(&g, v, r, &mut ledger, "probe");
+            let oracle = g.ball(v, r);
+            assert_eq!(ball.globals, oracle.globals);
+            assert_eq!(ball.graph, oracle.graph);
+        }
+    }
+
+    #[test]
+    fn ball_codecs_roundtrip() {
+        use crate::wire::{decode_from_bytes, encode_to_bytes};
+        fn rt<T: WireCodec + PartialEq + std::fmt::Debug>(m: T) {
+            let (bytes, bits) = encode_to_bytes(&m);
+            assert_eq!(bits, m.encoded_bits(), "size honesty for {m:?}");
+            assert_eq!(decode_from_bytes::<T>(&bytes, bits).as_ref(), Some(&m));
+        }
+        rt(BallMsg(vec![
+            BallItem {
+                id: 3,
+                adj: vec![1, 2, 9],
+                payload: true,
+            },
+            BallItem {
+                id: 0,
+                adj: vec![],
+                payload: false,
+            },
+        ]));
+        rt(BallMsg::<u32>(Vec::new()));
+        rt(ReachMsg(vec![(7u32, NodeId(7)), (900, NodeId(900))]));
+        rt(ReachMsg::<()>(vec![(1, ()), (2, ())]));
+        rt(CenterMsg {
+            probe_ttl: Some(4),
+            items: vec![CenterItem {
+                id: 11,
+                dist: 2,
+                adj: vec![10, 12],
+            }],
+        });
+        rt(CenterMsg {
+            probe_ttl: None,
+            items: Vec::new(),
+        });
+    }
+}

@@ -428,14 +428,22 @@ pub struct Engine<'g, S> {
     scratch: HashMap<TypeId, Box<dyn Any + Send>>,
 }
 
+/// The deterministic per-node RNG streams an engine seeded with `seed`
+/// hands out: node `i` gets the `i`-th stream. Shared with the ball
+/// subsystem so that 0-round phases draw from the same streams an
+/// engine execution would.
+pub(crate) fn node_rngs(seed: u64, n: usize) -> Vec<StdRng> {
+    let mut master = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| StdRng::seed_from_u64(master.next_u64()))
+        .collect()
+}
+
 impl<'g, S: Send> Engine<'g, S> {
     /// Creates an engine with per-node state from `init` and
     /// deterministic per-node RNG streams derived from `seed`.
     pub fn new(graph: &'g Graph, seed: u64, init: impl Fn(NodeId) -> S) -> Self {
-        let mut master = StdRng::seed_from_u64(seed);
-        let rngs = (0..graph.n())
-            .map(|_| StdRng::seed_from_u64(master.next_u64()))
-            .collect();
+        let rngs = node_rngs(seed, graph.n());
         let states = graph.nodes().map(init).collect();
         Engine {
             graph,

@@ -6,7 +6,7 @@
 //! is the number of rounds. Equivalently, an `r`-round algorithm is a
 //! function from the radius-`r` neighborhood of a node to its output.
 //!
-//! This crate provides the two standard simulation devices:
+//! This crate provides the standard simulation devices:
 //!
 //! * [`Engine`] — explicit synchronous message rounds driven by a
 //!   [`NodeProgram`] (or an inline closure pair via [`Engine::step`]),
@@ -19,9 +19,20 @@
 //!   allocation for `Copy` payloads, inboxes borrowed as arena slices
 //!   (see the [`engine`] module docs for the architecture and its
 //!   determinism invariants);
-//! * ball collection through [`delta_graphs::bfs::ball`] with explicit
-//!   round charging on a [`RoundLedger`] (in `r` rounds a node learns
-//!   exactly its radius-`r` ball), packaged as [`BallOracle`].
+//! * **engine-backed ball collection** ([`ball`]) — the "collect your
+//!   radius-`r` neighborhood, then decide locally" compilation of LOCAL
+//!   algorithms as a real message-passing program: [`run_ball_phase`]
+//!   assembles full [`BallView`]s from relayed adjacency certificates,
+//!   [`run_reach_phase`] streams membership-only floods for large
+//!   radii, and [`collect_ball_centered`] serves single-center repair
+//!   probes — all with measured rounds and wire-exact bandwidth;
+//! * central ball materialization through [`Graph::ball`]
+//!   (`delta_graphs`) with explicit round charging on a
+//!   [`RoundLedger`], packaged as [`BallOracle`] — the reference oracle
+//!   the engine-backed collection is proven against
+//!   (`tests/ball_equivalence.rs`).
+//!
+//! [`Graph::ball`]: delta_graphs::Graph::ball
 //!
 //! Every algorithm in the `delta-coloring` crate charges the rounds a
 //! real LOCAL execution would take to a [`RoundLedger`], broken down by
@@ -33,11 +44,16 @@
 //! per-edge-per-round load, and budget violations under
 //! [`BandwidthPolicy::Congest`]).
 
+pub mod ball;
 pub mod engine;
 pub mod ledger;
 pub mod oracle;
 pub mod wire;
 
+pub use ball::{
+    collect_ball_centered, collect_ball_views, run_ball_phase, run_reach_phase, BallMsg, BallView,
+    CenterMsg, ReachMsg,
+};
 pub use engine::{
     force_exec_mode, BandwidthPolicy, Engine, ExecMode, ExecModeGuard, MessageStats, NodeCtx,
     NodeProgram, Outbox, PARALLEL_THRESHOLD,

@@ -1,0 +1,135 @@
+//! Engine-collected ball views must be isomorphic — id-preservingly
+//! identical — to the central [`Graph::ball`] oracle.
+//!
+//! For random graphs and radii `r ∈ 1..=3`, every node's
+//! [`BallView`] assembled by the distributed certificate flood
+//! ([`local_model::run_ball_phase`]) is compared member-for-member,
+//! distance-for-distance, and edge-for-edge against the truncated-BFS
+//! oracle, under **both** execution schedules (the [`force_exec_mode`]
+//! guard drives the whole phase down each). The same treatment covers
+//! the streaming reach flood (against oracle distances) and the
+//! single-center collection, plus ledger fingerprints: rounds, bits,
+//! and per-edge maxima must be bit-identical across schedules.
+
+use delta_graphs::{bfs, Graph, NodeId};
+use local_model::{
+    collect_ball_centered, collect_ball_views, force_exec_mode, run_reach_phase, BallView,
+    ExecMode, RoundLedger,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..48).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n).prop_map(move |pairs| {
+            let edges: Vec<(u32, u32)> = pairs.into_iter().filter(|&(a, b)| a != b).collect();
+            Graph::from_edges(n, &edges).expect("valid")
+        })
+    })
+}
+
+fn ledger_fingerprint(l: &RoundLedger) -> (u64, u64, u64, u64) {
+    (
+        l.total(),
+        l.bits_sent(),
+        l.max_edge_bits(),
+        l.congest_violations(),
+    )
+}
+
+/// Asserts one node's engine view equals the central oracle.
+fn assert_view_matches(g: &Graph, r: usize, view: &BallView<u32>) {
+    let oracle = g.ball(view.center, r);
+    let want_members: Vec<u32> = oracle.globals.iter().map(|w| w.0).collect();
+    assert_eq!(view.members, want_members, "members of {}", view.center);
+    // Oracle globals are sorted, so the distance arrays align.
+    assert_eq!(view.dist, oracle.dist, "distances of {}", view.center);
+    // Payloads travel intact with their nodes.
+    for (i, &m) in view.members.iter().enumerate() {
+        assert_eq!(view.payloads[i], m.wrapping_mul(7), "payload of {m}");
+    }
+    // The reconstructed induced subgraph is the oracle's, id-for-id.
+    let ball = view.to_ball();
+    assert_eq!(ball.graph, oracle.graph, "induced edges of {}", view.center);
+    assert_eq!(ball.center, oracle.center);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_views_match_oracle_under_both_modes(g in arb_graph(), r in 1usize..4) {
+        let run = |mode: ExecMode| {
+            let _guard = force_exec_mode(mode);
+            let mut ledger = RoundLedger::new();
+            let views = collect_ball_views(&g, r, |v| v.0.wrapping_mul(7), &mut ledger, "ball");
+            (views, ledger_fingerprint(&ledger))
+        };
+        let (seq, seq_fp) = run(ExecMode::Sequential);
+        let (par, par_fp) = run(ExecMode::Parallel);
+        prop_assert_eq!(&seq, &par, "schedules diverged");
+        prop_assert_eq!(seq_fp, par_fp, "ledger fingerprints diverged");
+        prop_assert_eq!(seq_fp.0, r as u64, "a radius-r collection costs r rounds");
+        for view in &seq {
+            assert_view_matches(&g, r, view);
+        }
+    }
+
+    #[test]
+    fn reach_floods_match_oracle_distances(g in arb_graph(), r in 1usize..4, stride in 1u32..5) {
+        // Every stride-th node is a source; each node must absorb
+        // exactly the sources within distance r, at the right distance.
+        let run = |mode: ExecMode| {
+            let _guard = force_exec_mode(mode);
+            let mut ledger = RoundLedger::new();
+            let heard: Vec<Vec<(u32, u32)>> = run_reach_phase(
+                &g,
+                0,
+                r,
+                |v| (v.0 % stride == 0).then_some(()),
+                |_| Vec::new(),
+                |acc: &mut Vec<(u32, u32)>, id, dist, _| acc.push((id, dist)),
+                |_, acc| acc.clone(),
+                &mut ledger,
+                "reach",
+            );
+            (heard, ledger_fingerprint(&ledger))
+        };
+        let (seq, seq_fp) = run(ExecMode::Sequential);
+        let (par, par_fp) = run(ExecMode::Parallel);
+        prop_assert_eq!(&seq, &par, "schedules diverged");
+        prop_assert_eq!(seq_fp, par_fp);
+        for (i, got) in seq.iter().enumerate() {
+            let v = NodeId::from_index(i);
+            let d = bfs::distances(&g, v);
+            let mut want: Vec<(u32, u32)> = (0..g.n() as u32)
+                .filter(|&s| s % stride == 0)
+                .filter(|&s| d[s as usize] != bfs::UNREACHABLE && d[s as usize] as usize <= r)
+                .map(|s| (s, d[s as usize]))
+                .collect();
+            want.sort_by_key(|&(s, dd)| (dd, s));
+            prop_assert_eq!(got, &want, "node {} radius {}", v, r);
+        }
+    }
+
+    #[test]
+    fn centered_collection_matches_oracle(g in arb_graph(), sel in 0usize..48, r in 1usize..4) {
+        let center = NodeId((sel % g.n()) as u32);
+        let run = |mode: ExecMode| {
+            let _guard = force_exec_mode(mode);
+            let mut ledger = RoundLedger::new();
+            let ball = collect_ball_centered(&g, center, r, &mut ledger, "probe");
+            (ball, ledger_fingerprint(&ledger))
+        };
+        let (seq, seq_fp) = run(ExecMode::Sequential);
+        let (par, par_fp) = run(ExecMode::Parallel);
+        prop_assert_eq!(seq_fp, par_fp, "ledger fingerprints diverged");
+        prop_assert_eq!(&seq.globals, &par.globals);
+        prop_assert_eq!(&seq.graph, &par.graph);
+        let oracle = g.ball(center, r);
+        prop_assert_eq!(&seq.globals, &oracle.globals);
+        prop_assert_eq!(&seq.dist, &oracle.dist);
+        prop_assert_eq!(&seq.graph, &oracle.graph, "induced subgraph mismatch");
+        prop_assert_eq!(seq.center, oracle.center);
+        prop_assert_eq!(seq_fp.0, 2 * r as u64, "out-and-back costs 2r rounds");
+    }
+}

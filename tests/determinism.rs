@@ -126,6 +126,46 @@ fn list_coloring_is_schedule_independent() {
 }
 
 #[test]
+fn ruling_sets_are_schedule_independent_and_measured() {
+    // The bit-halving ruling sets now execute through the engine (one
+    // reach flood per bit level): their transcripts — the set, the
+    // rounds, and every bandwidth counter — must be bit-identical
+    // across schedules, and the floods must show up as measured bits.
+    for (name, g) in families(7) {
+        for alpha in [2usize, 4] {
+            let (seq, par) = under_both_modes(|| {
+                let mut ledger = RoundLedger::new();
+                let set = delta_coloring::ruling::ruling_set_deterministic_alpha(
+                    &g,
+                    alpha,
+                    &mut ledger,
+                    "rs",
+                );
+                (set, ledger_fingerprint(&ledger))
+            });
+            assert_eq!(seq, par, "{name}/alpha {alpha}: ruling sets diverged");
+            assert!(seq.1 .1 > 0, "{name}/alpha {alpha}: no bits measured");
+        }
+    }
+}
+
+#[test]
+fn dcc_detection_is_schedule_independent_and_measured() {
+    // Collective DCC detection (the ball-collection subsystem) must be
+    // transcript-identical across schedules, with measured relay bits.
+    let g = generators::torus(8, 8);
+    let (seq, par) = under_both_modes(|| {
+        let mut ledger = RoundLedger::new();
+        let dccs = delta_coloring::gallai::find_dccs_all(&g, 2, 4, 64, &mut ledger, "dcc");
+        let found: Vec<Option<Vec<delta_graphs::NodeId>>> =
+            dccs.into_iter().map(|f| f.map(|f| f.nodes)).collect();
+        (found, ledger_fingerprint(&ledger))
+    });
+    assert_eq!(seq, par, "DCC detection diverged");
+    assert!(seq.1 .1 > 0, "certificate floods must be measured");
+}
+
+#[test]
 fn marking_is_schedule_independent() {
     let g = generators::random_regular(800, 4, 2);
     let (seq, par) = under_both_modes(|| {
@@ -142,6 +182,10 @@ fn marking_is_schedule_independent() {
         (out.t_nodes, out.marked, ledger_fingerprint(&ledger))
     });
     assert_eq!(seq, par, "marking diverged");
+    assert!(
+        seq.2 .1 > 0,
+        "the marking flood executes on the engine: bits must be measured"
+    );
 }
 
 #[test]
