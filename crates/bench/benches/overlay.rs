@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the virtual-topology overlay vs the
+//! materialized power graph it replaced.
+//!
+//! Each measured iteration runs a full Luby MIS on `G^k` — either the
+//! classic way (materialize `power_graph(g, k)`, then run the engine on
+//! it; the build cost is **inside** the iteration, because production
+//! call sites paid it per invocation) or through the `PowerOverlay`
+//! (`k` relay rounds of the host graph per virtual round, nothing
+//! materialized). The interesting trade: the overlay pays relay
+//! compute per round but never builds or holds the `O(n·Δ^k)`
+//! adjacency — on dense powers (k = 7, where `G^k` approaches a clique)
+//! the materialization dominates; on sparse powers the relay overhead
+//! shows up honestly. `BENCH_delta.json` additionally records the peak
+//! heap of both paths on the G^7 ruling-set configuration (see the
+//! experiments binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delta_coloring::mis::{luby_mis, luby_mis_on_power};
+use delta_graphs::power::power_graph;
+use delta_graphs::{generators, Graph};
+use local_model::RoundLedger;
+use std::hint::black_box;
+
+fn graph_for(family: &str, n: usize) -> Graph {
+    match family {
+        "cycle" => generators::cycle(n),
+        "rr4" => generators::random_regular(n, 4, 12),
+        "torus" => {
+            let side = (n as f64).sqrt().round() as usize;
+            generators::torus(side, side)
+        }
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn bench_overlay_vs_materialized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    for family in ["cycle", "rr4", "torus"] {
+        let g = graph_for(family, n);
+        for k in [2usize, 3, 7] {
+            let id = BenchmarkId::new(format!("{family}/materialized/k{k}"), g.n());
+            group.bench_with_input(id, &k, |b, &k| {
+                b.iter(|| {
+                    let gk = power_graph(&g, k);
+                    let mut ledger = RoundLedger::new();
+                    let mask = luby_mis(&gk, 42, &mut ledger, "bench");
+                    black_box((mask.iter().filter(|&&m| m).count(), ledger.total()))
+                });
+            });
+            let id = BenchmarkId::new(format!("{family}/overlay/k{k}"), g.n());
+            group.bench_with_input(id, &k, |b, &k| {
+                b.iter(|| {
+                    let mut ledger = RoundLedger::new();
+                    let mask = luby_mis_on_power(&g, k, 42, &mut ledger, "bench");
+                    black_box((mask.iter().filter(|&&m| m).count(), ledger.total()))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlay_vs_materialized);
+criterion_main!(benches);

@@ -37,11 +37,78 @@
 use delta_coloring::bandwidth::classify;
 use delta_coloring_bench::experiments::{run, Scale, ALL};
 use delta_coloring_bench::Table;
-use local_model::{congest_budget, WireParams};
+use local_model::{congest_budget, RoundLedger, WireParams};
 use rayon::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Peak-tracking wrapper around the system allocator: the binary
+/// measures the resident-heap high-water mark of the materialized-`G^7`
+/// ruling path against the overlay path and records both in
+/// `BENCH_delta.json` (the overlay's headline memory claim, kept
+/// honest across revisions).
+struct PeakAlloc;
+
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counters are
+// advisory and never influence allocation behavior.
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let now = CURRENT_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed)
+                + layout.size() as u64;
+            PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+        }
+        p
+    }
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(p, layout) };
+        CURRENT_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: PeakAlloc = PeakAlloc;
+
+/// Peak heap (bytes above the pre-measurement baseline) of the two
+/// `(8, 7)`-ruling-set paths: materialized `power_graph(g, 7)` + Luby
+/// vs Luby on the `G^7` overlay. Runs before the experiment sweep with
+/// the sequential schedule forced (full-mode `n` reaches the parallel
+/// threshold, and rayon pool setup + fan-out allocations would pollute
+/// the counters asymmetrically), so the peaks see only the measured
+/// path.
+fn measure_g7_ruling_peaks(quick: bool) -> (u64, u64) {
+    let _seq = local_model::force_exec_mode(local_model::ExecMode::Sequential);
+    let n = if quick { 1 << 11 } else { 1 << 12 };
+    let g = delta_graphs::generators::random_regular(n, 4, 7);
+    let reset = || {
+        let now = CURRENT_BYTES.load(Ordering::Relaxed);
+        PEAK_BYTES.store(now, Ordering::Relaxed);
+        now
+    };
+    let base = reset();
+    let materialized = {
+        let gk = delta_graphs::power::power_graph(&g, 7);
+        let mut ledger = RoundLedger::new();
+        let mask = delta_coloring::mis::luby_mis(&gk, 9, &mut ledger, "g7");
+        std::hint::black_box(mask.len());
+        PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(base)
+    };
+    let base = reset();
+    let overlay = {
+        let mut ledger = RoundLedger::new();
+        let set = delta_coloring::ruling::ruling_set_randomized(&g, 8, 9, &mut ledger, "g7");
+        std::hint::black_box(set.len());
+        PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(base)
+    };
+    (materialized, overlay)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,6 +148,17 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Memory probe first, single-threaded, so the allocator counters
+    // see only the measured path.
+    let (g7_materialized_peak, g7_overlay_peak) = measure_g7_ruling_peaks(quick);
+    println!(
+        "g7 ruling-set peak heap: materialized {:.1} MiB vs overlay {:.1} MiB ({:+.1}%)\n",
+        g7_materialized_peak as f64 / (1 << 20) as f64,
+        g7_overlay_peak as f64 / (1 << 20) as f64,
+        100.0 * (g7_overlay_peak as f64 - g7_materialized_peak as f64)
+            / g7_materialized_peak.max(1) as f64,
+    );
+
     // The experiments are independent; sweep them on worker threads and
     // report in canonical order afterwards.
     let wall_start = Instant::now();
@@ -118,7 +196,12 @@ fn main() {
         print_baseline_diff(&baseline, &results, quick, total_wall);
     }
 
-    let summary = summary_json(&results, quick, total_wall);
+    let summary = summary_json(
+        &results,
+        quick,
+        total_wall,
+        (g7_materialized_peak, g7_overlay_peak),
+    );
     let mut json_paths = vec![out_dir.join("BENCH_delta.json")];
     if results.len() == ALL.len() {
         // Full sweep: refresh the trajectory baseline in the CWD too.
@@ -326,12 +409,22 @@ fn print_baseline_diff(
 }
 
 /// Renders the `BENCH_delta.json` summary (schema `delta-bench-v1`).
-fn summary_json(results: &[(String, Table, f64)], quick: bool, total_wall: f64) -> String {
+fn summary_json(
+    results: &[(String, Table, f64)],
+    quick: bool,
+    total_wall: f64,
+    g7_peaks: (u64, u64),
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"delta-bench-v1\",");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"timing\": \"concurrent\",");
     let _ = writeln!(out, "  \"total_wall_clock_s\": {total_wall:.3},");
+    let _ = writeln!(
+        out,
+        "  \"g7_ruling_peak_bytes\": {{\"materialized\": {}, \"overlay\": {}}},",
+        g7_peaks.0, g7_peaks.1
+    );
     let total_rounds: u64 = results.iter().map(|(_, t, _)| t.sim_rounds()).sum();
     let _ = writeln!(out, "  \"total_simulated_rounds\": {total_rounds},");
     let max_bits = results

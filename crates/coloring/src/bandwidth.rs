@@ -44,7 +44,10 @@ use crate::list_coloring::LcMsg;
 use crate::mis::MisMsg;
 use crate::reduce::ReduceMsg;
 use crate::ruling::RulingMsg;
-use local_model::{congest_budget, BallMsg, ReachMsg, WireCodec, WireParams};
+use local_model::{
+    congest_budget, BallMsg, OverlayEnvelope, OverlayRelay, ReachMsg, RelayItem, WireCodec,
+    WireParams,
+};
 
 /// Which bandwidth regime a substrate's wire format fits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +153,27 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
             Execution::Engine,
             "membership flood: batches every source crossing an edge",
         ),
+        row::<RelayItem<()>>(
+            "overlay/relay-item",
+            "RelayItem",
+            p,
+            Execution::Engine,
+            "per relayed source: origin id + hop TTL + payload",
+        ),
+        row::<OverlayRelay<()>>(
+            "overlay/relay",
+            "OverlayRelay",
+            p,
+            Execution::Engine,
+            "G^k round compiled to k relay rounds: batches Theta(Delta^(k-1)) items",
+        ),
+        row::<OverlayEnvelope<()>>(
+            "overlay/induced",
+            "OverlayEnvelope",
+            p,
+            Execution::Engine,
+            "G[S] round on the host edge: bcast + unbounded directed list",
+        ),
         row::<LinialMsg>(
             "linial",
             "LinialMsg",
@@ -189,8 +213,8 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
             "ruling",
             "RulingMsg",
             p,
-            Execution::Mixed,
-            "bit-halving reach-floods measured; Luby path on materialized G^k",
+            Execution::Engine,
+            "bit-halving reach-floods + Luby on the G^k overlay, both measured",
         ),
         row::<GallaiMsg>(
             "gallai",
@@ -210,8 +234,8 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
             "layering",
             "LayerMsg",
             p,
-            Execution::Central,
-            "one gamma-coded BFS layer index",
+            Execution::Mixed,
+            "todo-subgraph coloring on the induced overlay; BFS waves central",
         ),
         row::<DecompMsg>(
             "decomp",
@@ -279,7 +303,8 @@ mod tests {
                     .map(|&(_, c)| c)
                     .expect("registered substrate")
             };
-            // CONGEST-feasible primitives.
+            // CONGEST-feasible primitives (the overlay relay's per-item
+            // envelope is bounded; its batched relays are not).
             for name in [
                 "linial",
                 "reduce",
@@ -287,6 +312,7 @@ mod tests {
                 "list_coloring",
                 "layering",
                 "decomp",
+                "overlay/relay-item",
             ] {
                 assert_eq!(
                     class_of(name),
@@ -299,6 +325,8 @@ mod tests {
             for name in [
                 "ball/collect",
                 "ball/reach",
+                "overlay/relay",
+                "overlay/induced",
                 "marking",
                 "ruling",
                 "gallai",
@@ -318,14 +346,14 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_all_sixteen_substrates() {
+    fn registry_covers_all_nineteen_substrates() {
         let p = WireParams {
             n: 1 << 12,
             max_degree: 4,
             palette: 5,
         };
         let rows = classify(&p);
-        assert_eq!(rows.len(), 16);
+        assert_eq!(rows.len(), 19);
         // Bounded rows really are within budget; unbounded rows say so.
         for r in &rows {
             match r.max_bits {
@@ -354,26 +382,33 @@ mod tests {
                 .map(|r| r.execution)
                 .expect("registered substrate")
         };
-        // The ball subsystem made these phases real message-passing
-        // programs: their loads in the experiment tables are measured.
+        // The ball subsystem and the virtual-topology overlay made
+        // these phases real message-passing programs: their loads in
+        // the experiment tables are measured. Since the overlay landed,
+        // ruling (Luby on the G^k overlay) is fully engine-executed.
         for name in [
             "ball/collect",
             "ball/reach",
+            "overlay/relay-item",
+            "overlay/relay",
+            "overlay/induced",
             "linial",
             "reduce",
             "mis",
             "list_coloring",
             "marking",
+            "ruling",
             "gallai",
         ] {
             assert_eq!(exec_of(name), Execution::Engine, "{name}");
         }
-        for name in ["ruling", "brooks", "delta/rand", "delta/det"] {
+        // Layering's todo subgraphs now color through the induced
+        // overlay, but its BFS layer waves stay charged central
+        // simulations — mixed, like the drivers that inherit them.
+        for name in ["layering", "brooks", "delta/rand", "delta/det"] {
             assert_eq!(exec_of(name), Execution::Mixed, "{name}");
         }
-        for name in ["layering", "decomp"] {
-            assert_eq!(exec_of(name), Execution::Central, "{name}");
-        }
+        assert_eq!(exec_of("decomp"), Execution::Central, "decomp");
     }
 
     #[test]

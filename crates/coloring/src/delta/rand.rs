@@ -28,6 +28,19 @@
 //! — are detected, and the run retries with fresh randomness; after
 //! `max_attempts` it falls back to the deterministic algorithm. Every
 //! produced coloring is verified before being returned.
+//!
+//! # How each phase executes
+//!
+//! | Phase | Derived topology | Execution |
+//! |---|---|---|
+//! | (1) DCC detection | `G` | engine ball floods ([`crate::gallai::find_dccs_all`]) |
+//! | (2) GDCC ruling | virtual minor (DCCs as nodes) | central Luby, charged `×(2r+1)` — set-nodes need leader simulation to compile |
+//! | (3) B layers | `G` | central BFS wave, charged |
+//! | (4) marking | `H = G[unremoved]` | **InducedOverlay** ([`crate::marking::marking_process_within`]): selection, backoff flood, pick balls, placement — all measured host rounds, removed nodes silent |
+//! | (5) boundary/C layers | `H` | central BFS waves, charged |
+//! | (6) CDCC detection | `G[component]` | **InducedOverlay** ([`crate::gallai::find_dccs_all_within`]) |
+//! | (6) CDCC ruling | virtual minor (free nodes + DCCs) | central Luby/netdecomp, charged `×(r_c+1)` |
+//! | (6)–(9) layer coloring | `G[todo]` per layer | **InducedOverlay** ([`crate::layering::color_one_layer`] → `list_color_randomized_within`) |
 
 use crate::gallai::{color_component_respecting, GallaiMsg};
 use crate::layering::{color_one_layer, color_upper_layers, layers_from_base, LayerMsg, Layering};
@@ -381,8 +394,12 @@ fn run_once(
     let removed: Vec<bool> = b_layering.layer_of.iter().map(Option::is_some).collect();
     let b_removed = b_layering.covered();
 
-    // The remainder graph H.
+    // The remainder graph H. The membership mask drives the engine
+    // phases (marking) through the InducedOverlay on the host graph;
+    // the materialized induced copy serves only the central BFS
+    // helpers (layer waves, component extraction).
     let h_nodes: Vec<NodeId> = g.nodes().filter(|v| !removed[v.index()]).collect();
+    let h_mask: Vec<bool> = removed.iter().map(|&r| !r).collect();
     let (h, h_map) = g.induced(&h_nodes);
 
     let mut stats = RandStats {
@@ -403,11 +420,16 @@ fn run_once(
 
     if h.n() > 0 {
         // --------------------------------------------------------------
-        // Phase II (4): marking process on H.
+        // Phase II (4): marking process on H, executed through the
+        // InducedOverlay on the host engine — removed nodes stay
+        // silent; every flood/placement round is a measured host round.
+        // (Member ranks coincide with h-local ids, so the outcome slots
+        // straight into the h-indexed bookkeeping below.)
         // --------------------------------------------------------------
         let mut h_coloring = PartialColoring::new(h.n());
-        let outcome = marking_process(
-            &h,
+        let outcome = crate::marking::marking_process_within(
+            g,
+            &h_mask,
             config.marking,
             seed ^ 0xa5a5,
             &mut h_coloring,
@@ -659,11 +681,22 @@ fn color_small_component(
         .collect();
 
     // In-component DCCs (radius r_c, detection radius capped for cost):
-    // the same engine-backed collective detection, on the component's
-    // induced subgraph.
+    // the same engine-backed collective detection, executed through the
+    // InducedOverlay on the host graph — the component is never handed
+    // to the engine as a materialized instance; its certificate floods
+    // run on the host network with everyone outside the component
+    // silent. Member ranks coincide with `sub`'s local ids.
     let detect_r = r_c.min(config.r_detect.max(2) + 2);
-    let found_all = crate::gallai::find_dccs_all(
-        &sub,
+    let comp_mask: Vec<bool> = {
+        let mut m = vec![false; g.n()];
+        for &v in comp {
+            m[v.index()] = true;
+        }
+        m
+    };
+    let found_all = crate::gallai::find_dccs_all_within(
+        g,
+        &comp_mask,
         detect_r,
         2 * detect_r,
         crate::gallai::dcc_size_cap(delta),

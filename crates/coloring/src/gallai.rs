@@ -154,6 +154,36 @@ pub fn find_dccs_all(
     )
 }
 
+/// [`find_dccs_all`] on the **induced subgraph** `G[members]`, executed
+/// through the `InducedOverlay` on the host engine
+/// ([`local_model::run_ball_phase_within`]): non-members relay nothing,
+/// so the certificate floods — and the balls they assemble — live
+/// entirely inside the live subgraph. The randomized driver's phase (6)
+/// uses this for per-component CDCC detection without materializing the
+/// component. Results (and the `FoundDcc` node ids) are in the
+/// member-rank space, identical to a materialized `g.induced(members)`
+/// run.
+pub fn find_dccs_all_within(
+    g: &Graph,
+    members: &[bool],
+    r: usize,
+    max_radius: usize,
+    max_size: usize,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<Option<FoundDcc>> {
+    local_model::run_ball_phase_within::<(), _, _, _>(
+        g,
+        members,
+        0,
+        r,
+        |_| (),
+        |_, view| find_dcc_in_ball(&view.to_ball(), max_radius, max_size),
+        ledger,
+        phase,
+    )
+}
+
 /// Ball-local DCC search (see [`find_dcc_for_node`]).
 pub fn find_dcc_in_ball(ball: &Ball, max_radius: usize, max_size: usize) -> Option<FoundDcc> {
     let b = blocks(&ball.graph);

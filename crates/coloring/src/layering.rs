@@ -172,6 +172,12 @@ pub fn color_upper_layers(
 /// Colors a single node set as a list-coloring instance (lists = Δ
 /// palette minus colored neighbors in the *full* graph), writing the
 /// result into `coloring`. Already-colored members are skipped.
+///
+/// The todo subgraph is **not materialized**: the randomized solver
+/// runs on `G[todo]` through the `InducedOverlay` on the host engine
+/// (non-todo nodes silent, every trial round a measured host round).
+/// The deterministic solver still materializes the induced instance —
+/// its Linial schedule is a charged central simulation either way.
 #[allow(clippy::too_many_arguments)]
 pub fn color_one_layer(
     g: &Graph,
@@ -183,17 +189,20 @@ pub fn color_one_layer(
     ledger: &mut RoundLedger,
     phase: &str,
 ) -> Result<(), ColoringError> {
-    let todo: Vec<NodeId> = members
+    let mut todo: Vec<NodeId> = members
         .iter()
         .copied()
         .filter(|&v| !coloring.is_colored(v))
         .collect();
+    todo.sort_unstable();
+    todo.dedup();
     if todo.is_empty() {
         return Ok(());
     }
-    let (sub, map) = g.induced(&todo);
+    // Rank-space lists: the Δ palette minus colored host neighbors, in
+    // todo (= rank) order.
     let lists = Lists::new(
-        map.iter()
+        todo.iter()
             .map(|&v| {
                 let used: Vec<Color> = coloring.neighbor_colors(g, v);
                 crate::palette::palette(delta)
@@ -203,16 +212,36 @@ pub fn color_one_layer(
             })
             .collect(),
     );
-    let solved = list_color(
-        &sub,
-        &lists,
-        PartialColoring::new(sub.n()),
-        method,
-        seed,
-        ledger,
-        phase,
-    )?;
-    for (i, &v) in map.iter().enumerate() {
+    let solved = match method {
+        ListColorMethod::Randomized => {
+            let mut mask = vec![false; g.n()];
+            for &v in &todo {
+                mask[v.index()] = true;
+            }
+            crate::list_coloring::list_color_randomized_within(
+                g,
+                &mask,
+                &lists,
+                PartialColoring::new(todo.len()),
+                seed,
+                ledger,
+                phase,
+            )?
+        }
+        ListColorMethod::Deterministic => {
+            let (sub, _map) = g.induced(&todo);
+            list_color(
+                &sub,
+                &lists,
+                PartialColoring::new(sub.n()),
+                method,
+                seed,
+                ledger,
+                phase,
+            )?
+        }
+    };
+    for (i, &v) in todo.iter().enumerate() {
         coloring.set(v, solved.get(NodeId::from_index(i)).expect("total"));
     }
     Ok(())

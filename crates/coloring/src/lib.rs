@@ -29,24 +29,31 @@
 //! backoff flood, radius-2 pick probes, and mark placement on the
 //! engine, and DCC detection assembles radius-`r` views from relayed
 //! adjacency certificates ([`gallai::find_dccs_all`]) — their rounds
-//! and per-edge bits in the tables are **measured**, not estimated. The
-//! [`bandwidth`] module classifies each substrate against the
-//! `O(log n)` per-edge budget and records how it executes; the
-//! verdicts below are for the implemented wire formats (see each
-//! message type's docs for why):
+//! and per-edge bits in the tables are **measured**, not estimated.
+//! Since the virtual-topology overlay ([`local_model::overlay`])
+//! landed, phases on **derived topologies** execute through the host
+//! engine too: Luby MIS on `G^{α-1}` runs on the `PowerOverlay` (one
+//! virtual round = `α-1` measured relay rounds; no power graph is ever
+//! materialized), the randomized driver's remainder-graph marking and
+//! per-component CDCC detection run on the `InducedOverlay`
+//! (non-members silent), and the layering technique colors its todo
+//! subgraphs the same way. The [`bandwidth`] module classifies each
+//! substrate against the `O(log n)` per-edge budget and records how it
+//! executes; the verdicts below are for the implemented wire formats
+//! (see each message type's docs for why):
 //!
 //! | Module | Contents | Paper reference | Bandwidth | Execution |
 //! |---|---|---|---|---|
 //! | [`palette`] | colors, partial colorings, lists, validity checks | — | — | — |
 //! | [`linial`] | `O(Δ²)` coloring in `O(log* n)` rounds | \[Lin92\], used for symmetry breaking | CONGEST-feasible | engine (measured) |
 //! | [`reduce`] | color-class reduction to `Δ+1` | — | CONGEST-feasible | engine (measured) |
-//! | [`mis`] | Luby's MIS (plus power graphs) | Lemma 20 substrate | CONGEST-feasible | engine (measured) |
-//! | [`ruling`] | ruling sets and ruling forests | Lemma 20 | LOCAL-only (power-graph relays) | mixed: bit-halving engine-backed, Luby path central |
-//! | [`list_coloring`] | `(deg+1)`-list coloring, randomized & deterministic | Theorems 18, 19 | CONGEST-feasible | engine (measured) |
-//! | [`gallai`] | degree-choosable components, Gallai trees, the degree-list solver | Definitions 6–9, Theorem 8 | LOCAL-only (ball relays) | engine (measured) via [`gallai::find_dccs_all`] |
+//! | [`mis`] | Luby's MIS, on the host graph and on `G^k`/`(G[S])^k` overlays | Lemma 20 substrate | CONGEST-feasible (host); LOCAL-only on overlays | engine (measured) |
+//! | [`ruling`] | ruling sets and ruling forests | Lemma 20 | LOCAL-only (power-graph relays) | engine (measured): bit-halving reach-floods + Luby on the `G^k` overlay |
+//! | [`list_coloring`] | `(deg+1)`-list coloring, randomized & deterministic | Theorems 18, 19 | CONGEST-feasible | engine (measured); randomized also on the induced overlay |
+//! | [`gallai`] | degree-choosable components, Gallai trees, the degree-list solver | Definitions 6–9, Theorem 8 | LOCAL-only (ball relays) | engine (measured) via [`gallai::find_dccs_all`] / [`gallai::find_dccs_all_within`] |
 //! | [`brooks`] | sequential Brooks & the distributed Brooks repair | Theorem 5, Lemma 16 | LOCAL-only (ball probes) | mixed: radius-2 probe engine-backed, deepening + walk central |
-//! | [`layering`] | the layering technique | Section 3 | CONGEST-feasible | central (charged) |
-//! | [`marking`] | the marking process and T-nodes | Section 2.2, phase (4) | LOCAL-only (backoff flood) | engine (measured) |
+//! | [`layering`] | the layering technique | Section 3 | CONGEST-feasible | mixed: todo-subgraph coloring on the induced overlay, BFS waves central |
+//! | [`marking`] | the marking process and T-nodes | Section 2.2, phase (4) | LOCAL-only (backoff flood) | engine (measured), incl. [`marking::marking_process_within`] on the induced overlay |
 //! | [`decomp`] | MPX network decomposition | \[PS92\]/\[AGLP89\] substitute | CONGEST-feasible | central (charged) |
 //! | [`delta`] | the headline algorithms | Theorems 1, 3, 4 | LOCAL-only (inherit detection/repairs) | mixed |
 //! | [`baseline`] | `(Δ+1)` baseline and a PS-style Δ-coloring baseline | \[PS92, PS95\] | — | mixed |
@@ -54,8 +61,10 @@
 //! | [`bandwidth`] | CONGEST-feasibility + execution registry of all of the above | cf. KMW | — | — |
 //!
 //! Phases that remain genuinely centralized (with charged round
-//! estimates): the power-graph Luby MIS behind randomized ruling sets,
-//! the layering BFS waves, MPX decomposition, and the Brooks repair's
+//! estimates): the layering/boundary BFS waves, MPX decomposition, the
+//! virtual minor graphs of phases (2)/(6) (GDCC/CDCC rulings — their
+//! nodes are *sets* of host nodes, so they are not induced subgraphs
+//! and need leader simulation to compile), and the Brooks repair's
 //! deep doubling probes and token walk.
 //!
 //! # Quickstart

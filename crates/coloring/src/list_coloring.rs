@@ -21,7 +21,10 @@
 use crate::palette::{Color, ColoringError, Lists, PartialColoring};
 use delta_graphs::{Graph, NodeId};
 use local_model::wire::gamma_max_bits;
-use local_model::{BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec, WireParams};
+use local_model::{
+    BitReader, BitWriter, Engine, InducedOverlay, Outbox, OverlayEngine, RoundDriver, RoundLedger,
+    WireCodec, WireParams,
+};
 
 /// Which list-coloring engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,7 +139,7 @@ impl WireCodec for LcMsg {
 pub fn list_color_randomized(
     g: &Graph,
     lists: &Lists,
-    mut coloring: PartialColoring,
+    coloring: PartialColoring,
     seed: u64,
     ledger: &mut RoundLedger,
     phase: &str,
@@ -144,23 +147,65 @@ pub fn list_color_randomized(
     if coloring.uncolored().next().is_none() {
         return Ok(coloring);
     }
-    let mut engine = Engine::new(g, seed, |v| LcState {
+    let engine = Engine::new(g, seed, |v| LcState {
         color: coloring.get(v),
         announced: false,
         proposal: None,
         used: Vec::new(),
         stuck: false,
     });
-    let cap = 4 * g.n() as u64 + 16;
+    let out = list_color_randomized_core(engine, lists, coloring, ledger, phase)?;
+    debug_assert!(out.validate_proper(g).is_ok());
+    Ok(out)
+}
+
+/// [`list_color_randomized`] on the **induced subgraph** `G[members]`,
+/// executed through the `InducedOverlay` on the host engine: the trial
+/// rounds are real host rounds in which non-members stay silent. Ids
+/// (`lists`, `coloring`, the result) live in the member-rank space —
+/// identical to a materialized `g.induced(members)` run. This is how
+/// the layering technique colors its per-layer todo subgraphs without
+/// materializing them.
+pub fn list_color_randomized_within(
+    g: &Graph,
+    members: &[bool],
+    lists: &Lists,
+    coloring: PartialColoring,
+    seed: u64,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Result<PartialColoring, ColoringError> {
+    if coloring.uncolored().next().is_none() {
+        return Ok(coloring);
+    }
+    let engine = OverlayEngine::new(g, InducedOverlay { members }, seed, |r| LcState {
+        color: coloring.get(r),
+        announced: false,
+        proposal: None,
+        used: Vec::new(),
+        stuck: false,
+    });
+    list_color_randomized_core(engine, lists, coloring, ledger, phase)
+}
+
+/// The trial-coloring loop, generic over the round driver.
+fn list_color_randomized_core<DR: RoundDriver<LcState>>(
+    mut engine: DR,
+    lists: &Lists,
+    mut coloring: PartialColoring,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Result<PartialColoring, ColoringError> {
+    let cap = 4 * engine.node_count() as u64 + 16;
     let mut rounds = 0u64;
-    while engine.states().iter().any(|s| s.color.is_none()) {
+    while engine.node_states().iter().any(|s| s.color.is_none()) {
         if rounds >= cap {
             return Err(ColoringError::Unsolvable {
                 context: "randomized list coloring exceeded round cap".into(),
             });
         }
         rounds += 1;
-        engine.step(
+        engine.round_step(
             ledger,
             phase,
             |ctx, s: &mut LcState, out: &mut Outbox<LcMsg>| {
@@ -216,19 +261,18 @@ pub fn list_color_randomized(
                 }
             },
         );
-        if let Some(i) = engine.states().iter().position(|s| s.stuck) {
+        if let Some(i) = engine.node_states().iter().position(|s| s.stuck) {
             return Err(ColoringError::Unsolvable {
                 context: format!("node {} has an empty available list", NodeId::from_index(i)),
             });
         }
     }
-    for (i, s) in engine.states().iter().enumerate() {
+    for (i, s) in engine.node_states().iter().enumerate() {
         let v = NodeId::from_index(i);
         if !coloring.is_colored(v) {
             coloring.set(v, s.color.expect("loop exits only when total"));
         }
     }
-    debug_assert!(coloring.validate_proper(g).is_ok());
     Ok(coloring)
 }
 

@@ -25,7 +25,8 @@ use crate::palette::{Color, PartialColoring};
 use delta_graphs::{bfs, Graph, NodeId};
 use local_model::wire::{gamma_bits, gamma_max_bits};
 use local_model::{
-    run_ball_phase, run_reach_phase, BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec,
+    run_ball_phase, run_ball_phase_within, run_reach_phase, run_reach_phase_within, BitReader,
+    BitWriter, Engine, InducedOverlay, Outbox, OverlayEngine, RoundDriver, RoundLedger, WireCodec,
     WireParams,
 };
 
@@ -182,11 +183,52 @@ pub fn marking_process(
     ledger: &mut RoundLedger,
     phase: &str,
 ) -> MarkingOutcome {
-    let p = params.p;
-    // Round 1: every node privately flips its selection coin (no
-    // traffic; the draw comes from the node's engine rng stream).
-    let mut sel_engine = Engine::new(h, seed, |_| false);
-    sel_engine.step(
+    marking_core(h, None, params, seed, coloring, ledger, phase)
+}
+
+/// [`marking_process`] on the **induced subgraph** `G[members]`,
+/// executed through the [`InducedOverlay`] on the host engine: removed
+/// (non-member) nodes send nothing and receive nothing, so the backoff
+/// flood, the radius-2 pick collection, and the propose/claim/accept
+/// placement all run as real host-graph message-passing rounds with
+/// measured bits — this is how the randomized driver executes its
+/// remainder-graph phase (4).
+///
+/// All ids — the outcome's T-nodes and marks, and the `coloring` (which
+/// must have `members.count_true()` slots) — live in the member-rank
+/// space, identical to a materialized `g.induced(members)` run.
+#[allow(clippy::too_many_arguments)]
+pub fn marking_process_within(
+    g: &Graph,
+    members: &[bool],
+    params: MarkingParams,
+    seed: u64,
+    coloring: &mut PartialColoring,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> MarkingOutcome {
+    marking_core(g, Some(members), params, seed, coloring, ledger, phase)
+}
+
+/// Per-node state of the mark-placement rounds.
+#[derive(Clone, Default)]
+struct ResState {
+    pick: Option<(NodeId, NodeId)>,
+    /// Smallest id among the survivors that proposed to mark me.
+    proposer: Option<u32>,
+    marked: bool,
+    accepted: (bool, bool),
+}
+
+/// One no-traffic selection round: every node privately flips its
+/// selection coin from its driver rng stream.
+fn selection_round<DR: RoundDriver<bool>>(
+    mut driver: DR,
+    p: f64,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<bool> {
+    driver.round_step(
         ledger,
         phase,
         |ctx, s: &mut bool, _out: &mut Outbox<MkMsg>| {
@@ -196,85 +238,17 @@ pub fn marking_process(
         },
         |_, _, _| {},
     );
-    let selected = sel_engine.into_states();
-    let initially_selected = selected.iter().filter(|&&s| s).count();
+    driver.into_node_states()
+}
 
-    // Rounds 2..=b+1: backoff — selected ids flood `b` hops; a selected
-    // node survives only if it hears no competitor.
-    let survivor: Vec<bool> = run_reach_phase(
-        h,
-        0,
-        params.b,
-        |v| selected[v.index()].then_some(()),
-        |v| (v.0, false),
-        |acc: &mut (u32, bool), id, _dist, _m| {
-            if id != acc.0 {
-                acc.1 = true;
-            }
-        },
-        |ctx, &(_, heard_competitor)| selected[ctx.id.index()] && !heard_competitor,
-        ledger,
-        phase,
-    );
-
-    // Rounds b+2..=b+3: radius-2 ball collection; each survivor picks
-    // two random non-adjacent uncolored neighbors with its private rng.
-    // Pair adjacency is exactly radius-2 knowledge, delivered by the
-    // collected view's edge certificates.
-    let picks: Vec<Option<(NodeId, NodeId)>> = run_ball_phase(
-        h,
-        seed ^ 0x9e37_79b9_7f4a_7c15,
-        2,
-        |v| coloring.is_colored(v),
-        |ctx, view| {
-            if !survivor[ctx.id.index()] {
-                return None;
-            }
-            let nbrs: Vec<u32> = view
-                .members
-                .iter()
-                .zip(&view.dist)
-                .zip(&view.payloads)
-                .filter(|((_, &d), &colored)| d == 1 && !colored)
-                .map(|((&id, _), _)| id)
-                .collect();
-            let mut pairs = Vec::new();
-            for (i, &a) in nbrs.iter().enumerate() {
-                for &b2 in &nbrs[i + 1..] {
-                    if view.edges.binary_search(&(a.min(b2), a.max(b2))).is_err() {
-                        pairs.push((a, b2));
-                    }
-                }
-            }
-            if pairs.is_empty() {
-                return None; // neighborhood is a clique: no T-node here
-            }
-            let (m1, m2) = pairs[ctx.random_below(pairs.len() as u64) as usize];
-            Some((NodeId(m1), NodeId(m2)))
-        },
-        ledger,
-        phase,
-    );
-
-    // Rounds b+4..=b+6: conflict-free mark placement. For the paper's
-    // b >= 4 survivors are too far apart for their picks to interact and
-    // every proposal is accepted unopposed; the resolution keeps the
-    // marked set independent (hence the coloring proper) under ablation
-    // backoffs b < 4 too: of two adjacent proposed marks, the one whose
-    // strongest (smallest-id) proposer is smaller keeps its mark.
-    #[derive(Clone, Default)]
-    struct ResState {
-        pick: Option<(NodeId, NodeId)>,
-        /// Smallest id among the survivors that proposed to mark me.
-        proposer: Option<u32>,
-        marked: bool,
-        accepted: (bool, bool),
-    }
-    let mut engine = Engine::new(h, seed ^ 0x5151, |v| ResState {
-        pick: picks[v.index()],
-        ..Default::default()
-    });
-    engine.step(
+/// Rounds b+4..=b+6: the 3-round propose/claim/accept mark placement
+/// (see [`marking_process`] docs), generic over the round driver.
+fn placement_rounds<DR: RoundDriver<ResState>>(
+    mut driver: DR,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<ResState> {
+    driver.round_step(
         ledger,
         phase,
         |_, s: &mut ResState, out: &mut Outbox<MkMsg>| {
@@ -291,7 +265,7 @@ pub fn marking_process(
             }
         },
     );
-    engine.step(
+    driver.round_step(
         ledger,
         phase,
         |_, s: &mut ResState, out: &mut Outbox<MkMsg>| {
@@ -310,7 +284,7 @@ pub fn marking_process(
             }
         },
     );
-    engine.step(
+    driver.round_step(
         ledger,
         phase,
         |_, s: &mut ResState, out: &mut Outbox<MkMsg>| {
@@ -336,7 +310,132 @@ pub fn marking_process(
             }
         },
     );
-    let states = engine.into_states();
+    driver.into_node_states()
+}
+
+/// The marking process, written once for both substrates: the whole
+/// host graph (`members == None`) and the induced subgraph through the
+/// overlay (`members == Some(mask)` — node ids are member ranks).
+#[allow(clippy::too_many_arguments)]
+fn marking_core(
+    g: &Graph,
+    members: Option<&[bool]>,
+    params: MarkingParams,
+    seed: u64,
+    coloring: &mut PartialColoring,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> MarkingOutcome {
+    let p = params.p;
+    // Round 1: every node privately flips its selection coin (no
+    // traffic; the draw comes from the node's engine rng stream).
+    let selected = match members {
+        None => selection_round(Engine::new(g, seed, |_| false), p, ledger, phase),
+        Some(m) => selection_round(
+            OverlayEngine::new(g, InducedOverlay { members: m }, seed, |_| false),
+            p,
+            ledger,
+            phase,
+        ),
+    };
+    let initially_selected = selected.iter().filter(|&&s| s).count();
+
+    // Rounds 2..=b+1: backoff — selected ids flood `b` hops; a selected
+    // node survives only if it hears no competitor.
+    let source = |v: NodeId| selected[v.index()].then_some(());
+    let acc_init = |v: NodeId| (v.0, false);
+    let acc_absorb = |acc: &mut (u32, bool), id: u32, _dist: u32, _m: &()| {
+        if id != acc.0 {
+            acc.1 = true;
+        }
+    };
+    let backoff_finish =
+        |ctx: &mut local_model::NodeCtx<'_>, acc: &(u32, bool)| selected[ctx.id.index()] && !acc.1;
+    let survivor: Vec<bool> = match members {
+        None => run_reach_phase(
+            g,
+            0,
+            params.b,
+            source,
+            acc_init,
+            acc_absorb,
+            backoff_finish,
+            ledger,
+            phase,
+        ),
+        Some(m) => run_reach_phase_within(
+            g,
+            m,
+            0,
+            params.b,
+            source,
+            acc_init,
+            acc_absorb,
+            backoff_finish,
+            ledger,
+            phase,
+        ),
+    };
+
+    // Rounds b+2..=b+3: radius-2 ball collection; each survivor picks
+    // two random non-adjacent uncolored neighbors with its private rng.
+    // Pair adjacency is exactly radius-2 knowledge, delivered by the
+    // collected view's edge certificates.
+    let pick_payload = |v: NodeId| coloring.is_colored(v);
+    let pick_rule = |ctx: &mut local_model::NodeCtx<'_>,
+                     view: &local_model::BallView<bool>|
+     -> Option<(NodeId, NodeId)> {
+        if !survivor[ctx.id.index()] {
+            return None;
+        }
+        let nbrs: Vec<u32> = view
+            .members
+            .iter()
+            .zip(&view.dist)
+            .zip(&view.payloads)
+            .filter(|((_, &d), &colored)| d == 1 && !colored)
+            .map(|((&id, _), _)| id)
+            .collect();
+        let mut pairs = Vec::new();
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b2 in &nbrs[i + 1..] {
+                if view.edges.binary_search(&(a.min(b2), a.max(b2))).is_err() {
+                    pairs.push((a, b2));
+                }
+            }
+        }
+        if pairs.is_empty() {
+            return None; // neighborhood is a clique: no T-node here
+        }
+        let (m1, m2) = pairs[ctx.random_below(pairs.len() as u64) as usize];
+        Some((NodeId(m1), NodeId(m2)))
+    };
+    let pick_seed = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let picks: Vec<Option<(NodeId, NodeId)>> = match members {
+        None => run_ball_phase(g, pick_seed, 2, pick_payload, pick_rule, ledger, phase),
+        Some(m) => {
+            run_ball_phase_within(g, m, pick_seed, 2, pick_payload, pick_rule, ledger, phase)
+        }
+    };
+
+    // Rounds b+4..=b+6: conflict-free mark placement. For the paper's
+    // b >= 4 survivors are too far apart for their picks to interact and
+    // every proposal is accepted unopposed; the resolution keeps the
+    // marked set independent (hence the coloring proper) under ablation
+    // backoffs b < 4 too: of two adjacent proposed marks, the one whose
+    // strongest (smallest-id) proposer is smaller keeps its mark.
+    let res_init = |v: NodeId| ResState {
+        pick: picks[v.index()],
+        ..Default::default()
+    };
+    let states = match members {
+        None => placement_rounds(Engine::new(g, seed ^ 0x5151, res_init), ledger, phase),
+        Some(m) => placement_rounds(
+            OverlayEngine::new(g, InducedOverlay { members: m }, seed ^ 0x5151, res_init),
+            ledger,
+            phase,
+        ),
+    };
     let marked: Vec<bool> = states.iter().map(|s| s.marked).collect();
     let t_nodes: Vec<TNode> = states
         .iter()

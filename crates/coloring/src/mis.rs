@@ -1,10 +1,19 @@
 //! Luby's randomized maximal independent set, including execution on
 //! power graphs (the substrate of randomized ruling sets, Lemma 20).
+//!
+//! The iteration body is written once against
+//! [`local_model::RoundDriver`], so the same program runs on the host
+//! graph ([`luby_mis`]), on `G^k` through the [`PowerOverlay`]
+//! ([`luby_mis_on_power`] — `k` measured relay rounds per virtual
+//! round, nothing materialized), and on `(G[S])^k` through the
+//! composed overlay ([`luby_mis_within_power`]).
 
-use delta_graphs::power::power_graph;
 use delta_graphs::{Graph, NodeId};
 use local_model::wire::{gamma_bits, gamma_max_bits};
-use local_model::{BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec, WireParams};
+use local_model::{
+    BitReader, BitWriter, Engine, InducedOverlay, Outbox, OverlayEngine, PowerOverlay, RoundDriver,
+    RoundLedger, VirtualTopology, WireCodec, WireParams,
+};
 
 /// Node status during and after MIS computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,14 +113,38 @@ struct S {
 /// assert!(is_mis(&g, &mis));
 /// ```
 pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> Vec<bool> {
-    let mut engine = Engine::new(g, seed, |v| S {
+    let engine = Engine::new(g, seed, |v| S {
         state: MisState::Undecided,
         draw: (0, v.0),
     });
-    let cap = 8 * ((g.n() as u64).max(2).ilog2() as u64 + 2) + 64;
+    let engine = luby_core(engine, ledger, phase);
+    // Deterministic cleanup (unreachable w.h.p.): greedily add remaining
+    // undecided nodes in id order.
+    let mut member: Vec<bool> = engine
+        .states()
+        .iter()
+        .map(|s| s.state == MisState::In)
+        .collect();
+    for v in g.nodes() {
+        if engine.states()[v.index()].state == MisState::Undecided
+            && !g.neighbors(v).iter().any(|&w| member[w.index()])
+        {
+            member[v.index()] = true;
+        }
+    }
+    member
+}
+
+/// The Luby iteration, written once against [`RoundDriver`]: the same
+/// node program runs on the host engine and on virtual-topology
+/// overlays. Returns the driver after the loop so callers can run
+/// their topology-appropriate deterministic cleanup.
+fn luby_core<DR: RoundDriver<S>>(mut engine: DR, ledger: &mut RoundLedger, phase: &str) -> DR {
+    let n = engine.node_count();
+    let cap = 8 * ((n as u64).max(2).ilog2() as u64 + 2) + 64;
     let mut iterations = 0;
     while engine
-        .states()
+        .node_states()
         .iter()
         .any(|s| s.state == MisState::Undecided)
         && iterations < cap
@@ -125,8 +158,8 @@ pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> 
         // decisions match a full-width draw except when two neighbors
         // collide in the n³ domain (~n⁻³ per pair per round) and the id
         // tiebreak picks the other winner — still a valid MIS.
-        let domain = draw_domain(g.n() as u64);
-        engine.step(
+        let domain = draw_domain(n as u64);
+        engine.round_step(
             ledger,
             phase,
             |ctx, s: &mut S, out: &mut Outbox<MisMsg>| {
@@ -152,7 +185,7 @@ pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> 
             },
         );
         // Round 2: new members announce; neighbors drop out.
-        engine.step(
+        engine.round_step(
             ledger,
             phase,
             |_, s: &mut S, out: &mut Outbox<MisMsg>| {
@@ -167,25 +200,43 @@ pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> 
             },
         );
     }
-    // Deterministic cleanup (unreachable w.h.p.): greedily add remaining
-    // undecided nodes in id order.
+    engine
+}
+
+/// Runs the Luby core on an already-constructed overlay engine and
+/// finishes with the greedy cleanup on virtual adjacency. Returns the
+/// rank-indexed membership mask.
+fn luby_on_overlay<T: VirtualTopology>(
+    engine: OverlayEngine<'_, S, T>,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<bool> {
+    let engine = luby_core(engine, ledger, phase);
     let mut member: Vec<bool> = engine
         .states()
         .iter()
         .map(|s| s.state == MisState::In)
         .collect();
-    for v in g.nodes() {
-        if engine.states()[v.index()].state == MisState::Undecided
-            && !g.neighbors(v).iter().any(|&w| member[w.index()])
+    // Deterministic cleanup (unreachable w.h.p.), on *virtual*
+    // adjacency: greedily add remaining undecided ranks in id order.
+    for r in 0..member.len() {
+        if engine.states()[r].state == MisState::Undecided
+            && !engine
+                .virtual_neighbors(NodeId::from_index(r))
+                .iter()
+                .any(|&w| member[w.index()])
         {
-            member[v.index()] = true;
+            member[r] = true;
         }
     }
     member
 }
 
-/// Runs Luby's MIS on the power graph `G^k`; one simulated round costs
-/// `k` rounds in `G`, so the ledger is charged `k×`.
+/// Runs Luby's MIS on the power graph `G^k` **through the host engine**
+/// ([`PowerOverlay`]): one virtual round executes as `k` measured relay
+/// rounds of `G`, so the ledger is charged the true dilated cost — and
+/// nothing is materialized (`power_graph` is only the proptest oracle
+/// this execution is proven id-for-id equal to).
 ///
 /// The result is an independent set of `G^k` (pairwise distance `> k` in
 /// `G`) that dominates every node within distance `k` — i.e. a
@@ -198,16 +249,38 @@ pub fn luby_mis_on_power(
     phase: &str,
 ) -> Vec<bool> {
     assert!(k >= 1);
-    let gk = power_graph(g, k);
-    let mut sub = RoundLedger::new();
-    let member = luby_mis(&gk, seed, &mut sub, phase);
-    ledger.charge(phase, sub.total() * k as u64);
-    // Bandwidth is accounted at the virtual-graph (G^k) level: the
-    // relaying a real k-hop simulation needs multiplies per-edge loads
-    // by up to Δ^(k-1), which is why the ruling-set wire format is
-    // classified LOCAL-only for non-constant k (see `bandwidth`).
-    ledger.absorb_bandwidth(&sub);
-    member
+    if k == 1 {
+        return luby_mis(g, seed, ledger, phase);
+    }
+    let engine = OverlayEngine::new(g, PowerOverlay { k }, seed, |v| S {
+        state: MisState::Undecided,
+        draw: (0, v.0),
+    });
+    // Every host node is a member, so ranks coincide with host ids.
+    luby_on_overlay(engine, ledger, phase)
+}
+
+/// Runs Luby's MIS on `(G[S])^k` through the composed
+/// `Induced ∘ Power` overlay — the ruling-set substrate for **live
+/// subgraphs**: the relay flood is confined to members, so virtual
+/// adjacency is "member within distance `k` inside `G[S]`". Returns a
+/// host-indexed membership mask (non-members are never selected).
+pub fn luby_mis_within_power(
+    g: &Graph,
+    members: &[bool],
+    k: usize,
+    seed: u64,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<bool> {
+    assert!(k >= 1);
+    let topo = InducedOverlay { members }.power(k);
+    let engine = OverlayEngine::new(g, topo, seed, |v| S {
+        state: MisState::Undecided,
+        draw: (0, v.0),
+    });
+    let rank_mask = luby_on_overlay(engine, ledger, phase);
+    local_model::expand_rank_mask(g, &topo, &rank_mask)
 }
 
 /// Verifies the MIS properties: independence and maximality.

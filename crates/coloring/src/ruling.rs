@@ -20,19 +20,20 @@ use local_model::wire::{
 };
 use local_model::{run_reach_phase, BitReader, BitWriter, RoundLedger, WireCodec, WireParams};
 
-/// Wire format of the ruling-set constructions. The deterministic
-/// bit-halving path **executes through the engine** — each merge level
-/// is one [`local_model::run_reach_phase`] flood of candidate ids at
-/// radius `α-1`, so its rounds and per-edge bits are measured, not
-/// estimated (the concrete messages on the wire are
-/// [`local_model::ReachMsg`] relays; [`RulingMsg::Relay`] is the
-/// equivalent declared shape). The randomized Luby path still runs on a
-/// materialized power graph `G^{α-1}` (a charged central simulation).
-/// Either way, a power-graph round relays up to `Δ^(α-2)` foreign
-/// messages over one edge — unbounded, hence `max_bits` is `None` and
-/// the substrate is **LOCAL-only** for non-constant `α`
-/// (the bandwidth registry carves out the CONGEST-feasible `α = 2`
-/// bit-halving case via [`RulingMsg::candidate_max_bits`]).
+/// Wire format of the ruling-set constructions. Both paths **execute
+/// through the engine**: the deterministic bit-halving runs one
+/// [`local_model::run_reach_phase`] flood of candidate ids per bit
+/// level at radius `α-1`, and the randomized Luby path runs on the
+/// `G^{α-1}` [`local_model::PowerOverlay`] — `α-1` measured relay
+/// rounds ([`local_model::OverlayRelay`] envelopes) per virtual round,
+/// with no power graph materialized. Rounds and per-edge bits are
+/// measured, not estimated ([`RulingMsg::Relay`] is the declared shape
+/// of the relays). Either way, a power-graph round relays up to
+/// `Δ^(α-2)` foreign messages over one edge — unbounded, hence
+/// `max_bits` is `None` and the substrate is **LOCAL-only** for
+/// non-constant `α` (the bandwidth registry carves out the
+/// CONGEST-feasible `α = 2` bit-halving case via
+/// [`RulingMsg::candidate_max_bits`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RulingMsg {
     /// Bit-halving candidacy: "id `v` is a surviving candidate".
@@ -108,6 +109,29 @@ pub fn ruling_set_randomized(
 ) -> Vec<NodeId> {
     assert!(alpha >= 2, "alpha must be at least 2");
     let mask = crate::mis::luby_mis_on_power(g, alpha - 1, seed, ledger, phase);
+    crate::mis::members(&mask)
+}
+
+/// An `(alpha, alpha-1)` ruling set of the **live subgraph**
+/// `G[members]` (distances measured inside the subgraph), via Luby MIS
+/// on the composed `Induced ∘ Power` overlay
+/// ([`crate::mis::luby_mis_within_power`]): the relay flood is confined
+/// to members, non-members stay silent, and the ledger is charged the
+/// true `(alpha-1)`-dilated relay rounds with measured bits.
+///
+/// # Panics
+///
+/// Panics if `alpha < 2`.
+pub fn ruling_set_randomized_within(
+    g: &Graph,
+    members: &[bool],
+    alpha: usize,
+    seed: u64,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<NodeId> {
+    assert!(alpha >= 2, "alpha must be at least 2");
+    let mask = crate::mis::luby_mis_within_power(g, members, alpha - 1, seed, ledger, phase);
     crate::mis::members(&mask)
 }
 

@@ -14,7 +14,11 @@
 //!   trees, "nice" graphs in the paper's sense,
 //! * graph generators ([`generators`]) for every family used by the
 //!   experiments, and
-//! * power graphs ([`power`]) `G^k` used by ruling-set algorithms.
+//! * power graphs ([`power`]): the `G^k` materialization oracle and the
+//!   batched frontier-reusing [`power::PowerNeighborhoods`] sweep.
+//!   Production ruling-set phases run on `G^k` through the
+//!   virtual-topology overlay of the `local-model` crate; the
+//!   materialization survives as the equivalence-test oracle.
 //!
 //! # Example
 //!

@@ -4,11 +4,153 @@
 //! Ruling-set algorithms compute an independent set on `G^{α-1}` to get
 //! an `(α, ·)` ruling set of `G`; one round on `G^k` costs `k` rounds in
 //! `G` (the simulation charge).
+//!
+//! Since the virtual-topology overlay landed (`local_model::overlay`),
+//! production phases never materialize `G^k`: they execute on the host
+//! graph through relay compilation. [`power_graph`] survives as the
+//! **equivalence-test oracle** those executions are proven against, and
+//! [`PowerNeighborhoods`] is the batched per-node enumeration the
+//! oracle, the overlay's degree precomputation, and the proptests share
+//! — one set of reused BFS buffers for the whole sweep instead of an
+//! `O(n)` allocation per node.
 
-use crate::bfs;
 use crate::graph::{Graph, GraphBuilder, NodeId};
 
-/// Computes the power graph `G^k`. For `k == 1` this is a copy of `G`.
+/// Batched enumeration of every node's `G^k`-neighborhood (optionally
+/// restricted to an induced subgraph): a truncated BFS per node that
+/// reuses one epoch-stamped visited array and one frontier arena across
+/// the whole sweep, so per-node cost is `O(|ball|)` with **zero**
+/// per-node allocation after warm-up — unlike the naive
+/// [`power_neighbors`] oracle, which clears an `O(n)` distance array
+/// for every center.
+///
+/// Call [`PowerNeighborhoods::next`] repeatedly; each call yields the
+/// next node id together with its sorted `G^k`-neighbors (excluding the
+/// node itself) as a borrowed slice that is only valid until the next
+/// call (a lending iterator, deliberately not `Iterator`).
+///
+/// # Example
+///
+/// ```
+/// use delta_graphs::generators;
+/// use delta_graphs::power::{power_neighbors, PowerNeighborhoods};
+///
+/// let g = generators::cycle(8);
+/// let mut sweep = PowerNeighborhoods::new(&g, 2);
+/// while let Some((v, nbrs)) = sweep.next() {
+///     assert_eq!(nbrs, power_neighbors(&g, v, 2).as_slice());
+/// }
+/// ```
+pub struct PowerNeighborhoods<'g> {
+    g: &'g Graph,
+    k: usize,
+    /// Restrict the BFS (and the reported neighbors) to this membership
+    /// mask; distances are measured inside the induced subgraph.
+    mask: Option<&'g [bool]>,
+    /// Epoch-stamped visited array: `stamp[v] == epoch` means `v` was
+    /// reached in the current sweep step — no clearing between nodes.
+    stamp: Vec<u32>,
+    epoch: u32,
+    frontier: Vec<NodeId>,
+    next_frontier: Vec<NodeId>,
+    out: Vec<NodeId>,
+    cursor: usize,
+}
+
+impl<'g> PowerNeighborhoods<'g> {
+    /// Sweep over all nodes of `g` at power `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(g: &'g Graph, k: usize) -> Self {
+        assert!(k >= 1, "power must be >= 1");
+        PowerNeighborhoods {
+            g,
+            k,
+            mask: None,
+            stamp: vec![0; g.n()],
+            epoch: 0,
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
+            out: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Sweep over the members of `mask` at power `k`, with distances
+    /// measured inside the induced subgraph `G[mask]` (the
+    /// `(G[mask])^k` neighborhoods). Non-member centers yield empty
+    /// neighbor lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `mask.len() != g.n()`.
+    pub fn masked(g: &'g Graph, k: usize, mask: &'g [bool]) -> Self {
+        assert_eq!(mask.len(), g.n(), "mask length must match node count");
+        let mut s = Self::new(g, k);
+        s.mask = Some(mask);
+        s
+    }
+
+    /// Yields the next `(node, sorted G^k-neighbors)` pair, or `None`
+    /// when every node has been visited. The slice borrows the sweep's
+    /// internal buffer and is invalidated by the next call.
+    #[allow(clippy::should_implement_trait)] // lending iterator: the yielded slice borrows self
+    pub fn next(&mut self) -> Option<(NodeId, &[NodeId])> {
+        if self.cursor >= self.g.n() {
+            return None;
+        }
+        let v = NodeId::from_index(self.cursor);
+        self.cursor += 1;
+        self.out.clear();
+        if self.mask.is_some_and(|m| !m[v.index()]) {
+            return Some((v, &self.out));
+        }
+        // Fresh epoch = fresh visited set, no clearing. Epoch 0 is the
+        // initial stamp value, so skip it on wrap-around.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.stamp[v.index()] = self.epoch;
+        self.frontier.clear();
+        self.frontier.push(v);
+        for _ in 0..self.k {
+            self.next_frontier.clear();
+            for &u in &self.frontier {
+                for &w in self.g.neighbors(u) {
+                    if self.stamp[w.index()] != self.epoch && self.mask.is_none_or(|m| m[w.index()])
+                    {
+                        self.stamp[w.index()] = self.epoch;
+                        self.next_frontier.push(w);
+                        self.out.push(w);
+                    }
+                }
+            }
+            if self.next_frontier.is_empty() {
+                break;
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+        }
+        self.out.sort_unstable();
+        Some((v, &self.out))
+    }
+}
+
+/// Convenience constructor for [`PowerNeighborhoods::new`].
+pub fn power_neighbors_all(g: &Graph, k: usize) -> PowerNeighborhoods<'_> {
+    PowerNeighborhoods::new(g, k)
+}
+
+/// Materializes the power graph `G^k`. For `k == 1` this is a copy of
+/// `G`.
+///
+/// **Test oracle only.** Production phases run on `G^k` through the
+/// virtual-topology overlay (`local_model::overlay`) without ever
+/// building this `O(n·Δ^k)` object; it is kept as the reference the
+/// overlay equivalence proptests pin the relay execution against.
 ///
 /// # Panics
 ///
@@ -19,11 +161,10 @@ pub fn power_graph(g: &Graph, k: usize) -> Graph {
         return g.clone();
     }
     let mut b = GraphBuilder::new(g.n());
-    // BFS to depth k from every node; add edges to all discovered nodes.
-    for v in g.nodes() {
-        let ball = bfs::ball(g, v, k);
-        for (i, &w) in ball.globals.iter().enumerate() {
-            if w > v && ball.dist[i] > 0 {
+    let mut sweep = PowerNeighborhoods::new(g, k);
+    while let Some((v, nbrs)) = sweep.next() {
+        for &w in nbrs {
+            if w > v {
                 b.add_edge(v.0, w.0);
             }
         }
@@ -32,10 +173,11 @@ pub fn power_graph(g: &Graph, k: usize) -> Graph {
 }
 
 /// Nodes within distance `k` of `v` in `G`, excluding `v` itself:
-/// the `G^k`-neighborhood computed on demand (avoids materializing the
-/// full power graph for large `k`).
+/// the `G^k`-neighborhood computed on demand. Per-node oracle sibling
+/// of [`PowerNeighborhoods`] (which amortizes the scratch across a full
+/// sweep); like [`power_graph`], a test/verification device.
 pub fn power_neighbors(g: &Graph, v: NodeId, k: usize) -> Vec<NodeId> {
-    let ball = bfs::ball(g, v, k);
+    let ball = crate::bfs::ball(g, v, k);
     ball.globals
         .iter()
         .zip(ball.dist.iter())
@@ -80,6 +222,50 @@ mod tests {
             let mut a = power_neighbors(&g, v, 2);
             a.sort_unstable();
             assert_eq!(a.as_slice(), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_node_oracle() {
+        for (g, k) in [
+            (generators::torus(5, 4), 2),
+            (generators::random_regular(60, 4, 3), 3),
+            (generators::star(6), 2),
+            (Graph::from_edges(6, [(0, 1), (2, 3)]).unwrap(), 4),
+        ] {
+            let mut sweep = PowerNeighborhoods::new(&g, k);
+            let mut seen = 0usize;
+            while let Some((v, nbrs)) = sweep.next() {
+                let mut want = power_neighbors(&g, v, k);
+                want.sort_unstable();
+                assert_eq!(nbrs, want.as_slice(), "node {v} at k {k}");
+                seen += 1;
+            }
+            assert_eq!(seen, g.n(), "sweep visits every node");
+        }
+    }
+
+    #[test]
+    fn masked_sweep_matches_induced_subgraph() {
+        let g = generators::torus(4, 4);
+        // Keep three quarters of the nodes.
+        let mask: Vec<bool> = g.nodes().map(|v| v.0 % 4 != 0).collect();
+        let keep: Vec<NodeId> = g.nodes().filter(|v| mask[v.index()]).collect();
+        let (sub, map) = g.induced(&keep);
+        let sub2 = power_graph(&sub, 2);
+        let mut sweep = PowerNeighborhoods::masked(&g, 2, &mask);
+        while let Some((v, nbrs)) = sweep.next() {
+            match map.binary_search(&v) {
+                Ok(local) => {
+                    let want: Vec<NodeId> = sub2
+                        .neighbors(NodeId::from_index(local))
+                        .iter()
+                        .map(|&w| map[w.index()])
+                        .collect();
+                    assert_eq!(nbrs, want.as_slice(), "member {v}");
+                }
+                Err(_) => assert!(nbrs.is_empty(), "non-member {v} must be isolated"),
+            }
         }
     }
 

@@ -47,8 +47,9 @@
 //! [`crate::ExecMode`]s (covered by the repository determinism suite and
 //! the `ball_equivalence` proptests).
 
-use crate::engine::{node_rngs, Engine, NodeCtx, Outbox};
+use crate::engine::{node_rngs, Engine, NodeCtx, Outbox, RoundDriver};
 use crate::ledger::RoundLedger;
+use crate::overlay::{InducedOverlay, OverlayEngine};
 use crate::wire::{
     gamma_bits, gamma_u32s_bits, read_gamma_u32s, write_gamma_u32s, BitReader, BitWriter,
     WireCodec, WireParams,
@@ -337,53 +338,147 @@ where
     P: Fn(NodeId) -> M + Sync,
     R: Fn(&mut NodeCtx<'_>, &BallView<M>) -> D + Sync,
 {
+    let adj_of = |v: NodeId| -> Vec<u32> { graph.neighbors(v).iter().map(|w| w.0).collect() };
     if radius == 0 {
-        // A 0-round algorithm sees only itself; no engine involvement,
-        // but decisions still draw from the same per-node rng streams an
-        // engine with this seed would provide.
-        let mut rngs = node_rngs(seed, graph.n());
-        return graph
-            .nodes()
-            .map(|v| {
-                let own = BallItem {
-                    id: v.0,
-                    adj: graph.neighbors(v).iter().map(|w| w.0).collect(),
-                    payload: payload_of(v),
-                };
-                let state = BallState::<M, D> {
-                    items: vec![own],
-                    dist: vec![0],
-                    seen: vec![v.0],
-                    frontier: Vec::new(),
-                    decision: None,
-                };
-                let view = assemble_view(v, 0, &state);
-                let mut ctx = NodeCtx {
-                    id: v,
-                    degree: graph.degree(v),
-                    rng: &mut rngs[v.index()],
-                };
-                rule(&mut ctx, &view)
-            })
-            .collect();
+        return ball_phase_zero(graph.n(), seed, &adj_of, &payload_of, &rule);
     }
-    let mut engine = Engine::new(graph, seed, |v| {
-        let own = BallItem {
-            id: v.0,
-            adj: graph.neighbors(v).iter().map(|w| w.0).collect(),
-            payload: payload_of(v),
-        };
-        BallState {
-            items: vec![own],
-            dist: vec![0],
-            seen: vec![v.0],
-            frontier: vec![0],
-            decision: None,
-        }
+    let engine = Engine::new(graph, seed, |v| ball_initial_state(v, &adj_of, &payload_of));
+    ball_phase_core(engine, radius, rule, ledger, phase)
+}
+
+/// [`run_ball_phase`] on the **induced subgraph** `G[members]`, executed
+/// through the [`InducedOverlay`] on the host engine: non-members relay
+/// nothing and receive nothing, certificates carry the subgraph's
+/// (compacted-id) adjacency, and the assembled views are id-for-id the
+/// views a materialized `g.induced(members)` run would produce.
+/// Everything — ids handed to `payload_of`/`rule`, the returned
+/// decision vector — lives in the member-rank id space (ranks in
+/// host-id order, exactly [`Graph::induced`]'s compaction).
+///
+/// Costs `radius` host rounds (dilation 1) with measured envelope bits.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ball_phase_within<M, D, P, R>(
+    graph: &Graph,
+    members: &[bool],
+    seed: u64,
+    radius: usize,
+    payload_of: P,
+    rule: R,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<D>
+where
+    M: Clone + Send + Sync + WireCodec + 'static,
+    D: Send,
+    P: Fn(NodeId) -> M + Sync,
+    R: Fn(&mut NodeCtx<'_>, &BallView<M>) -> D + Sync,
+{
+    let member_ids: Vec<NodeId> = graph.nodes().filter(|v| members[v.index()]).collect();
+    let mut rank_of = vec![u32::MAX; graph.n()];
+    for (r, &v) in member_ids.iter().enumerate() {
+        rank_of[v.index()] = r as u32;
+    }
+    // Rank-space adjacency of G[members]: host neighbors filtered to
+    // members; host-sorted order maps to rank-sorted order.
+    let adj_of = |r: NodeId| -> Vec<u32> {
+        graph
+            .neighbors(member_ids[r.index()])
+            .iter()
+            .filter(|w| members[w.index()])
+            .map(|w| rank_of[w.index()])
+            .collect()
+    };
+    if radius == 0 {
+        return ball_phase_zero(member_ids.len(), seed, &adj_of, &payload_of, &rule);
+    }
+    let engine = OverlayEngine::new(graph, InducedOverlay { members }, seed, |r| {
+        ball_initial_state(r, &adj_of, &payload_of)
     });
+    ball_phase_core(engine, radius, rule, ledger, phase)
+}
+
+/// The 0-round degenerate case: every node sees only itself; decisions
+/// still draw from the per-node RNG streams a driver with this seed
+/// would provide.
+fn ball_phase_zero<M, D, R>(
+    n: usize,
+    seed: u64,
+    adj_of: &(impl Fn(NodeId) -> Vec<u32> + Sync),
+    payload_of: &(impl Fn(NodeId) -> M + Sync),
+    rule: &R,
+) -> Vec<D>
+where
+    M: Clone,
+    R: Fn(&mut NodeCtx<'_>, &BallView<M>) -> D,
+{
+    let mut rngs = node_rngs(seed, n);
+    (0..n)
+        .map(|i| {
+            let v = NodeId::from_index(i);
+            let adj = adj_of(v);
+            let degree = adj.len();
+            let state = BallState::<M, D> {
+                items: vec![BallItem {
+                    id: v.0,
+                    adj,
+                    payload: payload_of(v),
+                }],
+                dist: vec![0],
+                seen: vec![v.0],
+                frontier: Vec::new(),
+                decision: None,
+            };
+            let view = assemble_view(v, 0, &state);
+            let mut ctx = NodeCtx {
+                id: v,
+                degree,
+                rng: &mut rngs[i],
+            };
+            rule(&mut ctx, &view)
+        })
+        .collect()
+}
+
+/// A node's round-0 collector state: its own certificate, queued for
+/// the first relay.
+fn ball_initial_state<M, D>(
+    v: NodeId,
+    adj_of: &impl Fn(NodeId) -> Vec<u32>,
+    payload_of: &impl Fn(NodeId) -> M,
+) -> BallState<M, D> {
+    BallState {
+        items: vec![BallItem {
+            id: v.0,
+            adj: adj_of(v),
+            payload: payload_of(v),
+        }],
+        dist: vec![0],
+        seen: vec![v.0],
+        frontier: vec![0],
+        decision: None,
+    }
+}
+
+/// The flood itself, generic over the round driver ([`Engine`] for host
+/// executions, [`OverlayEngine`] for induced ones): `radius` relay
+/// rounds of certificate floods, then the local rule on the assembled
+/// views.
+fn ball_phase_core<M, D, R, DR>(
+    mut driver: DR,
+    radius: usize,
+    rule: R,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<D>
+where
+    M: Clone + Send + Sync + WireCodec + 'static,
+    D: Send,
+    R: Fn(&mut NodeCtx<'_>, &BallView<M>) -> D + Sync,
+    DR: RoundDriver<BallState<M, D>>,
+{
     for t in 1..=radius as u32 {
         let last = t as usize == radius;
-        engine.step(
+        driver.round_step(
             ledger,
             phase,
             |_, s: &mut BallState<M, D>, out: &mut Outbox<BallMsg<M>>| {
@@ -413,8 +508,8 @@ where
             },
         );
     }
-    engine
-        .into_states()
+    driver
+        .into_node_states()
         .into_iter()
         .map(|s| s.decision.expect("final round decided every node"))
         .collect()
@@ -494,40 +589,142 @@ where
     FIN: Fn(&mut NodeCtx<'_>, &A) -> D + Sync,
 {
     if radius == 0 {
-        let mut rngs = node_rngs(seed, graph.n());
-        return graph
-            .nodes()
-            .map(|v| {
-                let mut acc = init(v);
-                if let Some(m) = source(v) {
-                    absorb(&mut acc, v.0, 0, &m);
-                }
-                let mut ctx = NodeCtx {
-                    id: v,
-                    degree: graph.degree(v),
-                    rng: &mut rngs[v.index()],
-                };
-                finish(&mut ctx, &acc)
-            })
-            .collect();
+        let deg_of = |v: NodeId| graph.degree(v);
+        return reach_phase_zero(graph.n(), seed, &deg_of, &source, &init, &absorb, &finish);
     }
-    let mut engine = Engine::new(graph, seed, |v| {
-        let mut acc = init(v);
-        let own = source(v);
-        if let Some(m) = &own {
-            absorb(&mut acc, v.0, 0, m);
-        }
-        ReachState {
-            acc,
-            ring_last: own.iter().map(|_| v.0).collect(),
-            ring_prev: Vec::new(),
-            frontier: own.map(|m| (v.0, m)).into_iter().collect(),
-            decision: None,
-        }
+    let engine = Engine::new(graph, seed, |v| {
+        reach_initial_state(v, &source, &init, &absorb)
     });
+    reach_phase_core(engine, radius, absorb, finish, ledger, phase)
+}
+
+/// [`run_reach_phase`] on the **induced subgraph** `G[members]`,
+/// executed through the [`InducedOverlay`] on the host engine:
+/// non-members relay nothing and receive nothing, so every distance is
+/// measured inside the live subgraph. Ids (for `source`/`init`/
+/// `absorb`/`finish` and the returned vector) live in the member-rank
+/// space — identical to a materialized `g.induced(members)` run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_reach_phase_within<M, A, D, SRC, INIT, ABS, FIN>(
+    graph: &Graph,
+    members: &[bool],
+    seed: u64,
+    radius: usize,
+    source: SRC,
+    init: INIT,
+    absorb: ABS,
+    finish: FIN,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<D>
+where
+    M: Clone + Send + Sync + WireCodec + 'static,
+    A: Send,
+    D: Send,
+    SRC: Fn(NodeId) -> Option<M> + Sync,
+    INIT: Fn(NodeId) -> A + Sync,
+    ABS: Fn(&mut A, u32, u32, &M) + Sync,
+    FIN: Fn(&mut NodeCtx<'_>, &A) -> D + Sync,
+{
+    if radius == 0 {
+        let member_ids: Vec<NodeId> = graph.nodes().filter(|v| members[v.index()]).collect();
+        let deg_of = |r: NodeId| {
+            graph
+                .neighbors(member_ids[r.index()])
+                .iter()
+                .filter(|w| members[w.index()])
+                .count()
+        };
+        return reach_phase_zero(
+            member_ids.len(),
+            seed,
+            &deg_of,
+            &source,
+            &init,
+            &absorb,
+            &finish,
+        );
+    }
+    let engine = OverlayEngine::new(graph, InducedOverlay { members }, seed, |r| {
+        reach_initial_state(r, &source, &init, &absorb)
+    });
+    reach_phase_core(engine, radius, absorb, finish, ledger, phase)
+}
+
+/// The 0-round degenerate case of the reach flood.
+fn reach_phase_zero<M, A, D, FIN>(
+    n: usize,
+    seed: u64,
+    deg_of: &(impl Fn(NodeId) -> usize + Sync),
+    source: &(impl Fn(NodeId) -> Option<M> + Sync),
+    init: &(impl Fn(NodeId) -> A + Sync),
+    absorb: &(impl Fn(&mut A, u32, u32, &M) + Sync),
+    finish: &FIN,
+) -> Vec<D>
+where
+    FIN: Fn(&mut NodeCtx<'_>, &A) -> D,
+{
+    let mut rngs = node_rngs(seed, n);
+    (0..n)
+        .map(|i| {
+            let v = NodeId::from_index(i);
+            let mut acc = init(v);
+            if let Some(m) = source(v) {
+                absorb(&mut acc, v.0, 0, &m);
+            }
+            let mut ctx = NodeCtx {
+                id: v,
+                degree: deg_of(v),
+                rng: &mut rngs[i],
+            };
+            finish(&mut ctx, &acc)
+        })
+        .collect()
+}
+
+/// A node's round-0 reach state: its own source entry absorbed and
+/// queued for the first relay.
+fn reach_initial_state<M, A, D>(
+    v: NodeId,
+    source: &impl Fn(NodeId) -> Option<M>,
+    init: &impl Fn(NodeId) -> A,
+    absorb: &impl Fn(&mut A, u32, u32, &M),
+) -> ReachState<M, A, D> {
+    let mut acc = init(v);
+    let own = source(v);
+    if let Some(m) = &own {
+        absorb(&mut acc, v.0, 0, m);
+    }
+    ReachState {
+        acc,
+        ring_last: own.iter().map(|_| v.0).collect(),
+        ring_prev: Vec::new(),
+        frontier: own.map(|m| (v.0, m)).into_iter().collect(),
+        decision: None,
+    }
+}
+
+/// The flood itself, generic over the round driver ([`Engine`] for host
+/// executions, [`OverlayEngine`] for induced ones).
+fn reach_phase_core<M, A, D, ABS, FIN, DR>(
+    mut driver: DR,
+    radius: usize,
+    absorb: ABS,
+    finish: FIN,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Vec<D>
+where
+    M: Clone + Send + Sync + WireCodec + 'static,
+    A: Send,
+    D: Send,
+    ABS: Fn(&mut A, u32, u32, &M) + Sync,
+    FIN: Fn(&mut NodeCtx<'_>, &A) -> D + Sync,
+    DR: RoundDriver<ReachState<M, A, D>>,
+{
     for t in 1..=radius as u32 {
         let last = t as usize == radius;
-        engine.step(
+        driver.round_step(
             ledger,
             phase,
             |_, s: &mut ReachState<M, A, D>, out: &mut Outbox<ReachMsg<M>>| {
@@ -570,8 +767,8 @@ where
             },
         );
     }
-    engine
-        .into_states()
+    driver
+        .into_node_states()
         .into_iter()
         .map(|s| s.decision.expect("final round decided every node"))
         .collect()

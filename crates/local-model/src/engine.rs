@@ -130,7 +130,7 @@ pub struct Outbox<M> {
 }
 
 impl<M> Outbox<M> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Outbox {
             broadcast: None,
             directed: Vec::new(),
@@ -139,9 +139,21 @@ impl<M> Outbox<M> {
 
     /// Empties the outbox for the next round, retaining the directed
     /// buffer's capacity.
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.broadcast = None;
         self.directed.clear();
+    }
+
+    /// The queued broadcast and directed messages (overlay compilation
+    /// reads outboxes to build relay envelopes).
+    pub(crate) fn parts(&self) -> (Option<&M>, &[(NodeId, M)]) {
+        (self.broadcast.as_ref(), &self.directed)
+    }
+
+    /// Drops queued directed messages that fail `keep` (the overlay's
+    /// eager validity check, mirroring the engine's routing-pass drop).
+    pub(crate) fn retain_directed(&mut self, keep: impl FnMut(&(NodeId, M)) -> bool) {
+        self.directed.retain(keep);
     }
 
     /// Sends `msg` to every neighbor. At most one broadcast per round;
@@ -444,6 +456,21 @@ impl<'g, S: Send> Engine<'g, S> {
     /// deterministic per-node RNG streams derived from `seed`.
     pub fn new(graph: &'g Graph, seed: u64, init: impl Fn(NodeId) -> S) -> Self {
         let rngs = node_rngs(seed, graph.n());
+        Self::with_rngs(graph, rngs, init)
+    }
+
+    /// Engine whose nodes all share clones of **one** RNG stream — for
+    /// the overlay's internal relay programs, which are deterministic
+    /// and never draw randomness: cloning a state is much cheaper than
+    /// `n` independent ChaCha seedings, and relay engines are built
+    /// once per virtual round.
+    pub(crate) fn new_relay(graph: &'g Graph, init: impl Fn(NodeId) -> S) -> Self {
+        let base = StdRng::seed_from_u64(0);
+        let rngs = vec![base; graph.n()];
+        Self::with_rngs(graph, rngs, init)
+    }
+
+    fn with_rngs(graph: &'g Graph, rngs: Vec<StdRng>, init: impl Fn(NodeId) -> S) -> Self {
         let states = graph.nodes().map(init).collect();
         Engine {
             graph,
@@ -509,15 +536,7 @@ impl<'g, S: Send> Engine<'g, S> {
 
     /// Whether this round runs on worker threads.
     fn parallel(&self) -> bool {
-        match FORCE_MODE.load(Ordering::Relaxed) {
-            1 => false,
-            2 => true,
-            _ => match self.mode {
-                ExecMode::Sequential => false,
-                ExecMode::Parallel => true,
-                ExecMode::Auto => self.graph.n() >= PARALLEL_THRESHOLD,
-            },
-        }
+        resolve_parallel(self.mode, self.graph.n())
     }
 
     /// Executes one synchronous round of `program`, charged to `phase`.
@@ -678,6 +697,97 @@ impl<'g, S: Send> Engine<'g, S> {
 
         self.rounds_run += 1;
         ledger.charge(phase, 1);
+    }
+}
+
+/// Resolves the effective schedule for a round over `n` compute units,
+/// honoring any live [`force_exec_mode`] override. Shared by [`Engine`]
+/// and the overlay engine so both follow the same forced schedule in
+/// the determinism suites.
+pub(crate) fn resolve_parallel(mode: ExecMode, n: usize) -> bool {
+    match FORCE_MODE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => match mode {
+            ExecMode::Sequential => false,
+            ExecMode::Parallel => true,
+            ExecMode::Auto => n >= PARALLEL_THRESHOLD,
+        },
+    }
+}
+
+/// The round-execution surface shared by [`Engine`] (host graph) and
+/// [`crate::overlay::OverlayEngine`] (virtual topology compiled onto
+/// the host graph): one synchronous round per [`RoundDriver::round_step`]
+/// call, with node states indexable `0..node_count`.
+///
+/// Algorithms written against this trait — Luby MIS, the reach/ball
+/// floods, list coloring — run unchanged on the host graph, on `G^k`,
+/// and on induced subgraphs; only the driver construction differs. Node
+/// ids seen by the closures are the driver's *virtual* ids (host ids
+/// for `Engine`, compacted member ranks for an overlay — exactly the id
+/// space a materialized virtual graph would present).
+pub trait RoundDriver<S: Send> {
+    /// Number of (virtual) nodes the driver executes.
+    fn node_count(&self) -> usize;
+
+    /// Executes one synchronous round; rounds and measured bandwidth
+    /// are charged to `phase` on the ledger (an overlay charges its
+    /// full dilation: `k` host rounds per virtual round).
+    fn round_step<M, SEND, RECV>(
+        &mut self,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        send: SEND,
+        recv: RECV,
+    ) where
+        M: Clone + Send + Sync + WireCodec + 'static,
+        SEND: Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>) + Sync,
+        RECV: Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]) + Sync;
+
+    /// Immutable view of all node states (indexed by virtual id).
+    fn node_states(&self) -> &[S];
+
+    /// The driver's message counters at its own level of abstraction:
+    /// host-level for [`Engine`], virtual-level (comparable with a
+    /// materialized run) for an overlay.
+    fn round_stats(&self) -> MessageStats;
+
+    /// Consumes the driver, returning the final states.
+    fn into_node_states(self) -> Vec<S>
+    where
+        Self: Sized;
+}
+
+impl<S: Send> RoundDriver<S> for Engine<'_, S> {
+    fn node_count(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn round_step<M, SEND, RECV>(
+        &mut self,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        send: SEND,
+        recv: RECV,
+    ) where
+        M: Clone + Send + Sync + WireCodec + 'static,
+        SEND: Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>) + Sync,
+        RECV: Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]) + Sync,
+    {
+        self.step(ledger, phase, send, recv);
+    }
+
+    fn node_states(&self) -> &[S] {
+        self.states()
+    }
+
+    fn round_stats(&self) -> MessageStats {
+        self.message_stats()
+    }
+
+    fn into_node_states(self) -> Vec<S> {
+        self.into_states()
     }
 }
 

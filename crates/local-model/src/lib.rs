@@ -26,6 +26,15 @@
 //!   [`run_reach_phase`] streams membership-only floods for large
 //!   radii, and [`collect_ball_centered`] serves single-center repair
 //!   probes — all with measured rounds and wire-exact bandwidth;
+//! * **virtual-topology overlays** ([`overlay`]) — run node programs
+//!   on `G^k`, induced subgraphs `G[S]`, and their composition
+//!   `(G[S])^k` *through the host engine*: one virtual round compiles
+//!   to `k` measured relay rounds ([`OverlayEngine`], the
+//!   `step_overlay` entry point), id-for-id equal to a run on the
+//!   materialized virtual graph (`tests/overlay_equivalence.rs`) while
+//!   charging the ledger the true dilated host cost. The shared
+//!   [`RoundDriver`] trait lets one program (Luby MIS, the ball/reach
+//!   floods, list coloring) run on every topology;
 //! * central ball materialization through [`Graph::ball`]
 //!   (`delta_graphs`) with explicit round charging on a
 //!   [`RoundLedger`], packaged as [`BallOracle`] — the reference oracle
@@ -48,16 +57,21 @@ pub mod ball;
 pub mod engine;
 pub mod ledger;
 pub mod oracle;
+pub mod overlay;
 pub mod wire;
 
 pub use ball::{
-    collect_ball_centered, collect_ball_views, run_ball_phase, run_reach_phase, BallMsg, BallView,
-    CenterMsg, ReachMsg,
+    collect_ball_centered, collect_ball_views, run_ball_phase, run_ball_phase_within,
+    run_reach_phase, run_reach_phase_within, BallMsg, BallView, CenterMsg, ReachMsg,
 };
 pub use engine::{
     force_exec_mode, BandwidthPolicy, Engine, ExecMode, ExecModeGuard, MessageStats, NodeCtx,
-    NodeProgram, Outbox, PARALLEL_THRESHOLD,
+    NodeProgram, Outbox, RoundDriver, PARALLEL_THRESHOLD,
 };
 pub use ledger::RoundLedger;
 pub use oracle::BallOracle;
+pub use overlay::{
+    expand_rank_mask, InducedOverlay, InducedPowerOverlay, OverlayEngine, OverlayEnvelope,
+    OverlayRelay, PowerOverlay, RelayItem, VirtualTopology,
+};
 pub use wire::{congest_budget, BitReader, BitWriter, WireCodec, WireParams};

@@ -1,0 +1,1166 @@
+//! Virtual-topology overlays: run node programs on `G^k` and on induced
+//! subgraphs **through the host engine**, without materializing the
+//! virtual graph.
+//!
+//! The paper's algorithm constantly recurses on derived topologies —
+//! the remainder graph `H`, leftover components `L`, and ruling sets on
+//! `G^{α-1}`. Classically each such phase compiles back onto the host
+//! network: one round of `G^k` is `k` relay rounds of `G` (every
+//! message floods `k` hops), and one round of an induced subgraph
+//! `G[S]` is one host round in which non-members relay nothing and
+//! receive nothing. This module makes that compilation operational:
+//!
+//! * [`VirtualTopology`] — the abstraction: a membership predicate plus
+//!   a dilation `k` (host rounds per virtual round);
+//! * [`InducedOverlay`] — `G[S]` via a membership mask, dilation 1;
+//! * [`PowerOverlay`] — `G^k`, every node a member, dilation `k`;
+//! * [`InducedPowerOverlay`] — the composition `Induced ∘ Power`:
+//!   `(G[S])^k`, for ruling sets on live subgraphs (the flood is
+//!   confined to members, so virtual distances are measured inside the
+//!   subgraph);
+//! * [`OverlayEngine`] — the executor. Its [`OverlayEngine::step`] is
+//!   the overlay counterpart of [`Engine::step`] (the
+//!   `step_overlay` entry point of the host engine): one **virtual**
+//!   round, executed as `k` real host-engine rounds whose relay traffic
+//!   is wire-encoded through the [`WireCodec`]-bounded envelopes below
+//!   and charged to the ledger at its true dilated round and per-edge
+//!   bit cost.
+//!
+//! # The compacted id space
+//!
+//! An overlay presents its programs exactly the node universe a
+//! *materialized* virtual graph would: virtual ids are member **ranks**
+//! `0..m` in host-id order — the same compaction [`Graph::induced`]
+//! performs. Node programs, their RNG streams (rank `i` draws from the
+//! same stream node `i` of a materialized engine would), message
+//! contents, inbox ordering (senders sorted, a sender's broadcast
+//! before its directed messages), and the virtual-level
+//! [`MessageStats`] are therefore **id-for-id identical** to an
+//! [`Engine`] run on `power_graph(g, k)` / `g.induced(members)` — the
+//! overlay-equivalence proptests pin this in both [`ExecMode`]s.
+//!
+//! # Cost model
+//!
+//! Two ledgers' worth of numbers coexist, deliberately:
+//!
+//! * the [`crate::RoundLedger`] passed to [`OverlayEngine::step`] is
+//!   charged what the **host network** really pays: `k` rounds per
+//!   virtual round, and the measured per-edge bits of the relay
+//!   envelopes (source id + hop TTL + payload for floods) — this is
+//!   what the experiment tables report;
+//! * [`OverlayEngine::message_stats`] accounts the **virtual** level
+//!   (payload bits on virtual edges), which is the quantity comparable
+//!   with a materialized run.
+//!
+//! # Dilation-`k` relay
+//!
+//! A virtual broadcast on `G^k` is compiled to a `k`-round relay-once
+//! flood with the exact two-ring dedup of the ball subsystem
+//! ([`crate::ball`] module docs): each participating node forwards an
+//! origin exactly once, duplicates arrive only in the two rounds after
+//! first contact, so per-node dedup state is `O(ring)`, and after `k`
+//! rounds every member has heard exactly its `G^k`-neighbors — the
+//! `power_neighbors` set — once each. Directed virtual messages require
+//! routing tables and are only supported at dilation 1 (the induced
+//! overlay); [`OverlayEngine::step`] panics otherwise.
+//!
+//! Memory: the flood retains `O(traffic)` transient state per virtual
+//! round (shrinking as algorithms quiesce — e.g. only *undecided* Luby
+//! nodes flood), instead of the `O(n·Δ^k)` adjacency a materialized
+//! `G^k` pins for the whole execution. `power_graph` is demoted to the
+//! equivalence-test oracle.
+
+use crate::engine::{node_rngs, resolve_parallel, Engine, NodeCtx, Outbox, RoundDriver};
+use crate::ledger::RoundLedger;
+use crate::wire::{gamma_bits, gamma_max_bits, BitReader, BitWriter, WireCodec, WireParams};
+use crate::{BandwidthPolicy, ExecMode, MessageStats};
+use delta_graphs::power::PowerNeighborhoods;
+use delta_graphs::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// A virtual topology over a host graph: which host nodes take part,
+/// and how many host rounds one virtual round costs (the dilation `k`
+/// of the classic LOCAL simulation: virtual neighbors are members at
+/// distance at most `k` *through members*).
+pub trait VirtualTopology: Sync {
+    /// Whether host node `v` is a node of the virtual graph.
+    fn is_member(&self, v: NodeId) -> bool;
+
+    /// Host rounds per virtual round (`k`; virtual adjacency is
+    /// "member within distance `k` through members").
+    fn dilation(&self) -> usize;
+
+    /// The membership mask, if the overlay restricts membership
+    /// (`None` = every host node participates).
+    fn member_mask(&self) -> Option<&[bool]>;
+}
+
+/// The power graph `G^k`: every host node is a member; one virtual
+/// round is `k` relay rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOverlay {
+    /// The power `k >= 1`.
+    pub k: usize,
+}
+
+impl VirtualTopology for PowerOverlay {
+    fn is_member(&self, _v: NodeId) -> bool {
+        true
+    }
+    fn dilation(&self) -> usize {
+        self.k
+    }
+    fn member_mask(&self) -> Option<&[bool]> {
+        None
+    }
+}
+
+/// The induced subgraph `G[S]`: members given by a mask, dilation 1 —
+/// non-members send nothing and receive nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct InducedOverlay<'a> {
+    /// `members[v]` says whether host node `v` participates.
+    pub members: &'a [bool],
+}
+
+impl<'a> InducedOverlay<'a> {
+    /// Composes with a power overlay: `(G[S])^k`, ruling sets on live
+    /// subgraphs.
+    pub fn power(self, k: usize) -> InducedPowerOverlay<'a> {
+        InducedPowerOverlay {
+            members: self.members,
+            k,
+        }
+    }
+}
+
+impl VirtualTopology for InducedOverlay<'_> {
+    fn is_member(&self, v: NodeId) -> bool {
+        self.members[v.index()]
+    }
+    fn dilation(&self) -> usize {
+        1
+    }
+    fn member_mask(&self) -> Option<&[bool]> {
+        Some(self.members)
+    }
+}
+
+/// The composition `Induced ∘ Power`: `(G[S])^k`. Relay floods are
+/// confined to members, so virtual distances are measured inside the
+/// live subgraph.
+#[derive(Debug, Clone, Copy)]
+pub struct InducedPowerOverlay<'a> {
+    /// `members[v]` says whether host node `v` participates.
+    pub members: &'a [bool],
+    /// The power `k >= 1`.
+    pub k: usize,
+}
+
+impl VirtualTopology for InducedPowerOverlay<'_> {
+    fn is_member(&self, v: NodeId) -> bool {
+        self.members[v.index()]
+    }
+    fn dilation(&self) -> usize {
+        self.k
+    }
+    fn member_mask(&self) -> Option<&[bool]> {
+        Some(self.members)
+    }
+}
+
+/// Dilation-1 relay envelope: what one member puts on one host edge in
+/// one round — its virtual broadcast (if any) plus the directed
+/// payloads addressed to that edge's head. Unbounded (`max_bits` is
+/// `None`): the directed list mirrors the virtual program's own
+/// outbox, which the LOCAL model does not bound.
+///
+/// The broadcast payload is behind an [`Arc`]: one sender's broadcast
+/// rides `deg` envelopes (plus their delivery clones), and ball-phase
+/// certificates make it the bulk of the traffic — sharing keeps the
+/// per-edge copies refcount bumps; the single deep clone happens when
+/// the payload lands in a receiver's virtual inbox, matching the
+/// materialized engine's one-clone-per-delivery cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlayEnvelope<M> {
+    /// The sender's virtual broadcast, delivered before the directed
+    /// messages (preserving the engine's inbox ordering invariant);
+    /// shared across the sender's per-edge envelopes.
+    pub bcast: Option<Arc<M>>,
+    /// Directed payloads addressed to the receiving member, in send
+    /// order.
+    pub directed: Vec<M>,
+}
+
+impl<M: WireCodec> WireCodec for OverlayEnvelope<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        match &self.bcast {
+            Some(m) => {
+                w.write_bool(true);
+                m.encode(w);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_gamma(self.directed.len() as u64);
+        for m in &self.directed {
+            m.encode(w);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        let bcast = match r.read_bool()? {
+            true => Some(Arc::new(M::decode(r)?)),
+            false => None,
+        };
+        let len = r.read_gamma()?;
+        let mut directed = Vec::with_capacity(len.min(1 << 20) as usize);
+        for _ in 0..len {
+            directed.push(M::decode(r)?);
+        }
+        Some(OverlayEnvelope { bcast, directed })
+    }
+    fn encoded_bits(&self) -> u64 {
+        1 + self.bcast.as_ref().map_or(0, |m| m.encoded_bits())
+            + gamma_bits(self.directed.len() as u64)
+            + self
+                .directed
+                .iter()
+                .map(WireCodec::encoded_bits)
+                .sum::<u64>()
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
+
+/// One relayed flood entry of the dilation-`k` compilation: the
+/// origin's (virtual) id, the remaining hop TTL, and the payload.
+/// The per-item wire cost is honestly bounded whenever the payload is
+/// (`max_bits` composes); the *relay* that batches items is not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayItem<M> {
+    /// Virtual id of the broadcasting origin.
+    pub origin: u32,
+    /// Hops the item may still travel after this transmission.
+    pub ttl: u32,
+    /// The origin's broadcast payload.
+    pub payload: M,
+}
+
+impl<M: WireCodec> WireCodec for RelayItem<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_gamma(self.origin as u64);
+        w.write_gamma(self.ttl as u64);
+        self.payload.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        Some(RelayItem {
+            origin: r.read_gamma()? as u32,
+            ttl: r.read_gamma()? as u32,
+            payload: M::decode(r)?,
+        })
+    }
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.origin as u64) + gamma_bits(self.ttl as u64) + self.payload.encoded_bits()
+    }
+    fn max_bits(p: &WireParams) -> Option<u64> {
+        // origin < n; TTL < n — the flood clamps the injected TTL to
+        // n - 1 (no node is farther than that), so the bound holds even
+        // for dilations larger than the graph.
+        Some(gamma_max_bits(p.n) + gamma_max_bits(p.n) + M::max_bits(p)?)
+    }
+}
+
+/// Dilation-`k` relay: the [`RelayItem`]s a node first heard last round
+/// and forwards this round. Unbounded (`max_bits` is `None`): one relay
+/// batches every origin crossing the edge this round — `Θ(Δ^(k-1))` of
+/// them in the worst case, which is exactly why power-graph substrates
+/// are LOCAL-only.
+///
+/// The item batch is behind an [`Arc`]: the engine clones every
+/// broadcast once per incident edge, and on dense floods the batch can
+/// hold thousands of payloads — sharing makes the per-edge clone a
+/// refcount bump instead of a deep copy, cutting the flood's peak
+/// delivery memory by a `Δ` factor without changing what is *charged*
+/// (bit accounting reads the full batch either way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlayRelay<M> {
+    /// Items first learned last round, forwarded once (shared across
+    /// the per-edge delivery clones).
+    pub items: Arc<Vec<RelayItem<M>>>,
+}
+
+impl<M: WireCodec> WireCodec for OverlayRelay<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_gamma(self.items.len() as u64);
+        for item in self.items.iter() {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        let len = r.read_gamma()?;
+        let mut items = Vec::with_capacity(len.min(1 << 20) as usize);
+        for _ in 0..len {
+            items.push(RelayItem::decode(r)?);
+        }
+        Some(OverlayRelay {
+            items: Arc::new(items),
+        })
+    }
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.items.len() as u64)
+            + self.items.iter().map(WireCodec::encoded_bits).sum::<u64>()
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
+
+/// Per-host-node state of the dilation-`k` flood (members only; see the
+/// module docs for the two-ring dedup argument).
+#[derive(Clone)]
+struct FloodState<M> {
+    /// Items first learned last round, forwarded next round (sorted by
+    /// origin).
+    frontier: Vec<RelayItem<M>>,
+    /// Origins first heard last round (sorted).
+    ring_last: Vec<u32>,
+    /// Origins first heard the round before (sorted).
+    ring_prev: Vec<u32>,
+    /// Every `(origin, payload)` heard, in arrival (= distance) order.
+    heard: Vec<(u32, M)>,
+}
+
+/// Executes node programs on a virtual topology through the host
+/// engine. The overlay counterpart of [`Engine`]: per-rank state and
+/// deterministic per-rank randomness, [`OverlayEngine::step`] for one
+/// virtual round (`k` charged host rounds), and virtual-level
+/// [`MessageStats`] comparable with a materialized run.
+///
+/// # Example
+///
+/// Flood the minimum virtual id for one `G^2` round on a cycle — every
+/// node reaches its four `G^2`-neighbors in 2 charged host rounds:
+///
+/// ```
+/// use delta_graphs::generators;
+/// use local_model::overlay::{OverlayEngine, PowerOverlay};
+/// use local_model::RoundLedger;
+///
+/// let g = generators::cycle(8);
+/// let mut ledger = RoundLedger::new();
+/// let mut engine = OverlayEngine::new(&g, PowerOverlay { k: 2 }, 0, |v| v.0);
+/// engine.step(
+///     &mut ledger,
+///     "flood-min",
+///     |_, &mut s, out| out.broadcast(s),
+///     |_, s, inbox| {
+///         assert_eq!(inbox.len(), 4); // G^2 degree on the cycle
+///         for &(_, m) in inbox {
+///             *s = (*s).min(m);
+///         }
+///     },
+/// );
+/// assert_eq!(ledger.total(), 2); // one virtual round = k host rounds
+/// assert!(ledger.bits_sent() > 0); // relay envelopes are measured
+/// ```
+pub struct OverlayEngine<'g, S, T: VirtualTopology> {
+    host: &'g Graph,
+    topo: T,
+    /// Sorted host ids of the members; rank `r` ↔ `members[r]`.
+    members: Vec<NodeId>,
+    /// Host id → member rank (`u32::MAX` for non-members).
+    rank_of: Vec<u32>,
+    /// Virtual degree per rank (size of the `G^k`-through-members
+    /// neighborhood), precomputed with one batched frontier-reusing
+    /// sweep.
+    vdeg: Vec<u32>,
+    states: Vec<S>,
+    rngs: Vec<StdRng>,
+    mode: ExecMode,
+    policy: BandwidthPolicy,
+    virtual_rounds: u64,
+    stats: MessageStats,
+}
+
+const NO_RANK: u32 = u32::MAX;
+
+impl<'g, S: Send, T: VirtualTopology> OverlayEngine<'g, S, T> {
+    /// Creates an overlay engine over `host`. `init` receives the
+    /// **virtual** id (member rank in host-id order) — the same ids a
+    /// materialized virtual graph would hand to [`Engine::new`], so the
+    /// per-rank RNG streams line up with a materialized run seeded the
+    /// same way.
+    pub fn new(host: &'g Graph, topo: T, seed: u64, init: impl Fn(NodeId) -> S) -> Self {
+        assert!(topo.dilation() >= 1, "dilation must be >= 1");
+        let members: Vec<NodeId> = host.nodes().filter(|&v| topo.is_member(v)).collect();
+        let mut rank_of = vec![NO_RANK; host.n()];
+        for (r, &v) in members.iter().enumerate() {
+            rank_of[v.index()] = r as u32;
+        }
+        let vdeg = virtual_degrees(host, &topo, &members, &rank_of);
+        let states: Vec<S> = (0..members.len())
+            .map(|r| init(NodeId::from_index(r)))
+            .collect();
+        let rngs = node_rngs(seed, members.len());
+        OverlayEngine {
+            host,
+            topo,
+            members,
+            rank_of,
+            vdeg,
+            states,
+            rngs,
+            mode: ExecMode::Auto,
+            policy: BandwidthPolicy::Local,
+            virtual_rounds: 0,
+            stats: MessageStats::default(),
+        }
+    }
+
+    /// Sets the execution mode (builder style); the inner host relay
+    /// rounds inherit it.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the bandwidth policy for the **virtual-level** accounting
+    /// (builder style). Host-level relay accounting on the ledger
+    /// always runs under the host engine's default policy.
+    pub fn with_bandwidth(mut self, policy: BandwidthPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The host graph the overlay compiles onto.
+    pub fn host(&self) -> &Graph {
+        self.host
+    }
+
+    /// Sorted host ids of the members; index = virtual id (rank).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Host id of a virtual node.
+    pub fn to_host(&self, rank: NodeId) -> NodeId {
+        self.members[rank.index()]
+    }
+
+    /// Virtual id of a host node, if it is a member.
+    pub fn rank_of(&self, host: NodeId) -> Option<NodeId> {
+        match self.rank_of[host.index()] {
+            NO_RANK => None,
+            r => Some(NodeId(r)),
+        }
+    }
+
+    /// Immutable view of all per-rank states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable view of all per-rank states (out-of-band initialization
+    /// only).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Consumes the engine, returning the final per-rank states.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
+    }
+
+    /// Virtual rounds executed so far (the ledger was charged
+    /// `dilation ×` as many host rounds).
+    pub fn rounds_run(&self) -> u64 {
+        self.virtual_rounds
+    }
+
+    /// Virtual-level message counters: payload bits on virtual edges,
+    /// id-for-id comparable with an [`Engine::message_stats`] of a
+    /// materialized run. The host-level relay cost (envelope overhead
+    /// included) lives on the ledger.
+    pub fn message_stats(&self) -> MessageStats {
+        self.stats
+    }
+
+    /// The sorted virtual-id adjacency of one virtual node (members at
+    /// distance ≤ `k` through members). `O(|ball|)` BFS per call — a
+    /// local inspection device for rare fallback paths, not a hot-path
+    /// API.
+    pub fn virtual_neighbors(&self, rank: NodeId) -> Vec<NodeId> {
+        let v = self.to_host(rank);
+        let k = self.topo.dilation();
+        let mut out: Vec<NodeId> = match self.topo.member_mask() {
+            None if k == 1 => self.host.neighbors(v).to_vec(),
+            _ => {
+                let mask = self.topo.member_mask();
+                let mut dist = vec![u32::MAX; self.host.n()];
+                let mut frontier = vec![v];
+                dist[v.index()] = 0;
+                let mut found = Vec::new();
+                for _ in 0..k {
+                    let mut next = Vec::new();
+                    for &u in &frontier {
+                        for &w in self.host.neighbors(u) {
+                            if dist[w.index()] == u32::MAX && mask.is_none_or(|m| m[w.index()]) {
+                                dist[w.index()] = 1;
+                                next.push(w);
+                                found.push(w);
+                            }
+                        }
+                    }
+                    frontier = next;
+                }
+                found
+            }
+        };
+        out.sort_unstable();
+        out.iter()
+            .map(|&w| NodeId(self.rank_of[w.index()]))
+            .collect()
+    }
+
+    /// Executes one **virtual** round: the overlay's counterpart of
+    /// [`Engine::step`] (the host engine's `step_overlay` entry point).
+    ///
+    /// The virtual send phase runs over the members (rank ids, rank
+    /// RNG streams); the queued messages are compiled to `dilation`
+    /// host-engine rounds of [`WireCodec`]-measured relay envelopes
+    /// charged to `phase` on `ledger`; the virtual recv phase then
+    /// consumes inboxes that are id-for-id what a materialized run
+    /// would deliver (senders sorted, broadcast before directed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a directed virtual message is queued at dilation ≥ 2
+    /// (per-neighbor routing on `G^k` needs routing tables; the
+    /// algorithms this repository compiles onto power overlays are
+    /// broadcast-only).
+    pub fn step<M, SEND, RECV>(
+        &mut self,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        send: SEND,
+        recv: RECV,
+    ) where
+        M: Clone + Send + Sync + WireCodec + 'static,
+        SEND: Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>) + Sync,
+        RECV: Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]) + Sync,
+    {
+        let m = self.members.len();
+        let parallel = resolve_parallel(self.mode, m);
+
+        // Virtual send phase: per-rank states and RNG streams, exactly
+        // like the engine's send phase on a materialized virtual graph.
+        let mut outboxes: Vec<Outbox<M>> = (0..m).map(|_| Outbox::new()).collect();
+        {
+            let vdeg = &self.vdeg;
+            let run_one = |r: usize, state: &mut S, rng: &mut StdRng, out: &mut Outbox<M>| {
+                let mut ctx = NodeCtx {
+                    id: NodeId::from_index(r),
+                    degree: vdeg[r] as usize,
+                    rng,
+                };
+                out.reset();
+                send(&mut ctx, state, out);
+            };
+            if parallel {
+                self.states
+                    .par_iter_mut()
+                    .zip(self.rngs.par_iter_mut())
+                    .zip(outboxes.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(r, ((state, rng), out))| run_one(r, state, rng, out));
+            } else {
+                self.states
+                    .iter_mut()
+                    .zip(self.rngs.iter_mut())
+                    .zip(outboxes.iter_mut())
+                    .enumerate()
+                    .for_each(|(r, ((state, rng), out))| run_one(r, state, rng, out));
+            }
+        }
+
+        // Validate directed targets eagerly (the engine drops messages
+        // to non-neighbors during routing; the overlay mirrors that at
+        // the virtual level) and account the send-side stats.
+        let k = self.topo.dilation();
+        for (r, out) in outboxes.iter_mut().enumerate() {
+            let (bcast, directed) = out.parts();
+            if bcast.is_some() {
+                self.stats.broadcasts += 1;
+                self.stats.deliveries += self.vdeg[r] as u64;
+            }
+            if !directed.is_empty() {
+                assert!(
+                    k == 1,
+                    "directed virtual messages require a dilation-1 overlay \
+                     (per-neighbor routing on G^k needs routing tables)"
+                );
+            }
+            let sender_host = self.members[r];
+            let host = self.host;
+            let members = &self.members;
+            let rank_of = &self.rank_of;
+            let mut queued = 0u64;
+            out.retain_directed(|(to, _)| {
+                queued += 1;
+                let valid = (to.index() < members.len())
+                    && host
+                        .neighbor_position(sender_host, members[to.index()])
+                        .is_some()
+                    && rank_of[members[to.index()].index()] != NO_RANK;
+                debug_assert!(
+                    valid,
+                    "virtual node {r} sent a directed message to non-neighbor {to}"
+                );
+                valid
+            });
+            let (_, directed) = out.parts();
+            self.stats.directed += queued;
+            self.stats.deliveries += directed.len() as u64;
+        }
+
+        // Host relay: one engine round at dilation 1, a k-round
+        // two-ring-dedup flood otherwise. Both charge the ledger their
+        // real host rounds and measured envelope bits.
+        let inboxes = if k == 1 {
+            self.relay_dilation1(&outboxes, ledger, phase)
+        } else {
+            self.relay_flood(&outboxes, k, ledger, phase)
+        };
+
+        // Virtual-level bandwidth: group each inbox by sender — the
+        // entries of one sender are contiguous (sorted inbox) and their
+        // payload bits sum to that virtual edge's load, reproducing the
+        // materialized engine's per-edge accounting.
+        let budget = match self.policy {
+            BandwidthPolicy::Local => u64::MAX,
+            BandwidthPolicy::Congest { bits } => bits,
+        };
+        let mut round_max = 0u64;
+        for inbox in &inboxes {
+            let mut i = 0;
+            while i < inbox.len() {
+                let sender = inbox[i].0;
+                let mut load = 0u64;
+                while i < inbox.len() && inbox[i].0 == sender {
+                    load += inbox[i].1.encoded_bits();
+                    i += 1;
+                }
+                self.stats.bits_sent += load;
+                round_max = round_max.max(load);
+                if load > budget {
+                    self.stats.congest_violations += 1;
+                }
+            }
+        }
+        self.stats.max_edge_bits = self.stats.max_edge_bits.max(round_max);
+
+        // Virtual recv phase.
+        {
+            let vdeg = &self.vdeg;
+            let run_one = |r: usize, state: &mut S, rng: &mut StdRng| {
+                let mut ctx = NodeCtx {
+                    id: NodeId::from_index(r),
+                    degree: vdeg[r] as usize,
+                    rng,
+                };
+                recv(&mut ctx, state, &inboxes[r]);
+            };
+            if parallel {
+                self.states
+                    .par_iter_mut()
+                    .zip(self.rngs.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(r, (state, rng))| run_one(r, state, rng));
+            } else {
+                self.states
+                    .iter_mut()
+                    .zip(self.rngs.iter_mut())
+                    .enumerate()
+                    .for_each(|(r, (state, rng))| run_one(r, state, rng));
+            }
+        }
+        self.virtual_rounds += 1;
+    }
+
+    /// Dilation-1 compilation (induced subgraph): one host round in
+    /// which every member sends each member neighbor one
+    /// [`OverlayEnvelope`] — its broadcast plus the directed payloads
+    /// addressed there — and non-members stay silent.
+    fn relay_dilation1<M>(
+        &self,
+        outboxes: &[Outbox<M>],
+        ledger: &mut RoundLedger,
+        phase: &str,
+    ) -> Vec<Vec<(NodeId, M)>>
+    where
+        M: Clone + Send + Sync + WireCodec + 'static,
+    {
+        let host = self.host;
+        let rank_of = &self.rank_of;
+        let mut relay: Engine<'_, Vec<(NodeId, M)>> =
+            Engine::new_relay(host, |_| Vec::new()).with_mode(self.mode);
+        relay.step(
+            ledger,
+            phase,
+            |ctx, _s, out: &mut Outbox<OverlayEnvelope<M>>| {
+                let r = rank_of[ctx.id.index()];
+                if r == NO_RANK {
+                    return;
+                }
+                let (bcast, directed) = outboxes[r as usize].parts();
+                if bcast.is_none() && directed.is_empty() {
+                    return;
+                }
+                // One deep clone of the broadcast per sender; per-edge
+                // envelopes share it through the Arc.
+                let bcast = bcast.map(|m| Arc::new(m.clone()));
+                for &w in host.neighbors(ctx.id) {
+                    let wr = rank_of[w.index()];
+                    if wr == NO_RANK {
+                        continue;
+                    }
+                    let env = OverlayEnvelope {
+                        bcast: bcast.clone(),
+                        directed: directed
+                            .iter()
+                            .filter(|(to, _)| to.0 == wr)
+                            .map(|(_, m)| m.clone())
+                            .collect(),
+                    };
+                    if env.bcast.is_some() || !env.directed.is_empty() {
+                        out.send_to(w, env);
+                    }
+                }
+            },
+            |ctx, s, inbox| {
+                if rank_of[ctx.id.index()] == NO_RANK {
+                    debug_assert!(inbox.is_empty(), "non-members receive nothing");
+                    return;
+                }
+                for (w, env) in inbox {
+                    let wr = NodeId(rank_of[w.index()]);
+                    if let Some(b) = &env.bcast {
+                        s.push((wr, M::clone(b)));
+                    }
+                    for m in &env.directed {
+                        s.push((wr, m.clone()));
+                    }
+                }
+            },
+        );
+        // Move each member's delivery buffer out (host order = rank
+        // order), no cloning.
+        relay
+            .into_states()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| rank_of[*i] != NO_RANK)
+            .map(|(_, s)| s)
+            .collect()
+    }
+
+    /// Dilation-`k` compilation (power overlays): a `k`-round
+    /// relay-once flood of [`RelayItem`]s with exact two-ring dedup;
+    /// non-members (under a mask) neither relay nor receive, so virtual
+    /// distances are measured inside the live subgraph.
+    fn relay_flood<M>(
+        &self,
+        outboxes: &[Outbox<M>],
+        k: usize,
+        ledger: &mut RoundLedger,
+        phase: &str,
+    ) -> Vec<Vec<(NodeId, M)>>
+    where
+        M: Clone + Send + Sync + WireCodec + 'static,
+    {
+        let host = self.host;
+        let rank_of = &self.rank_of;
+        let masked = self.topo.member_mask().is_some();
+        let mut relay: Engine<'_, FloodState<M>> = Engine::new_relay(host, |v| {
+            let r = rank_of[v.index()];
+            let own = (r != NO_RANK)
+                .then(|| outboxes[r as usize].parts().0.cloned())
+                .flatten();
+            FloodState {
+                ring_last: own.iter().map(|_| r).collect(),
+                frontier: own
+                    .map(|payload| RelayItem {
+                        origin: r,
+                        // Clamped at n - 1: no node is farther, and it
+                        // keeps the wire TTL inside RelayItem::max_bits
+                        // even for dilations larger than the graph.
+                        ttl: (k - 1).min(host.n().saturating_sub(1)) as u32,
+                        payload,
+                    })
+                    .into_iter()
+                    .collect(),
+                ring_prev: Vec::new(),
+                heard: Vec::new(),
+            }
+        })
+        .with_mode(self.mode);
+        for _ in 1..=k {
+            relay.step(
+                ledger,
+                phase,
+                |ctx, s: &mut FloodState<M>, out: &mut Outbox<OverlayRelay<M>>| {
+                    // Rotate the dedup window (see crate::ball docs).
+                    s.ring_prev = std::mem::take(&mut s.ring_last);
+                    s.ring_last = s.frontier.iter().map(|it| it.origin).collect();
+                    if s.frontier.is_empty() {
+                        return;
+                    }
+                    let items = Arc::new(std::mem::take(&mut s.frontier));
+                    if masked {
+                        // Confine the flood to members: directed relays
+                        // to member neighbors only (sharing one batch).
+                        for &w in host.neighbors(ctx.id) {
+                            if rank_of[w.index()] != NO_RANK {
+                                out.send_to(
+                                    w,
+                                    OverlayRelay {
+                                        items: Arc::clone(&items),
+                                    },
+                                );
+                            }
+                        }
+                    } else {
+                        out.broadcast(OverlayRelay { items });
+                    }
+                },
+                |ctx, s, inbox| {
+                    if rank_of[ctx.id.index()] == NO_RANK {
+                        debug_assert!(inbox.is_empty(), "non-members receive nothing");
+                        return;
+                    }
+                    let mut arrivals: Vec<&RelayItem<M>> =
+                        inbox.iter().flat_map(|(_, msg)| msg.items.iter()).collect();
+                    arrivals.sort_unstable_by_key(|it| it.origin);
+                    arrivals.dedup_by_key(|it| it.origin);
+                    for item in arrivals {
+                        if s.ring_last.binary_search(&item.origin).is_ok()
+                            || s.ring_prev.binary_search(&item.origin).is_ok()
+                        {
+                            continue;
+                        }
+                        s.heard.push((item.origin, item.payload.clone()));
+                        if item.ttl > 0 {
+                            s.frontier.push(RelayItem {
+                                origin: item.origin,
+                                ttl: item.ttl - 1,
+                                payload: item.payload.clone(),
+                            });
+                        }
+                    }
+                    let _ = ctx;
+                },
+            );
+        }
+        // Move each member's heard list out (host order = rank order)
+        // and sort it into the materialized-engine inbox invariant:
+        // senders sorted. No cloning — the flood's accumulated traffic
+        // becomes the inboxes.
+        relay
+            .into_states()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| rank_of[*i] != NO_RANK)
+            .map(|(_, s)| {
+                let mut inbox: Vec<(NodeId, M)> = s
+                    .heard
+                    .into_iter()
+                    .map(|(origin, m)| (NodeId(origin), m))
+                    .collect();
+                inbox.sort_unstable_by_key(|&(origin, _)| origin);
+                inbox
+            })
+            .collect()
+    }
+}
+
+impl<S: Send, T: VirtualTopology> RoundDriver<S> for OverlayEngine<'_, S, T> {
+    fn node_count(&self) -> usize {
+        self.members.len()
+    }
+
+    fn round_step<M, SEND, RECV>(
+        &mut self,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        send: SEND,
+        recv: RECV,
+    ) where
+        M: Clone + Send + Sync + WireCodec + 'static,
+        SEND: Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>) + Sync,
+        RECV: Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]) + Sync,
+    {
+        self.step(ledger, phase, send, recv);
+    }
+
+    fn node_states(&self) -> &[S] {
+        self.states()
+    }
+
+    fn round_stats(&self) -> MessageStats {
+        self.message_stats()
+    }
+
+    fn into_node_states(self) -> Vec<S> {
+        self.into_states()
+    }
+}
+
+/// Precomputes every member's virtual degree with one batched
+/// frontier-reusing sweep ([`PowerNeighborhoods`]) — `O(Σ|ball|)` time,
+/// `O(n)` scratch, nothing materialized.
+fn virtual_degrees<T: VirtualTopology>(
+    host: &Graph,
+    topo: &T,
+    members: &[NodeId],
+    rank_of: &[u32],
+) -> Vec<u32> {
+    let k = topo.dilation();
+    match topo.member_mask() {
+        None if k == 1 => members.iter().map(|&v| host.degree(v) as u32).collect(),
+        Some(_) if k == 1 => members
+            .iter()
+            .map(|&v| {
+                host.neighbors(v)
+                    .iter()
+                    .filter(|w| rank_of[w.index()] != NO_RANK)
+                    .count() as u32
+            })
+            .collect(),
+        mask => {
+            let mut sweep = match mask {
+                Some(m) => PowerNeighborhoods::masked(host, k, m),
+                None => PowerNeighborhoods::new(host, k),
+            };
+            let mut vdeg = vec![0u32; members.len()];
+            while let Some((v, nbrs)) = sweep.next() {
+                let r = rank_of[v.index()];
+                if r != NO_RANK {
+                    vdeg[r as usize] = nbrs.len() as u32;
+                }
+            }
+            vdeg
+        }
+    }
+}
+
+/// Expands a rank-indexed membership mask (e.g. an MIS on the overlay)
+/// back to a host-indexed mask.
+pub fn expand_rank_mask<T: VirtualTopology>(
+    host: &Graph,
+    topo: &T,
+    rank_mask: &[bool],
+) -> Vec<bool> {
+    let mut out = vec![false; host.n()];
+    let mut r = 0usize;
+    for v in host.nodes() {
+        if topo.is_member(v) {
+            if rank_mask[r] {
+                out[v.index()] = true;
+            }
+            r += 1;
+        }
+    }
+    debug_assert_eq!(r, rank_mask.len(), "rank mask length mismatch");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_graphs::generators;
+    use delta_graphs::power::power_neighbors;
+
+    #[test]
+    fn power_overlay_round_delivers_exactly_the_power_neighbors() {
+        for (g, k) in [
+            (generators::cycle(12), 2),
+            (generators::torus(4, 5), 3),
+            (generators::random_regular(40, 4, 7), 2),
+            (generators::star(5), 2),
+        ] {
+            let mut ledger = RoundLedger::new();
+            let mut engine = OverlayEngine::new(&g, PowerOverlay { k }, 0, |_| Vec::new());
+            engine.step(
+                &mut ledger,
+                "t",
+                |ctx, _, out: &mut Outbox<NodeId>| out.broadcast(ctx.id),
+                |_, s: &mut Vec<NodeId>, inbox| {
+                    s.extend(inbox.iter().map(|&(w, m)| {
+                        assert_eq!(w, m, "payload travels with its origin");
+                        w
+                    }));
+                },
+            );
+            assert_eq!(
+                ledger.total(),
+                k as u64,
+                "one virtual round = k host rounds"
+            );
+            for (i, heard) in engine.states().iter().enumerate() {
+                let v = NodeId::from_index(i);
+                let mut want = power_neighbors(&g, v, k);
+                want.sort_unstable();
+                assert_eq!(heard, &want, "node {v} at k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn induced_overlay_silences_non_members() {
+        let g = generators::cycle(8);
+        // Members: even nodes plus 1 — 1's member neighbors: 0 and 2.
+        let mask: Vec<bool> = g.nodes().map(|v| v.0 % 2 == 0 || v.0 == 1).collect();
+        let topo = InducedOverlay { members: &mask };
+        let mut ledger = RoundLedger::new();
+        let mut engine = OverlayEngine::new(&g, topo, 0, |_| Vec::new());
+        assert_eq!(engine.members().len(), 5);
+        engine.step(
+            &mut ledger,
+            "t",
+            |ctx, _, out: &mut Outbox<NodeId>| out.broadcast(ctx.id),
+            |_, s: &mut Vec<NodeId>, inbox| s.extend(inbox.iter().map(|&(w, _)| w)),
+        );
+        assert_eq!(ledger.total(), 1);
+        // Rank space: members are hosts [0, 1, 2, 4, 6]; host 1 (rank 1)
+        // hears ranks 0 and 2 (hosts 0 and 2); host 4 (rank 3) hears
+        // nobody (its host neighbors 3, 5 are non-members).
+        assert_eq!(engine.states()[1], vec![NodeId(0), NodeId(2)]);
+        assert!(engine.states()[3].is_empty());
+    }
+
+    #[test]
+    fn induced_power_composition_measures_distance_inside_the_subgraph() {
+        // Path 0-1-2-3-4 with node 2 removed: 0,1 and 3,4 are separate
+        // live components, so even (G[S])^4 must not connect them.
+        let g = generators::path(5);
+        let mask = vec![true, true, false, true, true];
+        let topo = InducedOverlay { members: &mask }.power(4);
+        let mut ledger = RoundLedger::new();
+        let mut engine = OverlayEngine::new(&g, topo, 0, |_| 0usize);
+        engine.step(
+            &mut ledger,
+            "t",
+            |_, _, out: &mut Outbox<()>| out.broadcast(()),
+            |_, s, inbox| *s = inbox.len(),
+        );
+        assert_eq!(ledger.total(), 4);
+        // Every member hears exactly its one component-mate.
+        assert_eq!(engine.states(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn directed_messages_work_at_dilation_one() {
+        let g = generators::cycle(6);
+        let mask = vec![true; 6];
+        let mut ledger = RoundLedger::new();
+        let mut engine = OverlayEngine::new(&g, InducedOverlay { members: &mask }, 0, |_| {
+            Vec::<(NodeId, u32)>::new()
+        });
+        engine.step(
+            &mut ledger,
+            "t",
+            |ctx, _, out: &mut Outbox<u32>| {
+                // Send my id to my successor (a member neighbor), after
+                // a broadcast — inbox order must be bcast-then-directed.
+                out.broadcast(100 + ctx.id.0);
+                out.send_to(NodeId((ctx.id.0 + 1) % 6), ctx.id.0);
+            },
+            |_, s, inbox| s.extend(inbox.iter().map(|&(w, m)| (w, m))),
+        );
+        // Node 1 hears: rank 0's broadcast + directed, rank 2's broadcast.
+        assert_eq!(
+            engine.states()[1],
+            vec![(NodeId(0), 100), (NodeId(0), 0), (NodeId(2), 102)]
+        );
+        let stats = engine.message_stats();
+        assert_eq!(stats.broadcasts, 6);
+        assert_eq!(stats.directed, 6);
+        assert_eq!(stats.deliveries, 6 * 2 + 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dilation-1")]
+    fn directed_messages_panic_on_power_overlays() {
+        let g = generators::cycle(6);
+        let mut ledger = RoundLedger::new();
+        let mut engine = OverlayEngine::new(&g, PowerOverlay { k: 2 }, 0, |_| ());
+        engine.step(
+            &mut ledger,
+            "t",
+            |ctx, _, out: &mut Outbox<u32>| out.send_to(NodeId((ctx.id.0 + 1) % 6), 1),
+            |_, _, _| {},
+        );
+    }
+
+    #[test]
+    fn relay_codecs_roundtrip() {
+        use crate::wire::{decode_from_bytes, encode_to_bytes};
+        fn rt<T: WireCodec + PartialEq + std::fmt::Debug>(m: T) {
+            let (bytes, bits) = encode_to_bytes(&m);
+            assert_eq!(bits, m.encoded_bits(), "size honesty for {m:?}");
+            assert_eq!(decode_from_bytes::<T>(&bytes, bits).as_ref(), Some(&m));
+        }
+        rt(OverlayEnvelope {
+            bcast: Some(std::sync::Arc::new(NodeId(7))),
+            directed: vec![NodeId(1), NodeId(900)],
+        });
+        rt(OverlayEnvelope::<u32> {
+            bcast: None,
+            directed: Vec::new(),
+        });
+        rt(OverlayRelay {
+            items: std::sync::Arc::new(vec![
+                RelayItem {
+                    origin: 3,
+                    ttl: 2,
+                    payload: true,
+                },
+                RelayItem {
+                    origin: 0,
+                    ttl: 0,
+                    payload: false,
+                },
+            ]),
+        });
+        rt(OverlayRelay::<()> {
+            items: std::sync::Arc::new(Vec::new()),
+        });
+        // The per-item envelope bound is honest and composes with the
+        // payload bound.
+        let p = WireParams {
+            n: 1 << 12,
+            max_degree: 4,
+            palette: 5,
+        };
+        let bound = RelayItem::<NodeId>::max_bits(&p).unwrap();
+        let item = RelayItem {
+            origin: (1 << 12) - 1,
+            ttl: 11,
+            payload: NodeId((1 << 12) - 1),
+        };
+        assert!(item.encoded_bits() <= bound);
+        assert!(OverlayRelay::<NodeId>::max_bits(&p).is_none());
+    }
+
+    #[test]
+    fn expand_rank_mask_round_trips() {
+        let g = generators::path(6);
+        let mask = vec![false, true, true, false, true, true];
+        let topo = InducedOverlay { members: &mask };
+        let rank_mask = vec![true, false, false, true]; // hosts 1 and 5
+        let host_mask = expand_rank_mask(&g, &topo, &rank_mask);
+        assert_eq!(host_mask, vec![false, true, false, false, false, true]);
+    }
+}

@@ -150,6 +150,71 @@ fn ruling_sets_are_schedule_independent_and_measured() {
 }
 
 #[test]
+fn overlay_ruling_sets_are_schedule_independent_and_measured() {
+    // The randomized (Luby) ruling sets now execute on the G^{α-1}
+    // overlay — α-1 relay rounds of the host graph per virtual round.
+    // Their transcripts (set, rounds, every bandwidth counter) must be
+    // bit-identical across schedules, with nonzero measured relay bits.
+    for (name, g) in families(9) {
+        for alpha in [3usize, 4] {
+            let (seq, par) = under_both_modes(|| {
+                let mut ledger = RoundLedger::new();
+                let set =
+                    delta_coloring::ruling::ruling_set_randomized(&g, alpha, 5, &mut ledger, "rs");
+                (set, ledger_fingerprint(&ledger))
+            });
+            assert_eq!(seq, par, "{name}/alpha {alpha}: overlay ruling diverged");
+            assert!(seq.1 .1 > 0, "{name}/alpha {alpha}: relays not measured");
+        }
+    }
+}
+
+#[test]
+fn overlay_marking_within_is_schedule_independent() {
+    // The remainder-graph marking now runs through the InducedOverlay:
+    // non-members silent, every round a measured host round. Transcript
+    // must be schedule-independent and equal to the materialized
+    // subgraph execution.
+    let g = generators::random_regular(600, 4, 3);
+    let mask: Vec<bool> = g.nodes().map(|v| v.0 % 5 != 0).collect();
+    let member_count = mask.iter().filter(|&&m| m).count();
+    let (seq, par) = under_both_modes(|| {
+        let mut coloring = PartialColoring::new(member_count);
+        let mut ledger = RoundLedger::new();
+        let out = delta_coloring::marking::marking_process_within(
+            &g,
+            &mask,
+            MarkingParams { p: 0.02, b: 6 },
+            13,
+            &mut coloring,
+            &mut ledger,
+            "mark",
+        );
+        (out.t_nodes, out.marked, ledger_fingerprint(&ledger))
+    });
+    assert_eq!(seq, par, "overlay marking diverged");
+    assert!(seq.2 .1 > 0, "overlay marking bits must be measured");
+    // Materialized-subgraph execution places the same marks (the
+    // overlay id space is exactly the induced compaction).
+    let members: Vec<delta_graphs::NodeId> = g.nodes().filter(|v| mask[v.index()]).collect();
+    let (sub, _map) = g.induced(&members);
+    let mat = {
+        let mut coloring = PartialColoring::new(sub.n());
+        let mut ledger = RoundLedger::new();
+        marking_process(
+            &sub,
+            MarkingParams { p: 0.02, b: 6 },
+            13,
+            &mut coloring,
+            &mut ledger,
+            "mark",
+        )
+    };
+    assert_eq!(seq.0, mat.t_nodes, "T-nodes diverged from materialized run");
+    assert_eq!(seq.1, mat.marked, "marks diverged from materialized run");
+}
+
+#[test]
 fn dcc_detection_is_schedule_independent_and_measured() {
     // Collective DCC detection (the ball-collection subsystem) must be
     // transcript-identical across schedules, with measured relay bits.
