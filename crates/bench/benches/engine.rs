@@ -151,6 +151,37 @@ fn bench_engine_rounds(c: &mut Criterion) {
     group.finish();
 }
 
+/// The routing pass in isolation: directed-heavy traffic (one `u64`
+/// per arc per round, so resolution and arena fill dominate over the
+/// node closures) on a random 4-regular graph, sequential vs parallel
+/// schedule, across sizes straddling [`local_model::PARALLEL_THRESHOLD`]
+/// (4096): below it the parallel schedule falls back to the sequential
+/// routing pass, above it the chunk-split path engages. Under the
+/// vendored single-thread rayon stand-in both schedules perform the
+/// same routing work, so the seq/par pair tracks the split's
+/// bookkeeping overhead (it must stay in the noise); with real rayon
+/// the par series shows the fan-out win.
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-rounds");
+    group.sample_size(12);
+    for &n in &[1usize << 10, 1 << 12, 1 << 14, 1 << 17] {
+        let g = graph_for("rr4", n);
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let id = BenchmarkId::new(format!("routing/{}", mode_label(mode)), g.n());
+            group.bench_with_input(id, &n, |b, _| {
+                let mut ledger = RoundLedger::new();
+                let mut engine = Engine::new(&g, 42, |v| v.0 as u64).with_mode(mode);
+                run_rounds(&mut engine, &g, &mut ledger, Workload::Directed);
+                b.iter(|| {
+                    run_rounds(&mut engine, &g, &mut ledger, Workload::Directed);
+                    black_box(engine.states()[0])
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Ball-collection throughput: the certificate-flood relay overhead of
 /// `local_model::ball` across radii 1..=3 and the three graph families.
 /// One measured iteration is a full all-nodes collection (every node
@@ -185,5 +216,10 @@ fn bench_ball_collection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_rounds, bench_ball_collection);
+criterion_group!(
+    benches,
+    bench_engine_rounds,
+    bench_routing,
+    bench_ball_collection
+);
 criterion_main!(benches);

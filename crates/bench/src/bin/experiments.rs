@@ -1,7 +1,7 @@
 //! Experiment harness CLI.
 //!
 //! ```text
-//! experiments [--quick] [--out DIR] [ids...]
+//! experiments [--quick] [--check-baseline] [--out DIR] [ids...]
 //! ```
 //!
 //! With no ids, runs every experiment (T1–T6, F1–F6 of DESIGN.md §5),
@@ -33,6 +33,14 @@
 //! are measured while experiments share cores (`timing: "concurrent"`);
 //! `simulated_rounds` is the contention-free metric for cross-revision
 //! comparison.
+//!
+//! `--check-baseline` turns the diff into a gate (the CI
+//! bench-regression smoke step): after the sweep, the run's summed
+//! `total_simulated_rounds` and every experiment's `max_edge_bits`
+//! must equal the committed baseline's exactly — both are
+//! deterministic simulation outputs, so any drift is a behavioral
+//! change — while wall-clock stays advisory. Drift exits nonzero, and
+//! check mode never refreshes the committed baseline file.
 
 use delta_coloring::bandwidth::classify;
 use delta_coloring_bench::experiments::{run, Scale, ALL};
@@ -113,12 +121,14 @@ fn measure_g7_ruling_peaks(quick: bool) -> (u64, u64) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut check_baseline = false;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--check-baseline" => check_baseline = true,
             "--out" => {
                 out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
                     eprintln!("--out requires a directory argument");
@@ -126,7 +136,7 @@ fn main() {
                 }));
             }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [--out DIR] [ids...]");
+                eprintln!("usage: experiments [--quick] [--check-baseline] [--out DIR] [ids...]");
                 eprintln!("ids: {}", ALL.join(" "));
                 return;
             }
@@ -189,11 +199,17 @@ fn main() {
     print_bandwidth_table(quick, &results);
 
     let baseline_path = PathBuf::from("BENCH_delta.json");
-    if let Some(baseline) = std::fs::read_to_string(&baseline_path)
+    let baseline = std::fs::read_to_string(&baseline_path)
         .ok()
-        .and_then(|text| Baseline::parse(&text))
-    {
-        print_baseline_diff(&baseline, &results, quick, total_wall);
+        .and_then(|text| Baseline::parse(&text));
+    if let Some(baseline) = &baseline {
+        print_baseline_diff(
+            baseline,
+            &results,
+            quick,
+            total_wall,
+            (g7_materialized_peak, g7_overlay_peak),
+        );
     }
 
     let summary = summary_json(
@@ -203,8 +219,9 @@ fn main() {
         (g7_materialized_peak, g7_overlay_peak),
     );
     let mut json_paths = vec![out_dir.join("BENCH_delta.json")];
-    if results.len() == ALL.len() {
-        // Full sweep: refresh the trajectory baseline in the CWD too.
+    if results.len() == ALL.len() && !check_baseline {
+        // Full sweep: refresh the trajectory baseline in the CWD too
+        // (never in check mode — the committed file is the reference).
         json_paths.push(PathBuf::from("BENCH_delta.json"));
     }
     for json_path in json_paths {
@@ -212,6 +229,83 @@ fn main() {
             Ok(()) => println!("wrote {}", json_path.display()),
             Err(e) => eprintln!("cannot write {}: {e}", json_path.display()),
         }
+    }
+
+    if check_baseline {
+        match &baseline {
+            Some(baseline) => run_baseline_check(baseline, &results, quick, total_wall),
+            None => {
+                eprintln!(
+                    "baseline check: no parseable {} in the working directory",
+                    baseline_path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The `--check-baseline` gate: the simulation-level invariants of the
+/// committed baseline — summed simulated LOCAL rounds and every
+/// experiment's `max_edge_bits` — must match this run exactly; both
+/// are schedule- and load-independent, so any drift is a real
+/// behavioral change, not noise. Wall-clock is advisory only (CI
+/// machines differ; the committed trajectory is refreshed by dev
+/// runs). Exits nonzero on drift.
+fn run_baseline_check(
+    baseline: &Baseline,
+    results: &[(String, Table, f64)],
+    quick: bool,
+    total_wall: f64,
+) {
+    let mut drift: Vec<String> = Vec::new();
+    if baseline.quick.is_some_and(|q| q != quick) {
+        drift.push(format!(
+            "scale mismatch: baseline quick={}, this run quick={quick}",
+            baseline.quick.unwrap_or_default()
+        ));
+    }
+    let now_rounds: u64 = results.iter().map(|(_, t, _)| t.sim_rounds()).sum();
+    match baseline.total_simulated_rounds {
+        Some(base_rounds) if base_rounds != now_rounds => drift.push(format!(
+            "total_simulated_rounds drifted: baseline {base_rounds}, now {now_rounds}"
+        )),
+        Some(_) => {}
+        None => drift.push("baseline has no total_simulated_rounds".into()),
+    }
+    for (id, table, _) in results {
+        match baseline
+            .experiments
+            .iter()
+            .find(|(bid, _, _)| bid == id)
+            .and_then(|&(_, _, bits)| bits)
+        {
+            Some(base_bits) if base_bits != table.max_edge_bits() => drift.push(format!(
+                "{id} max_edge_bits drifted: baseline {base_bits}, now {}",
+                table.max_edge_bits()
+            )),
+            Some(_) => {}
+            None => drift.push(format!("baseline has no max_edge_bits for {id}")),
+        }
+    }
+    if let Some(base_wall) = baseline.total_wall_clock_s {
+        println!(
+            "baseline check: wall-clock {base_wall:.3}s -> {total_wall:.3}s ({:+.1}%, advisory)",
+            100.0 * (total_wall - base_wall) / base_wall.max(f64::EPSILON)
+        );
+    }
+    if drift.is_empty() {
+        println!(
+            "baseline check passed: {now_rounds} simulated rounds, \
+             {} per-experiment max_edge_bits values unchanged",
+            results.len()
+        );
+    } else {
+        eprintln!("baseline check FAILED:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
     }
 }
 
@@ -276,6 +370,12 @@ fn print_bandwidth_table(quick: bool, results: &[(String, Table, f64)]) {
 struct Baseline {
     quick: Option<bool>,
     total_wall_clock_s: Option<f64>,
+    /// `g7_ruling_peak_bytes` from the committed summary:
+    /// `(materialized, overlay)`.
+    g7_peaks: Option<(u64, u64)>,
+    /// The committed sweep's summed simulated LOCAL rounds — the
+    /// contention-free invariant `--check-baseline` enforces.
+    total_simulated_rounds: Option<u64>,
     experiments: Vec<(String, f64, Option<u64>)>,
 }
 
@@ -301,9 +401,18 @@ impl Baseline {
         let mut base = Baseline {
             quick: None,
             total_wall_clock_s: None,
+            g7_peaks: None,
+            total_simulated_rounds: None,
             experiments: Vec::new(),
         };
         for line in text.lines() {
+            if base.g7_peaks.is_none() && line.contains("\"g7_ruling_peak_bytes\"") {
+                if let (Some(m), Some(o)) =
+                    (f64_field(line, "materialized"), f64_field(line, "overlay"))
+                {
+                    base.g7_peaks = Some((m as u64, o as u64));
+                }
+            }
             if base.quick.is_none() {
                 if let Some(rest) = line.split_once("\"quick\":") {
                     base.quick = Some(rest.1.trim().trim_end_matches(',').trim() == "true");
@@ -312,6 +421,11 @@ impl Baseline {
             if base.total_wall_clock_s.is_none() && !line.contains("\"id\"") {
                 if let Some(v) = f64_field(line, "total_wall_clock_s") {
                     base.total_wall_clock_s = Some(v);
+                }
+            }
+            if base.total_simulated_rounds.is_none() && !line.contains("\"id\"") {
+                if let Some(v) = f64_field(line, "total_simulated_rounds") {
+                    base.total_simulated_rounds = Some(v as u64);
                 }
             }
             if let (Some(id), Some(wall)) = (str_field(line, "id"), f64_field(line, "wall_clock_s"))
@@ -335,6 +449,7 @@ fn print_baseline_diff(
     results: &[(String, Table, f64)],
     quick: bool,
     total_wall: f64,
+    g7_peaks: (u64, u64),
 ) {
     println!("performance vs committed BENCH_delta.json baseline:");
     if baseline.quick.is_some_and(|q| q != quick) {
@@ -404,6 +519,34 @@ fn print_baseline_diff(
             base_max,
             now_max,
         );
+    }
+    // The headline memory claim, diffed like the wall-clock rows: the
+    // G^7 ruling path's peak heap, overlay vs materialized, against the
+    // committed baseline.
+    let mib = |b: u64| b as f64 / (1 << 20) as f64;
+    let (now_mat, now_ovl) = g7_peaks;
+    match baseline.g7_peaks {
+        Some((base_mat, base_ovl)) => {
+            println!(
+                "  g7 peak heap (MiB): materialized {:.1} -> {:.1} ({:+.1}%), overlay {:.1} -> {:.1} ({:+.1}%)",
+                mib(base_mat),
+                mib(now_mat),
+                100.0 * (now_mat as f64 - base_mat as f64) / base_mat.max(1) as f64,
+                mib(base_ovl),
+                mib(now_ovl),
+                100.0 * (now_ovl as f64 - base_ovl as f64) / base_ovl.max(1) as f64,
+            );
+            println!(
+                "  g7 overlay vs baseline materialized ({:.1} MiB): {:+.1}%",
+                mib(base_mat),
+                100.0 * (now_ovl as f64 - base_mat as f64) / base_mat.max(1) as f64,
+            );
+        }
+        None => println!(
+            "  g7 peak heap (MiB): materialized {:.1}, overlay {:.1} (no peak data in baseline)",
+            mib(now_mat),
+            mib(now_ovl),
+        ),
     }
     println!();
 }

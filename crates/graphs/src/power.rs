@@ -15,6 +15,56 @@
 //! `O(n)` allocation per node.
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
+use std::cell::RefCell;
+
+/// The reusable BFS scratch behind [`PowerNeighborhoods`]: the
+/// epoch-stamped visited array, the two frontier arenas, and the output
+/// buffer. Pooled per thread so that repeated sweep constructions —
+/// e.g. one per overlay virtual round — recycle the buffers instead of
+/// re-allocating (and re-zeroing) an `O(n)` stamp array each time.
+#[derive(Default)]
+struct PowerScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    frontier: Vec<NodeId>,
+    next_frontier: Vec<NodeId>,
+    out: Vec<NodeId>,
+}
+
+thread_local! {
+    /// Per-thread pool of retired sweep scratches (bounded; see
+    /// [`PowerScratch::put_back`]).
+    static POWER_SCRATCH: RefCell<Vec<PowerScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+impl PowerScratch {
+    /// Takes a scratch sized for `n` nodes from the pool (or builds a
+    /// fresh one). A same-size scratch keeps its stamps *and* its epoch
+    /// — the invariant `stamp[v] <= epoch` survives pooling, so no
+    /// clearing is needed; a size change resets both.
+    fn take(n: usize) -> Self {
+        let mut s = POWER_SCRATCH
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or_default();
+        if s.stamp.len() != n {
+            s.stamp.clear();
+            s.stamp.resize(n, 0);
+            s.epoch = 0;
+        }
+        s
+    }
+
+    /// Returns the scratch to the pool (dropped if the pool is full —
+    /// the bound keeps pathological nesting from hoarding memory).
+    fn put_back(self) {
+        POWER_SCRATCH.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < 8 {
+                pool.push(self);
+            }
+        });
+    }
+}
 
 /// Batched enumeration of every node's `G^k`-neighborhood (optionally
 /// restricted to an induced subgraph): a truncated BFS per node that
@@ -22,7 +72,9 @@ use crate::graph::{Graph, GraphBuilder, NodeId};
 /// the whole sweep, so per-node cost is `O(|ball|)` with **zero**
 /// per-node allocation after warm-up — unlike the naive
 /// [`power_neighbors`] oracle, which clears an `O(n)` distance array
-/// for every center.
+/// for every center. The buffers themselves come from a per-thread pool
+/// (`PowerScratch`) and outlive the sweep, so constructing one sweep
+/// per overlay round is allocation-free at steady state too.
 ///
 /// Call [`PowerNeighborhoods::next`] repeatedly; each call yields the
 /// next node id together with its sorted `G^k`-neighbors (excluding the
@@ -47,14 +99,17 @@ pub struct PowerNeighborhoods<'g> {
     /// Restrict the BFS (and the reported neighbors) to this membership
     /// mask; distances are measured inside the induced subgraph.
     mask: Option<&'g [bool]>,
-    /// Epoch-stamped visited array: `stamp[v] == epoch` means `v` was
-    /// reached in the current sweep step — no clearing between nodes.
-    stamp: Vec<u32>,
-    epoch: u32,
-    frontier: Vec<NodeId>,
-    next_frontier: Vec<NodeId>,
-    out: Vec<NodeId>,
+    /// Pooled BFS buffers: `scratch.stamp[v] == scratch.epoch` means
+    /// `v` was reached in the current sweep step — no clearing between
+    /// nodes (or between pooled sweeps).
+    scratch: PowerScratch,
     cursor: usize,
+}
+
+impl Drop for PowerNeighborhoods<'_> {
+    fn drop(&mut self) {
+        std::mem::take(&mut self.scratch).put_back();
+    }
 }
 
 impl<'g> PowerNeighborhoods<'g> {
@@ -69,11 +124,7 @@ impl<'g> PowerNeighborhoods<'g> {
             g,
             k,
             mask: None,
-            stamp: vec![0; g.n()],
-            epoch: 0,
-            frontier: Vec::new(),
-            next_frontier: Vec::new(),
-            out: Vec::new(),
+            scratch: PowerScratch::take(g.n()),
             cursor: 0,
         }
     }
@@ -103,39 +154,39 @@ impl<'g> PowerNeighborhoods<'g> {
         }
         let v = NodeId::from_index(self.cursor);
         self.cursor += 1;
-        self.out.clear();
+        let s = &mut self.scratch;
+        s.out.clear();
         if self.mask.is_some_and(|m| !m[v.index()]) {
-            return Some((v, &self.out));
+            return Some((v, &s.out));
         }
         // Fresh epoch = fresh visited set, no clearing. Epoch 0 is the
         // initial stamp value, so skip it on wrap-around.
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            self.stamp.fill(0);
-            self.epoch = 1;
+        s.epoch = s.epoch.wrapping_add(1);
+        if s.epoch == 0 {
+            s.stamp.fill(0);
+            s.epoch = 1;
         }
-        self.stamp[v.index()] = self.epoch;
-        self.frontier.clear();
-        self.frontier.push(v);
+        s.stamp[v.index()] = s.epoch;
+        s.frontier.clear();
+        s.frontier.push(v);
         for _ in 0..self.k {
-            self.next_frontier.clear();
-            for &u in &self.frontier {
+            s.next_frontier.clear();
+            for &u in &s.frontier {
                 for &w in self.g.neighbors(u) {
-                    if self.stamp[w.index()] != self.epoch && self.mask.is_none_or(|m| m[w.index()])
-                    {
-                        self.stamp[w.index()] = self.epoch;
-                        self.next_frontier.push(w);
-                        self.out.push(w);
+                    if s.stamp[w.index()] != s.epoch && self.mask.is_none_or(|m| m[w.index()]) {
+                        s.stamp[w.index()] = s.epoch;
+                        s.next_frontier.push(w);
+                        s.out.push(w);
                     }
                 }
             }
-            if self.next_frontier.is_empty() {
+            if s.next_frontier.is_empty() {
                 break;
             }
-            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+            std::mem::swap(&mut s.frontier, &mut s.next_frontier);
         }
-        self.out.sort_unstable();
-        Some((v, &self.out))
+        s.out.sort_unstable();
+        Some((v, &s.out))
     }
 }
 
@@ -265,6 +316,22 @@ mod tests {
                     assert_eq!(nbrs, want.as_slice(), "member {v}");
                 }
                 Err(_) => assert!(nbrs.is_empty(), "non-member {v} must be isolated"),
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_scratch_survives_back_to_back_sweeps() {
+        // Alternating sizes exercises the pool's keep-stamps (same n)
+        // and reset (size change) paths across sweep constructions.
+        for _ in 0..3 {
+            for (g, k) in [(generators::cycle(9), 2), (generators::torus(4, 4), 3)] {
+                let mut sweep = PowerNeighborhoods::new(&g, k);
+                while let Some((v, nbrs)) = sweep.next() {
+                    let mut want = power_neighbors(&g, v, k);
+                    want.sort_unstable();
+                    assert_eq!(nbrs, want.as_slice());
+                }
             }
         }
     }

@@ -37,10 +37,18 @@
 //! source at round `d = dist(v, c)`, and every duplicate arrives at
 //! round `d + 1` or `d + 2` (a neighbor `u` relays `c` exactly once, at
 //! round `dist(u, c) + 1`, and `dist(u, c) ∈ {d-1, d, d+1}`). So exact
-//! dedup needs only the two most recent "first heard" rings plus
-//! within-round dedup — `O(traffic)` total work and `O(ring)` memory,
-//! instead of a per-node set over all sources. [`run_reach_phase`]
-//! exploits this; the full collectors keep their members anyway.
+//! dedup needs only the two most recent "first heard" rounds plus
+//! within-round dedup. [`run_reach_phase`] keeps that window as a
+//! *segmented origin-id filter*: one sorted `Vec<u32>` of every source
+//! id heard, appended one sorted segment per round, with two cursors
+//! marking the newest segments. The two newest segments are the
+//! complete duplicate filter, the newest segment doubles as the next
+//! forwarding frontier, and a source's own id seeds segment 0 (blocking
+//! its round-2 self-echo) — `O(traffic)` total work and 4 bytes of
+//! retained state per heard source, no retained payload batches.
+//! Payloads live in one flood-wide interned table (`Arc`s, built from
+//! `source` up front), so relaying and delivering a batch never clones
+//! application data. The full collectors keep their members anyway.
 //!
 //! All decisions are computed inside the engine's recv phase from
 //! node-local state only, so they are bit-identical across
@@ -49,7 +57,7 @@
 
 use crate::engine::{node_rngs, Engine, NodeCtx, Outbox, RoundDriver};
 use crate::ledger::RoundLedger;
-use crate::overlay::{InducedOverlay, OverlayEngine};
+use crate::overlay::{with_dedup_stamp, with_fresh_scratch, InducedOverlay, OverlayEngine};
 use crate::wire::{
     gamma_bits, gamma_u32s_bits, read_gamma_u32s, write_gamma_u32s, BitReader, BitWriter,
     WireCodec, WireParams,
@@ -150,6 +158,93 @@ impl<M: WireCodec> WireCodec for ReachMsg<M> {
                 .iter()
                 .map(|(id, m)| gamma_bits(*id as u64) + m.encoded_bits())
                 .sum::<u64>()
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
+}
+
+/// Reach-flood relay with interned payloads: the source ids a node
+/// forwards this round plus a handle to the flood's shared per-source
+/// payload table. Equivalent on the wire — bit-for-bit, including
+/// `encoded_bits` — to the [`ReachMsg`] carrying `(id, payloads[id])`
+/// pairs, but per-edge copies are two refcount bumps and the charged
+/// size is precomputed (pinned by `reach_batch_encodes_like_reach_msg`).
+struct ReachBatch<M> {
+    /// Forwarded source ids (sorted; the sender's newest segment).
+    ids: std::sync::Arc<Vec<u32>>,
+    /// The flood's per-source payload table (indexed by id in the
+    /// flood's id space; `Some` exactly for sources).
+    payloads: std::sync::Arc<Vec<Option<std::sync::Arc<M>>>>,
+    /// Exact wire size, precomputed at construction from the table.
+    wire_bits: u64,
+}
+
+impl<M> Clone for ReachBatch<M> {
+    fn clone(&self) -> Self {
+        ReachBatch {
+            ids: std::sync::Arc::clone(&self.ids),
+            payloads: std::sync::Arc::clone(&self.payloads),
+            wire_bits: self.wire_bits,
+        }
+    }
+}
+
+impl<M: WireCodec> ReachBatch<M> {
+    fn new(
+        ids: std::sync::Arc<Vec<u32>>,
+        payloads: &std::sync::Arc<Vec<Option<std::sync::Arc<M>>>>,
+        bits_of: &[u64],
+    ) -> Self {
+        let wire_bits = gamma_bits(ids.len() as u64)
+            + ids
+                .iter()
+                .map(|&id| gamma_bits(id as u64) + bits_of[id as usize])
+                .sum::<u64>();
+        ReachBatch {
+            ids,
+            payloads: std::sync::Arc::clone(payloads),
+            wire_bits,
+        }
+    }
+}
+
+impl<M: WireCodec> WireCodec for ReachBatch<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        // Identical bit stream to ReachMsg over the equivalent pairs.
+        w.write_gamma(self.ids.len() as u64);
+        for &id in self.ids.iter() {
+            w.write_gamma(id as u64);
+            self.payloads[id as usize]
+                .as_ref()
+                .expect("forwarded source has a payload")
+                .encode(w);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        // Decode reconstructs a standalone table holding exactly the
+        // decoded sources (the shared flood table cannot be recovered
+        // from the wire); only the codec suites exercise this path.
+        let msg = ReachMsg::<M>::decode(r)?;
+        let ids: Vec<u32> = msg.0.iter().map(|&(id, _)| id).collect();
+        let table_len = ids.iter().max().map_or(0, |&id| id as usize + 1);
+        let mut payloads: Vec<Option<std::sync::Arc<M>>> = (0..table_len).map(|_| None).collect();
+        for (id, m) in msg.0 {
+            payloads[id as usize] = Some(std::sync::Arc::new(m));
+        }
+        let payloads = std::sync::Arc::new(payloads);
+        let bits_of: Vec<u64> = payloads
+            .iter()
+            .map(|p| p.as_ref().map_or(0, |m| m.encoded_bits()))
+            .collect();
+        Some(ReachBatch::new(
+            std::sync::Arc::new(ids),
+            &payloads,
+            &bits_of,
+        ))
+    }
+    fn encoded_bits(&self) -> u64 {
+        self.wire_bits
     }
     fn max_bits(_p: &WireParams) -> Option<u64> {
         None
@@ -541,16 +636,21 @@ where
     )
 }
 
-/// Per-node state of the streaming reach flood.
-struct ReachState<M, A, D> {
+/// Per-node state of the streaming reach flood: the segmented origin-id
+/// window (module docs) plus the caller's accumulator. Segment
+/// `[last_start..]` holds sources first heard last round (sorted ids —
+/// dist `t-1` at round `t`, the forwarding frontier), segment
+/// `[prev_start..last_start]` the round before; a source's own id seeds
+/// segment 0. Payloads are never retained here — they live in the
+/// flood's shared table.
+struct ReachState<A, D> {
     acc: A,
-    /// Sources first heard last round (sorted ids) — dist `t-1` at round `t`.
-    ring_last: Vec<u32>,
-    /// Sources first heard the round before (sorted ids) — dist `t-2`.
-    ring_prev: Vec<u32>,
-    /// `(id, payload)` pairs first learned last round, relayed next
-    /// round; sorted by id (mirrors `ring_last`).
-    frontier: Vec<(u32, M)>,
+    /// Source ids heard, segmented per round (each segment sorted).
+    heard: Vec<u32>,
+    /// Start of the second-newest segment.
+    prev_start: u32,
+    /// Start of the newest segment (= the frontier).
+    last_start: u32,
     decision: Option<D>,
 }
 
@@ -592,10 +692,11 @@ where
         let deg_of = |v: NodeId| graph.degree(v);
         return reach_phase_zero(graph.n(), seed, &deg_of, &source, &init, &absorb, &finish);
     }
+    let payloads = intern_sources(graph.n(), &source);
     let engine = Engine::new(graph, seed, |v| {
-        reach_initial_state(v, &source, &init, &absorb)
+        reach_initial_state(v, &payloads, &init, &absorb)
     });
-    reach_phase_core(engine, radius, absorb, finish, ledger, phase)
+    reach_phase_core(engine, radius, payloads, absorb, finish, ledger, phase)
 }
 
 /// [`run_reach_phase`] on the **induced subgraph** `G[members]`,
@@ -645,10 +746,12 @@ where
             &finish,
         );
     }
+    let member_count = members.iter().filter(|&&b| b).count();
+    let payloads = intern_sources(member_count, &source);
     let engine = OverlayEngine::new(graph, InducedOverlay { members }, seed, |r| {
-        reach_initial_state(r, &source, &init, &absorb)
+        reach_initial_state(r, &payloads, &init, &absorb)
     });
-    reach_phase_core(engine, radius, absorb, finish, ledger, phase)
+    reach_phase_core(engine, radius, payloads, absorb, finish, ledger, phase)
 }
 
 /// The 0-round degenerate case of the reach flood.
@@ -682,24 +785,37 @@ where
         .collect()
 }
 
-/// A node's round-0 reach state: its own source entry absorbed and
-/// queued for the first relay.
+/// Interns every source's payload once into the flood-wide shared
+/// table; ids are in the flood's id space (host ids or member ranks).
+fn intern_sources<M>(
+    n: usize,
+    source: &impl Fn(NodeId) -> Option<M>,
+) -> std::sync::Arc<Vec<Option<std::sync::Arc<M>>>> {
+    std::sync::Arc::new(
+        (0..n)
+            .map(|i| source(NodeId::from_index(i)).map(std::sync::Arc::new))
+            .collect(),
+    )
+}
+
+/// A node's round-0 reach state: its own source entry absorbed and its
+/// id seeding window segment 0 (= the first forwarding frontier).
 fn reach_initial_state<M, A, D>(
     v: NodeId,
-    source: &impl Fn(NodeId) -> Option<M>,
+    payloads: &[Option<std::sync::Arc<M>>],
     init: &impl Fn(NodeId) -> A,
     absorb: &impl Fn(&mut A, u32, u32, &M),
-) -> ReachState<M, A, D> {
+) -> ReachState<A, D> {
     let mut acc = init(v);
-    let own = source(v);
-    if let Some(m) = &own {
+    let own = payloads[v.index()].as_deref();
+    if let Some(m) = own {
         absorb(&mut acc, v.0, 0, m);
     }
     ReachState {
         acc,
-        ring_last: own.iter().map(|_| v.0).collect(),
-        ring_prev: Vec::new(),
-        frontier: own.map(|m| (v.0, m)).into_iter().collect(),
+        heard: own.map(|_| v.0).into_iter().collect(),
+        prev_start: 0,
+        last_start: 0,
         decision: None,
     }
 }
@@ -709,6 +825,7 @@ fn reach_initial_state<M, A, D>(
 fn reach_phase_core<M, A, D, ABS, FIN, DR>(
     mut driver: DR,
     radius: usize,
+    payloads: std::sync::Arc<Vec<Option<std::sync::Arc<M>>>>,
     absorb: ABS,
     finish: FIN,
     ledger: &mut RoundLedger,
@@ -720,46 +837,71 @@ where
     D: Send,
     ABS: Fn(&mut A, u32, u32, &M) + Sync,
     FIN: Fn(&mut NodeCtx<'_>, &A) -> D + Sync,
-    DR: RoundDriver<ReachState<M, A, D>>,
+    DR: RoundDriver<ReachState<A, D>>,
 {
+    let bits_of: Vec<u64> = payloads
+        .iter()
+        .map(|p| p.as_ref().map_or(0, |m| m.encoded_bits()))
+        .collect();
     for t in 1..=radius as u32 {
         let last = t as usize == radius;
         driver.round_step(
             ledger,
             phase,
-            |_, s: &mut ReachState<M, A, D>, out: &mut Outbox<ReachMsg<M>>| {
-                // Rotate the dedup window: the frontier's sources were
-                // first heard at round t-1 and become the newest ring.
-                s.ring_prev = std::mem::take(&mut s.ring_last);
-                s.ring_last = s.frontier.iter().map(|&(id, _)| id).collect();
-                if !s.frontier.is_empty() {
-                    out.broadcast(ReachMsg(std::mem::take(&mut s.frontier)));
+            |_, s: &mut ReachState<A, D>, out: &mut Outbox<ReachBatch<M>>| {
+                // Forward the newest segment: the sources first heard
+                // at round t-1, payloads looked up from the table.
+                let seg = &s.heard[s.last_start as usize..];
+                if !seg.is_empty() {
+                    out.broadcast(ReachBatch::new(
+                        std::sync::Arc::new(seg.to_vec()),
+                        &payloads,
+                        &bits_of,
+                    ));
                 }
             },
             |ctx, s, inbox| {
-                // Gather this round's arrivals, dedup by id (payload
-                // copies of one source are identical), then drop
-                // duplicates from the two-ring window — exact dedup, see
-                // the module docs.
-                let mut arrivals: Vec<(u32, M)> = Vec::new();
-                for (_, msg) in inbox {
-                    arrivals.extend(msg.0.iter().cloned());
-                }
-                arrivals.sort_unstable_by_key(|&(id, _)| id);
-                arrivals.dedup_by_key(|&mut (id, _)| id);
-                for (id, m) in arrivals {
-                    if s.ring_last.binary_search(&id).is_ok()
-                        || s.ring_prev.binary_search(&id).is_ok()
-                    {
-                        continue;
-                    }
-                    absorb(&mut s.acc, id, t, &m);
-                    if !last {
-                        s.frontier.push((id, m));
-                    } else {
-                        // The final ring is never relayed, but `finish`
-                        // runs below, so only the accumulator matters.
-                    }
+                // Gather this round's arrival ids, dedup within the
+                // round, then drop everything already in the two newest
+                // window segments — exact dedup, see the module docs.
+                with_fresh_scratch(|fresh| {
+                    let last_seg = &s.heard[s.last_start as usize..];
+                    let prev_seg = &s.heard[s.prev_start as usize..s.last_start as usize];
+                    with_dedup_stamp(payloads.len(), |stamp, epoch| {
+                        // Mark the window, then filter arrivals in O(1)
+                        // each; marking accepted ids inline also settles
+                        // cross-batch duplicates.
+                        for &id in last_seg.iter().chain(prev_seg) {
+                            stamp[id as usize] = epoch;
+                        }
+                        for (_, b) in inbox {
+                            for &id in b.ids.iter() {
+                                let m = &mut stamp[id as usize];
+                                if *m != epoch {
+                                    *m = epoch;
+                                    fresh.push(id);
+                                }
+                            }
+                        }
+                    });
+                    // Arrival order is per-batch; the window segment
+                    // invariant wants ascending ids.
+                    fresh.sort_unstable();
+                    // Rotate the window and append this round's segment
+                    // (sorted by construction).
+                    s.prev_start = s.last_start;
+                    s.last_start = s.heard.len() as u32;
+                    s.heard.extend_from_slice(fresh);
+                });
+                // Absorb outside the scratch borrow (ascending id
+                // order): absorb/finish are caller code and may start a
+                // nested flood on this thread.
+                for idx in s.last_start as usize..s.heard.len() {
+                    let id = s.heard[idx];
+                    let m = payloads[id as usize]
+                        .as_ref()
+                        .expect("heard source has a payload");
+                    absorb(&mut s.acc, id, t, m);
                 }
                 if last {
                     s.decision = Some(finish(ctx, &s.acc));
@@ -1058,6 +1200,43 @@ mod tests {
         assert_ne!(a, run(8));
         let d = run_ball_phase(&g, 0, 1, |_| (), |_, v| v.len(), &mut ledger, "b");
         assert_eq!(d, vec![2, 3, 3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn reach_batch_encodes_like_reach_msg() {
+        use crate::wire::{decode_from_bytes, encode_to_bytes};
+        use std::sync::Arc;
+        // Table over ids 0..5; ids 1 and 3 are not sources.
+        let raw: Vec<Option<u32>> = vec![Some(4000), None, Some(0), None, Some(31)];
+        let payloads: Arc<Vec<Option<Arc<u32>>>> =
+            Arc::new(raw.iter().map(|p| p.map(Arc::new)).collect());
+        let bits_of: Vec<u64> = payloads
+            .iter()
+            .map(|p| p.as_ref().map_or(0, |m| m.encoded_bits()))
+            .collect();
+        for ids in [vec![0u32, 2, 4], vec![2], Vec::new()] {
+            let batch = ReachBatch::new(Arc::new(ids.clone()), &payloads, &bits_of);
+            let msg = ReachMsg(
+                ids.iter()
+                    .map(|&id| (id, raw[id as usize].unwrap()))
+                    .collect::<Vec<_>>(),
+            );
+            let (batch_bytes, batch_bits) = encode_to_bytes(&batch);
+            let (msg_bytes, msg_bits) = encode_to_bytes(&msg);
+            assert_eq!(batch_bytes, msg_bytes, "bit-identical stream");
+            assert_eq!(batch_bits, msg_bits, "identical charged size");
+            assert_eq!(batch.encoded_bits(), batch_bits, "precomputed size honesty");
+            // Roundtrip through the standalone-table decode path.
+            let back: ReachBatch<u32> =
+                decode_from_bytes(&batch_bytes, batch_bits).expect("decodes");
+            assert_eq!(*back.ids, ids);
+            for &id in &ids {
+                assert_eq!(
+                    back.payloads[id as usize].as_deref(),
+                    raw[id as usize].as_ref()
+                );
+            }
+        }
     }
 
     #[test]

@@ -55,20 +55,49 @@
 //! # Dilation-`k` relay
 //!
 //! A virtual broadcast on `G^k` is compiled to a `k`-round relay-once
-//! flood with the exact two-ring dedup of the ball subsystem
-//! ([`crate::ball`] module docs): each participating node forwards an
-//! origin exactly once, duplicates arrive only in the two rounds after
-//! first contact, so per-node dedup state is `O(ring)`, and after `k`
-//! rounds every member has heard exactly its `G^k`-neighbors — the
-//! `power_neighbors` set — once each. Directed virtual messages require
-//! routing tables and are only supported at dilation 1 (the induced
-//! overlay); [`OverlayEngine::step`] panics otherwise.
+//! flood. Per-node flood state is one **segmented origin-id window**
+//! (`FloodState`): every origin rank a node has heard, appended
+//! segment-per-round with each segment sorted. The invariant that makes
+//! this complete — and the whole dedup filter — is:
 //!
-//! Memory: the flood retains `O(traffic)` transient state per virtual
-//! round (shrinking as algorithms quiesce — e.g. only *undecided* Luby
-//! nodes flood), instead of the `O(n·Δ^k)` adjacency a materialized
-//! `G^k` pins for the whole execution. `power_graph` is demoted to the
-//! equivalence-test oracle.
+//! > duplicates of an origin first heard at relay round `d` can arrive
+//! > only at rounds `d + 1` and `d + 2` (a would-be sender at equal
+//! > distance heard it at `d` and forwards at `d + 1`; one hop farther,
+//! > at `d + 1`, forwarding at `d + 2`; anything farther never holds a
+//! > live copy),
+//!
+//! so membership in the *two newest segments* is the entire duplicate
+//! check, the newest segment doubles as the next round's forwarding
+//! frontier, and the final sorted window *is* the virtual inbox's
+//! sender list. No payload batches are retained per node at all — the
+//! historical two-ring design kept two rounds of `Arc`'d
+//! `(origin, ttl, payload)` batches plus a separate `heard` payload
+//! list, which dominated the flood's peak heap.
+//!
+//! Payloads travel **interned**: each origin's broadcast is deep-cloned
+//! once per virtual round into a shared per-flood table, and every
+//! relay envelope (`FloodBatch`) carries the forwarded origin ids
+//! plus the round-uniform hop TTL, referencing the table behind `Arc`s.
+//! Wire accounting is unchanged bit-for-bit: a batch encodes exactly
+//! like the equivalent [`OverlayRelay`] item sequence (`origin`, `ttl`,
+//! `payload` per item — TTL is uniform within a round, `clamp − (t−1)`,
+//! so nothing is lost by factoring it out), and its `encoded_bits` is
+//! precomputed at construction, making the host engine's per-edge
+//! charge O(1) instead of O(batch). The one deep clone per delivery
+//! happens when a payload lands in a receiver's virtual inbox —
+//! matching the materialized engine's cost — and inboxes are
+//! materialized one rank at a time, so peak delivery memory is one
+//! inbox, not all of them. Directed virtual messages require routing
+//! tables and are only supported at dilation 1 (the induced overlay);
+//! [`OverlayEngine::step`] panics otherwise.
+//!
+//! Memory: the flood retains `O(heard origins)` id state per virtual
+//! round (4 bytes per `G^k`-neighbor, shrinking as algorithms quiesce —
+//! e.g. only *undecided* Luby nodes flood), instead of the `O(n·Δ^k)`
+//! adjacency a materialized `G^k` pins for the whole execution.
+//! `power_graph` is demoted to the equivalence-test oracle; the
+//! `overlay_dedup_equivalence` proptests pin the filter against it and
+//! against a transcript-level re-execution of the two-ring reference.
 
 use crate::engine::{node_rngs, resolve_parallel, Engine, NodeCtx, Outbox, RoundDriver};
 use crate::ledger::RoundLedger;
@@ -317,19 +346,181 @@ impl<M: WireCodec> WireCodec for OverlayRelay<M> {
     }
 }
 
-/// Per-host-node state of the dilation-`k` flood (members only; see the
-/// module docs for the two-ring dedup argument).
+/// Per-host-node state of the dilation-`k` flood (members only): the
+/// segmented origin-id window of the module docs. `heard` accumulates
+/// every origin rank this node has heard, one sorted segment appended
+/// per relay round. The two newest segments (`heard[prev_start..
+/// last_start]` and `heard[last_start..]`) are the complete duplicate
+/// filter — duplicates only arrive in the two rounds after first
+/// contact — the newest segment is next round's forwarding frontier,
+/// and the whole vector, sorted at the end, is the virtual inbox's
+/// sender list. No payloads, no ring buffers: 4 bytes of retained state
+/// per heard origin.
 #[derive(Clone)]
-struct FloodState<M> {
-    /// Items first learned last round, forwarded next round (sorted by
-    /// origin).
-    frontier: Vec<RelayItem<M>>,
-    /// Origins first heard last round (sorted).
-    ring_last: Vec<u32>,
-    /// Origins first heard the round before (sorted).
-    ring_prev: Vec<u32>,
-    /// Every `(origin, payload)` heard, in arrival (= distance) order.
-    heard: Vec<(u32, M)>,
+struct FloodState {
+    /// Origin ranks heard, segmented per relay round (each segment
+    /// sorted ascending; a source node's own rank seeds segment 0,
+    /// which blocks the round-2 self-echo).
+    heard: Vec<u32>,
+    /// Start of the second-newest segment.
+    prev_start: u32,
+    /// Start of the newest segment (= the frontier).
+    last_start: u32,
+}
+
+thread_local! {
+    /// Per-thread arrivals buffer for flood recv phases: collected ids
+    /// are gathered, sorted, and filtered here, so the steady-state
+    /// per-node recv cost allocates nothing and nothing is retained per
+    /// node. Shared by the overlay relay and the reach flood — safe
+    /// because no user code runs while the borrow is held.
+    static FRESH_SCRATCH: std::cell::RefCell<Vec<u32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on the thread's shared arrivals scratch (cleared first).
+/// Callers must not invoke user program code while inside `f` — a
+/// nested flood on this thread would re-borrow the scratch.
+pub(crate) fn with_fresh_scratch<R>(f: impl FnOnce(&mut Vec<u32>) -> R) -> R {
+    FRESH_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        f(&mut buf)
+    })
+}
+
+thread_local! {
+    /// Per-thread epoch-stamped id table for flood dedup: one `u32` per
+    /// id in the flood's id space, shared by every node the thread
+    /// processes (a fresh epoch per recv makes it per-node-fresh in
+    /// O(1)). This is what makes the duplicate filter O(1) per arrival
+    /// — the flood's hot loop — without any per-node seen-set.
+    static DEDUP_STAMP: std::cell::RefCell<(Vec<u32>, u32)> =
+        const { std::cell::RefCell::new((Vec::new(), 0)) };
+}
+
+/// Runs `f` with an epoch-fresh stamp table covering ids `0..n`:
+/// `stamp[id] == epoch` means "seen during this call" — `f` marks the
+/// node's dedup window first, then probes/marks arrivals in O(1) each.
+/// Like [`with_fresh_scratch`], `f` must not run user program code.
+pub(crate) fn with_dedup_stamp<R>(n: usize, f: impl FnOnce(&mut [u32], u32) -> R) -> R {
+    DEDUP_STAMP.with(|cell| {
+        let (stamp, epoch) = &mut *cell.borrow_mut();
+        if stamp.len() < n {
+            stamp.resize(n, 0);
+        }
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            stamp.fill(0);
+            *epoch = 1;
+        }
+        f(stamp, *epoch)
+    })
+}
+
+/// Dilation-`k` relay envelope with interned payloads: the origin ranks
+/// a node forwards this round, the round-uniform remaining hop TTL, and
+/// a handle to the flood's shared per-origin payload table. Equivalent
+/// on the wire — bit-for-bit, including `encoded_bits` — to the
+/// [`OverlayRelay`] batch carrying `(origin, ttl, payloads[origin])`
+/// items, but per-edge copies are two refcount bumps and the charged
+/// size is precomputed (`encoded_bits` sits on the host routing path,
+/// called once per transmission).
+struct FloodBatch<M> {
+    /// Forwarded origin ranks (sorted; the sender's newest segment).
+    origins: Arc<Vec<u32>>,
+    /// Hops every item may still travel after this transmission —
+    /// uniform within a relay round: an item first heard at round
+    /// `t − 1` carries `clamp − (t − 1)` at round `t`, and all
+    /// forwarded items were first heard last round.
+    ttl: u32,
+    /// The flood's per-origin payload table (indexed by rank; `Some`
+    /// exactly for origins that broadcast).
+    payloads: Arc<Vec<Option<Arc<M>>>>,
+    /// Exact wire size, precomputed at construction from the table.
+    wire_bits: u64,
+}
+
+impl<M> Clone for FloodBatch<M> {
+    fn clone(&self) -> Self {
+        FloodBatch {
+            origins: Arc::clone(&self.origins),
+            ttl: self.ttl,
+            payloads: Arc::clone(&self.payloads),
+            wire_bits: self.wire_bits,
+        }
+    }
+}
+
+impl<M: WireCodec> FloodBatch<M> {
+    fn new(
+        origins: Arc<Vec<u32>>,
+        ttl: u32,
+        payloads: &Arc<Vec<Option<Arc<M>>>>,
+        bits_of: &[u64],
+    ) -> Self {
+        let wire_bits = gamma_bits(origins.len() as u64)
+            + origins
+                .iter()
+                .map(|&o| gamma_bits(o as u64) + gamma_bits(ttl as u64) + bits_of[o as usize])
+                .sum::<u64>();
+        FloodBatch {
+            origins,
+            ttl,
+            payloads: Arc::clone(payloads),
+            wire_bits,
+        }
+    }
+}
+
+impl<M: WireCodec> WireCodec for FloodBatch<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        // Identical bit stream to OverlayRelay over the equivalent
+        // RelayItem sequence (pinned by flood_batch_encodes_like_
+        // overlay_relay).
+        w.write_gamma(self.origins.len() as u64);
+        for &o in self.origins.iter() {
+            w.write_gamma(o as u64);
+            w.write_gamma(self.ttl as u64);
+            self.payloads[o as usize]
+                .as_ref()
+                .expect("forwarded origin has a broadcast")
+                .encode(w);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        // Decode reconstructs a standalone table holding exactly the
+        // decoded origins (the shared flood table cannot be recovered
+        // from the wire); only the codec suites exercise this path.
+        let len = r.read_gamma()?;
+        let mut origins = Vec::with_capacity(len.min(1 << 20) as usize);
+        let mut ttl = 0u32;
+        let mut decoded: Vec<(u32, M)> = Vec::with_capacity(len.min(1 << 20) as usize);
+        for _ in 0..len {
+            let o = r.read_gamma()? as u32;
+            ttl = r.read_gamma()? as u32;
+            decoded.push((o, M::decode(r)?));
+            origins.push(o);
+        }
+        let table_len = origins.iter().max().map_or(0, |&o| o as usize + 1);
+        let mut payloads: Vec<Option<Arc<M>>> = (0..table_len).map(|_| None).collect();
+        for (o, m) in decoded {
+            payloads[o as usize] = Some(Arc::new(m));
+        }
+        let origins = Arc::new(origins);
+        let payloads = Arc::new(payloads);
+        let bits_of: Vec<u64> = payloads
+            .iter()
+            .map(|p| p.as_ref().map_or(0, |m| m.encoded_bits()))
+            .collect();
+        Some(FloodBatch::new(origins, ttl, &payloads, &bits_of))
+    }
+    fn encoded_bits(&self) -> u64 {
+        self.wire_bits
+    }
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None
+    }
 }
 
 /// Executes node programs on a virtual topology through the host
@@ -626,43 +817,39 @@ impl<'g, S: Send, T: VirtualTopology> OverlayEngine<'g, S, T> {
         }
 
         // Host relay: one engine round at dilation 1, a k-round
-        // two-ring-dedup flood otherwise. Both charge the ledger their
+        // origin-window flood otherwise. Both charge the ledger their
         // real host rounds and measured envelope bits.
-        let inboxes = if k == 1 {
-            self.relay_dilation1(&outboxes, ledger, phase)
-        } else {
-            self.relay_flood(&outboxes, k, ledger, phase)
-        };
-
-        // Virtual-level bandwidth: group each inbox by sender — the
-        // entries of one sender are contiguous (sorted inbox) and their
-        // payload bits sum to that virtual edge's load, reproducing the
-        // materialized engine's per-edge accounting.
         let budget = match self.policy {
             BandwidthPolicy::Local => u64::MAX,
             BandwidthPolicy::Congest { bits } => bits,
         };
-        let mut round_max = 0u64;
-        for inbox in &inboxes {
-            let mut i = 0;
-            while i < inbox.len() {
-                let sender = inbox[i].0;
-                let mut load = 0u64;
-                while i < inbox.len() && inbox[i].0 == sender {
-                    load += inbox[i].1.encoded_bits();
-                    i += 1;
-                }
-                self.stats.bits_sent += load;
-                round_max = round_max.max(load);
-                if load > budget {
-                    self.stats.congest_violations += 1;
+        if k == 1 {
+            let inboxes = self.relay_dilation1(&outboxes, ledger, phase);
+
+            // Virtual-level bandwidth: group each inbox by sender — the
+            // entries of one sender are contiguous (sorted inbox) and
+            // their payload bits sum to that virtual edge's load,
+            // reproducing the materialized engine's per-edge accounting.
+            let mut round_max = 0u64;
+            for inbox in &inboxes {
+                let mut i = 0;
+                while i < inbox.len() {
+                    let sender = inbox[i].0;
+                    let mut load = 0u64;
+                    while i < inbox.len() && inbox[i].0 == sender {
+                        load += inbox[i].1.encoded_bits();
+                        i += 1;
+                    }
+                    self.stats.bits_sent += load;
+                    round_max = round_max.max(load);
+                    if load > budget {
+                        self.stats.congest_violations += 1;
+                    }
                 }
             }
-        }
-        self.stats.max_edge_bits = self.stats.max_edge_bits.max(round_max);
+            self.stats.max_edge_bits = self.stats.max_edge_bits.max(round_max);
 
-        // Virtual recv phase.
-        {
+            // Virtual recv phase.
             let vdeg = &self.vdeg;
             let run_one = |r: usize, state: &mut S, rng: &mut StdRng| {
                 let mut ctx = NodeCtx {
@@ -684,6 +871,69 @@ impl<'g, S: Send, T: VirtualTopology> OverlayEngine<'g, S, T> {
                     .zip(self.rngs.iter_mut())
                     .enumerate()
                     .for_each(|(r, (state, rng))| run_one(r, state, rng));
+            }
+        } else {
+            let flood = self.relay_flood(&outboxes, k, ledger, phase);
+
+            // Virtual-level bandwidth: a flood inbox lists each sender
+            // at most once, so the per-virtual-edge load is exactly the
+            // sender's payload size — read from the precomputed
+            // per-origin table instead of re-measuring each delivery.
+            let mut round_max = 0u64;
+            for inbox in &flood.origins {
+                for &o in inbox {
+                    let load = flood.bits_of[o as usize];
+                    self.stats.bits_sent += load;
+                    round_max = round_max.max(load);
+                    if load > budget {
+                        self.stats.congest_violations += 1;
+                    }
+                }
+            }
+            self.stats.max_edge_bits = self.stats.max_edge_bits.max(round_max);
+
+            // Virtual recv phase, streaming: materialize one rank's
+            // inbox at a time from the origin list + payload table (the
+            // same one-deep-clone-per-delivery a materialized engine
+            // pays), so peak delivery memory is a single inbox. The
+            // sequential schedule reuses one buffer; the parallel one
+            // builds per-rank buffers thread-locally — contents are
+            // identical either way.
+            let vdeg = &self.vdeg;
+            let origins = &flood.origins;
+            let payloads = &flood.payloads;
+            let fill = |r: usize, buf: &mut Vec<(NodeId, M)>| {
+                buf.clear();
+                buf.extend(origins[r].iter().map(|&o| {
+                    let m = payloads[o as usize]
+                        .as_ref()
+                        .expect("every heard origin has a broadcast");
+                    (NodeId(o), M::clone(m))
+                }));
+            };
+            let run_one =
+                |r: usize, state: &mut S, rng: &mut StdRng, buf: &mut Vec<(NodeId, M)>| {
+                    fill(r, buf);
+                    let mut ctx = NodeCtx {
+                        id: NodeId::from_index(r),
+                        degree: vdeg[r] as usize,
+                        rng,
+                    };
+                    recv(&mut ctx, state, buf);
+                };
+            if parallel {
+                self.states
+                    .par_iter_mut()
+                    .zip(self.rngs.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(r, (state, rng))| run_one(r, state, rng, &mut Vec::new()));
+            } else {
+                let mut buf: Vec<(NodeId, M)> = Vec::new();
+                self.states
+                    .iter_mut()
+                    .zip(self.rngs.iter_mut())
+                    .enumerate()
+                    .for_each(|(r, (state, rng))| run_one(r, state, rng, &mut buf));
             }
         }
         self.virtual_rounds += 1;
@@ -767,72 +1017,74 @@ impl<'g, S: Send, T: VirtualTopology> OverlayEngine<'g, S, T> {
     }
 
     /// Dilation-`k` compilation (power overlays): a `k`-round
-    /// relay-once flood of [`RelayItem`]s with exact two-ring dedup;
-    /// non-members (under a mask) neither relay nor receive, so virtual
-    /// distances are measured inside the live subgraph.
+    /// relay-once flood of interned [`FloodBatch`]es deduplicated by
+    /// the segmented origin-id window (module docs); non-members (under
+    /// a mask) neither relay nor receive, so virtual distances are
+    /// measured inside the live subgraph.
     fn relay_flood<M>(
         &self,
         outboxes: &[Outbox<M>],
         k: usize,
         ledger: &mut RoundLedger,
         phase: &str,
-    ) -> Vec<Vec<(NodeId, M)>>
+    ) -> FloodInboxes<M>
     where
         M: Clone + Send + Sync + WireCodec + 'static,
     {
         let host = self.host;
         let rank_of = &self.rank_of;
         let masked = self.topo.member_mask().is_some();
-        let mut relay: Engine<'_, FloodState<M>> = Engine::new_relay(host, |v| {
+        // Intern every origin's broadcast once; all relay copies from
+        // here on are refcount bumps.
+        let payloads: Arc<Vec<Option<Arc<M>>>> = Arc::new(
+            (0..self.members.len())
+                .map(|r| outboxes[r].parts().0.map(|m| Arc::new(m.clone())))
+                .collect(),
+        );
+        let bits_of: Vec<u64> = payloads
+            .iter()
+            .map(|p| p.as_ref().map_or(0, |m| m.encoded_bits()))
+            .collect();
+        // Clamped at n - 1: no node is farther, and it keeps the wire
+        // TTL inside RelayItem::max_bits even for dilations larger than
+        // the graph.
+        let clamp = (k - 1).min(host.n().saturating_sub(1)) as u32;
+        let mut relay: Engine<'_, FloodState> = Engine::new_relay(host, |v| {
             let r = rank_of[v.index()];
-            let own = (r != NO_RANK)
-                .then(|| outboxes[r as usize].parts().0.cloned())
-                .flatten();
+            let is_source = r != NO_RANK && payloads[r as usize].is_some();
             FloodState {
-                ring_last: own.iter().map(|_| r).collect(),
-                frontier: own
-                    .map(|payload| RelayItem {
-                        origin: r,
-                        // Clamped at n - 1: no node is farther, and it
-                        // keeps the wire TTL inside RelayItem::max_bits
-                        // even for dilations larger than the graph.
-                        ttl: (k - 1).min(host.n().saturating_sub(1)) as u32,
-                        payload,
-                    })
-                    .into_iter()
-                    .collect(),
-                ring_prev: Vec::new(),
-                heard: Vec::new(),
+                heard: if is_source { vec![r] } else { Vec::new() },
+                prev_start: 0,
+                last_start: 0,
             }
         })
         .with_mode(self.mode);
-        for _ in 1..=k {
+        for t in 1..=k {
+            // Round-uniform wire TTL: every forwarded item was first
+            // heard at round t - 1 (sources at "round 0"), so it
+            // carries clamp - (t - 1) — and once that would go
+            // negative, nothing live is left to forward.
+            let forwarding = (t as u64) <= clamp as u64 + 1;
+            let ttl = clamp.saturating_sub(t as u32 - 1);
             relay.step(
                 ledger,
                 phase,
-                |ctx, s: &mut FloodState<M>, out: &mut Outbox<OverlayRelay<M>>| {
-                    // Rotate the dedup window (see crate::ball docs).
-                    s.ring_prev = std::mem::take(&mut s.ring_last);
-                    s.ring_last = s.frontier.iter().map(|it| it.origin).collect();
-                    if s.frontier.is_empty() {
+                |ctx, s: &mut FloodState, out: &mut Outbox<FloodBatch<M>>| {
+                    let seg = &s.heard[s.last_start as usize..];
+                    if !forwarding || seg.is_empty() {
                         return;
                     }
-                    let items = Arc::new(std::mem::take(&mut s.frontier));
+                    let batch = FloodBatch::new(Arc::new(seg.to_vec()), ttl, &payloads, &bits_of);
                     if masked {
                         // Confine the flood to members: directed relays
                         // to member neighbors only (sharing one batch).
                         for &w in host.neighbors(ctx.id) {
                             if rank_of[w.index()] != NO_RANK {
-                                out.send_to(
-                                    w,
-                                    OverlayRelay {
-                                        items: Arc::clone(&items),
-                                    },
-                                );
+                                out.send_to(w, batch.clone());
                             }
                         }
                     } else {
-                        out.broadcast(OverlayRelay { items });
+                        out.broadcast(batch);
                     }
                 },
                 |ctx, s, inbox| {
@@ -840,49 +1092,78 @@ impl<'g, S: Send, T: VirtualTopology> OverlayEngine<'g, S, T> {
                         debug_assert!(inbox.is_empty(), "non-members receive nothing");
                         return;
                     }
-                    let mut arrivals: Vec<&RelayItem<M>> =
-                        inbox.iter().flat_map(|(_, msg)| msg.items.iter()).collect();
-                    arrivals.sort_unstable_by_key(|it| it.origin);
-                    arrivals.dedup_by_key(|it| it.origin);
-                    for item in arrivals {
-                        if s.ring_last.binary_search(&item.origin).is_ok()
-                            || s.ring_prev.binary_search(&item.origin).is_ok()
-                        {
-                            continue;
-                        }
-                        s.heard.push((item.origin, item.payload.clone()));
-                        if item.ttl > 0 {
-                            s.frontier.push(RelayItem {
-                                origin: item.origin,
-                                ttl: item.ttl - 1,
-                                payload: item.payload.clone(),
-                            });
-                        }
-                    }
+                    with_fresh_scratch(|fresh| {
+                        let last = &s.heard[s.last_start as usize..];
+                        let prev = &s.heard[s.prev_start as usize..s.last_start as usize];
+                        with_dedup_stamp(payloads.len(), |stamp, epoch| {
+                            // Mark the window, then filter arrivals in
+                            // O(1) each; marking accepted ids inline
+                            // also settles cross-batch duplicates.
+                            for &id in last.iter().chain(prev) {
+                                stamp[id as usize] = epoch;
+                            }
+                            for (_, b) in inbox {
+                                for &id in b.origins.iter() {
+                                    let m = &mut stamp[id as usize];
+                                    if *m != epoch {
+                                        *m = epoch;
+                                        fresh.push(id);
+                                    }
+                                }
+                            }
+                        });
+                        // Arrival order is per-batch; the window segment
+                        // invariant wants ascending ids.
+                        fresh.sort_unstable();
+                        // Rotate the window and append this round's
+                        // segment (sorted by construction).
+                        s.prev_start = s.last_start;
+                        s.last_start = s.heard.len() as u32;
+                        s.heard.extend_from_slice(fresh);
+                    });
                     let _ = ctx;
                 },
             );
         }
-        // Move each member's heard list out (host order = rank order)
-        // and sort it into the materialized-engine inbox invariant:
-        // senders sorted. No cloning — the flood's accumulated traffic
-        // becomes the inboxes.
-        relay
+        // Move each member's heard origins out (host order = rank
+        // order), drop the self-seed, and sort into the materialized
+        // inbox invariant: senders ascending.
+        let origins = relay
             .into_states()
             .into_iter()
             .enumerate()
             .filter(|(i, _)| rank_of[*i] != NO_RANK)
-            .map(|(_, s)| {
-                let mut inbox: Vec<(NodeId, M)> = s
-                    .heard
-                    .into_iter()
-                    .map(|(origin, m)| (NodeId(origin), m))
-                    .collect();
-                inbox.sort_unstable_by_key(|&(origin, _)| origin);
-                inbox
+            .map(|(i, s)| {
+                let mut heard = s.heard;
+                let r = rank_of[i];
+                if payloads[r as usize].is_some() {
+                    debug_assert_eq!(heard.first(), Some(&r), "self-seed leads segment 0");
+                    heard.swap_remove(0);
+                }
+                heard.sort_unstable();
+                heard
             })
-            .collect()
+            .collect();
+        FloodInboxes {
+            origins,
+            payloads,
+            bits_of,
+        }
     }
+}
+
+/// The dilation-`k` flood's delivery product: per-rank sorted origin
+/// lists (each origin is one virtual sender heard exactly once) plus
+/// the shared payload table they index — the virtual inboxes in
+/// factored form, materialized one rank at a time during the virtual
+/// recv phase.
+struct FloodInboxes<M> {
+    /// Per rank: sorted origin ranks heard (the inbox's sender list).
+    origins: Vec<Vec<u32>>,
+    /// Per origin rank: its broadcast payload, if it sent one.
+    payloads: Arc<Vec<Option<Arc<M>>>>,
+    /// Per origin rank: its payload's exact wire size (0 if none).
+    bits_of: Vec<u64>,
 }
 
 impl<S: Send, T: VirtualTopology> RoundDriver<S> for OverlayEngine<'_, S, T> {
@@ -1152,6 +1433,49 @@ mod tests {
         };
         assert!(item.encoded_bits() <= bound);
         assert!(OverlayRelay::<NodeId>::max_bits(&p).is_none());
+    }
+
+    #[test]
+    fn flood_batch_encodes_like_overlay_relay() {
+        use crate::wire::{decode_from_bytes, encode_to_bytes};
+        // Table over ranks 0..5; ranks 1 and 3 stay silent.
+        let raw: Vec<Option<u32>> = vec![Some(900), None, Some(0), None, Some(77)];
+        let payloads: Arc<Vec<Option<Arc<u32>>>> =
+            Arc::new(raw.iter().map(|p| p.map(Arc::new)).collect());
+        let bits_of: Vec<u64> = payloads
+            .iter()
+            .map(|p| p.as_ref().map_or(0, |m| m.encoded_bits()))
+            .collect();
+        for (origins, ttl) in [(vec![0u32, 2, 4], 3u32), (vec![4], 0), (Vec::new(), 11)] {
+            let batch = FloodBatch::new(Arc::new(origins.clone()), ttl, &payloads, &bits_of);
+            let relay = OverlayRelay {
+                items: Arc::new(
+                    origins
+                        .iter()
+                        .map(|&o| RelayItem {
+                            origin: o,
+                            ttl,
+                            payload: raw[o as usize].unwrap(),
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+            };
+            let (batch_bytes, batch_bits) = encode_to_bytes(&batch);
+            let (relay_bytes, relay_bits) = encode_to_bytes(&relay);
+            assert_eq!(batch_bytes, relay_bytes, "bit-identical stream");
+            assert_eq!(batch_bits, relay_bits, "identical charged size");
+            assert_eq!(batch.encoded_bits(), batch_bits, "precomputed size honesty");
+            // Roundtrip through the standalone-table decode path.
+            let back: FloodBatch<u32> =
+                decode_from_bytes(&batch_bytes, batch_bits).expect("decodes");
+            assert_eq!(*back.origins, origins);
+            for &o in &origins {
+                assert_eq!(
+                    back.payloads[o as usize].as_deref(),
+                    raw[o as usize].as_ref()
+                );
+            }
+        }
     }
 
     #[test]

@@ -387,6 +387,25 @@ impl<T: WireCodec> WireCodec for Vec<T> {
     }
 }
 
+/// An `Arc`'d payload is transparent on the wire: sharing is a local
+/// memory optimization (the overlay relay interns each origin's payload
+/// once and forwards refcount bumps), never a protocol feature, so the
+/// encoding — and every charged bit — is exactly the inner value's.
+impl<T: WireCodec> WireCodec for std::sync::Arc<T> {
+    fn encode(&self, w: &mut BitWriter) {
+        (**self).encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        T::decode(r).map(std::sync::Arc::new)
+    }
+    fn encoded_bits(&self) -> u64 {
+        (**self).encoded_bits()
+    }
+    fn max_bits(p: &WireParams) -> Option<u64> {
+        T::max_bits(p)
+    }
+}
+
 /// Writes a gamma-coded `u32` sequence (gamma length prefix + gamma
 /// items) — the shared wire shape of id lists (floods, relays, ball
 /// edge endpoints).

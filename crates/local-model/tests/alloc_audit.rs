@@ -21,23 +21,29 @@
 //! serialize on [`AUDIT_LOCK`]; no other test lives in this binary.
 
 use delta_graphs::generators;
-use local_model::{Engine, ExecMode, Outbox, RoundLedger};
+use local_model::{
+    Engine, ExecMode, Outbox, OverlayEngine, PowerOverlay, RoundDriver, RoundLedger,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Serializes the tests sharing the process-global counter.
+/// Serializes the tests sharing the process-global counters.
 static AUDIT_LOCK: Mutex<()> = Mutex::new(());
 
 /// Counts every allocation and reallocation routed through the global
-/// allocator.
+/// allocator, both by call and by size (reallocs charge the full new
+/// size — a conservative over-count that can only make the bounds
+/// below harder to meet).
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
@@ -47,6 +53,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -110,6 +117,69 @@ fn warm_engine_rounds_do_not_allocate() {
     // Bandwidth accounting ran on the same allocation-free pass: every
     // u64 payload is 64 bits, broadcast to 4 neighbors + 1 directed.
     assert_eq!(engine.message_stats().bits_sent, 35 * 512 * (4 + 1) * 64);
+}
+
+/// Runs `rounds` warm broadcast-only virtual rounds on `G^k` over a
+/// cycle host and returns the bytes allocated per virtual round.
+fn warm_overlay_bytes_per_round(n: usize, k: usize, rounds: u64) -> u64 {
+    let g = generators::cycle(n);
+    let mut ledger = RoundLedger::new();
+    let mut driver = OverlayEngine::new(&g, PowerOverlay { k }, 11, |v| v.0 as u64);
+    let virtual_round = |driver: &mut OverlayEngine<'_, u64, PowerOverlay>,
+                         ledger: &mut RoundLedger| {
+        driver.round_step(
+            ledger,
+            "audit-overlay",
+            |ctx, s: &mut u64, out: &mut Outbox<u64>| {
+                *s = s
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(ctx.id.0 as u64);
+                out.broadcast(*s);
+            },
+            |_, s, inbox| {
+                for &(w, m) in inbox {
+                    *s = s.wrapping_add(m ^ w.0 as u64);
+                }
+            },
+        );
+    };
+    // Warm-up: sizes the relay engine's arenas, the thread-local dedup
+    // stamp table / fresh-id scratch, and the ledger's phase entry.
+    for _ in 0..2 {
+        virtual_round(&mut driver, &mut ledger);
+    }
+    let before = ALLOC_BYTES.load(Ordering::SeqCst);
+    for _ in 0..rounds {
+        virtual_round(&mut driver, &mut ledger);
+    }
+    (ALLOC_BYTES.load(Ordering::SeqCst) - before).div_ceil(rounds)
+}
+
+/// The overlay's flood-dedup filter must allocate O(frontier) per
+/// relay round, independent of the retained heard-window history.
+///
+/// On a cycle host each node's `G^k` flood frontier is 2 ids per relay
+/// round while its heard window grows to `2k` ids — so if any per-node
+/// relay state were copied, re-filtered, or re-sorted proportionally
+/// to *history* (as a naive seen-set rebuild would), per-virtual-round
+/// bytes would grow quadratically in `k`. Steady-state cost is
+/// `base + relay_traffic`, with `relay_traffic` linear in `k`; the
+/// doubling ratio must therefore stay below 2, and a quadratic
+/// component would push it toward 4. The margin up to 2.6 absorbs
+/// allocator jitter without admitting a quadratic term.
+#[test]
+fn warm_overlay_dedup_allocates_o_frontier_not_o_history() {
+    let _guard = AUDIT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let per_round_k8 = warm_overlay_bytes_per_round(256, 8, 8);
+    let per_round_k16 = warm_overlay_bytes_per_round(256, 16, 8);
+    let ratio = per_round_k16 as f64 / per_round_k8 as f64;
+    assert!(
+        ratio < 2.6,
+        "doubling the flood depth (and so the retained history) scaled \
+         per-virtual-round allocation by {ratio:.2}x \
+         ({per_round_k8} -> {per_round_k16} bytes): dedup is no longer \
+         O(frontier)"
+    );
 }
 
 #[test]
