@@ -579,9 +579,23 @@ fn summary_json(
     let _ = writeln!(out, "  \"experiments\": [");
     for (i, (id, table, secs)) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
+        // Named metrics (e.g. the fault sweep's recovery counters) are
+        // appended after the fixed fields so the line-oriented baseline
+        // parser keeps finding them by name.
+        let metrics = if table.metrics().is_empty() {
+            String::new()
+        } else {
+            let body = table
+                .metrics()
+                .iter()
+                .map(|(n, v)| format!("\"{n}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(", \"metrics\": {{{body}}}")
+        };
         let _ = writeln!(
             out,
-            "    {{\"id\": \"{id}\", \"wall_clock_s\": {secs:.3}, \"simulated_rounds\": {}, \"max_edge_bits\": {}, \"rows\": {}}}{comma}",
+            "    {{\"id\": \"{id}\", \"wall_clock_s\": {secs:.3}, \"simulated_rounds\": {}, \"max_edge_bits\": {}, \"rows\": {}{metrics}}}{comma}",
             table.sim_rounds(),
             table.max_edge_bits(),
             table.len(),

@@ -15,10 +15,14 @@ use delta_coloring::delta::{
 use delta_coloring::gallai;
 use delta_coloring::list_coloring::{self, ListColorMethod};
 use delta_coloring::marking::MarkingParams;
-use delta_coloring::palette::{Lists, PartialColoring};
+use delta_coloring::palette::{Color, Lists, PartialColoring};
+use delta_coloring::repair::repair_region;
 use delta_coloring::verify;
 use delta_graphs::{generators, props, Graph, NodeId};
-use local_model::RoundLedger;
+use local_model::{
+    Engine, FaultPlan, FaultyDriver, InducedOverlay, Outbox, OverlayEngine, PowerOverlay,
+    RoundDriver, RoundLedger,
+};
 use rayon::prelude::*;
 
 /// Experiment scale: `quick` shrinks sizes for smoke runs.
@@ -855,6 +859,178 @@ pub fn t6(scale: Scale) -> Table {
     t
 }
 
+/// A greedy `(Δ+1)`-coloring — the fallback palette for fault-sweep
+/// substrates whose graphs need not be nice (induced and power graphs).
+fn greedy_coloring(g: &Graph) -> PartialColoring {
+    let mut c = PartialColoring::new(g.n());
+    for v in g.nodes() {
+        let used = c.neighbor_colors(g, v);
+        let free = (0..)
+            .map(Color)
+            .find(|x| !used.contains(x))
+            .expect("palette");
+        c.set(v, free);
+    }
+    c
+}
+
+/// Runs `palette` rounds of the color-maintenance program through a
+/// fault wrapper and returns the final per-node colors. Each round
+/// every node broadcasts its color; the duty class (`color ≡ round mod
+/// palette`) re-picks the smallest color it did not hear. Fault-free,
+/// a duty class is a color class — an independent set — so re-picks
+/// never collide and the coloring stays proper; faults make nodes act
+/// on an incomplete or corrupted view, which is exactly the damage the
+/// repair driver must heal.
+fn maintain_colors<D: RoundDriver<u32>>(
+    drv: &mut FaultyDriver<D>,
+    palette: u32,
+    ledger: &mut RoundLedger,
+) -> Vec<u32> {
+    for round in 0..palette {
+        drv.round_step(
+            ledger,
+            "maintain",
+            |_, &mut s, out: &mut Outbox<u32>| out.broadcast(s),
+            move |_, s, inbox| {
+                if *s % palette == round {
+                    let heard: Vec<u32> = inbox.iter().map(|&(_, m)| m).collect();
+                    *s = (0..).find(|c| !heard.contains(c)).expect("free color");
+                }
+            },
+        );
+    }
+    drv.node_states().to_vec()
+}
+
+/// One fault-sweep cell: run maintenance under the spec's plan, detect
+/// the damage, heal it, and record the recovery metrics. `spec` is
+/// `(fault kind, rate in ppm, plan)`.
+fn fault_sweep_cell<D: RoundDriver<u32>>(
+    t: &mut Table,
+    substrate: &str,
+    graph: &Graph,
+    palette: usize,
+    spec: &(&str, u32, FaultPlan),
+    make_driver: impl FnOnce() -> D,
+) {
+    let (kind, rate_ppm, plan) = spec;
+    let mut drv = FaultyDriver::new(make_driver(), plan.clone());
+    let mut ledger = RoundLedger::new();
+    let states = maintain_colors(&mut drv, palette as u32, &mut ledger);
+    let c = drv.fault_counters();
+    let injected = c.dropped + c.duplicated + c.corrupted + c.crashed_rounds;
+    let mut coloring = PartialColoring::new(graph.n());
+    for (i, &s) in states.iter().enumerate() {
+        coloring.set(NodeId::from_index(i), Color(s));
+    }
+    let damage = verify::violations(graph, &coloring, palette);
+    if plan.is_zero() {
+        assert!(
+            damage.is_clean(),
+            "fault-free maintenance damaged the coloring on {substrate}"
+        );
+    }
+    let report = repair_region(graph, &mut coloring, palette, &mut ledger, "repair")
+        .expect("repairable damage");
+    assert!(
+        verify::violations(graph, &coloring, palette).is_clean(),
+        "repair left damage on {substrate}"
+    );
+    t.meter_ledger(&ledger);
+    t.add_metric("faults_injected", injected);
+    t.add_metric("violations", damage.total() as u64);
+    t.add_metric("repairs", report.repairs as u64);
+    t.add_metric("recover_rounds", report.rounds_to_recover);
+    t.add_metric("colors_changed", report.colors_changed as u64);
+    t.row(vec![
+        substrate.to_string(),
+        kind.to_string(),
+        rate_ppm.to_string(),
+        injected.to_string(),
+        damage.conflicting_edges.len().to_string(),
+        (damage.uncolored.len() + damage.out_of_range.len()).to_string(),
+        report.repairs.to_string(),
+        report.rounds_to_recover.to_string(),
+        report.colors_changed.to_string(),
+    ]);
+}
+
+/// F7 — fault sweep: the color-maintenance program under injected
+/// faults (kind × rate) on three substrates — the host graph `G`, the
+/// induced subgraph `G[S]` through the overlay, and the power graph
+/// `G^2` through the overlay — with detection + self-healing metrics
+/// (rounds-to-recover, colors-changed) per cell. The `none` rows are
+/// the control arm: zero faults must mean zero violations, keeping the
+/// sweep inside the drift-free baseline gate.
+pub fn f7(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "F7: fault sweep — maintenance under drop/duplicate/corrupt/crash, then region repair",
+        &[
+            "substrate",
+            "fault",
+            "rate-ppm",
+            "injected",
+            "conflict-edges",
+            "bad-nodes",
+            "repairs",
+            "recover-rounds",
+            "colors-changed",
+        ],
+    );
+    let n = if scale.quick { 192 } else { 768 };
+    let g = generators::random_regular(n, 4, 23);
+    let rates: &[u32] = if scale.quick {
+        &[300_000]
+    } else {
+        &[100_000, 300_000]
+    };
+    // (kind, rate) cells; `none` is the fault-free control.
+    let mut specs: Vec<(&str, u32, FaultPlan)> = vec![("none", 0, FaultPlan::none())];
+    for &r in rates {
+        specs.push(("drop", r, FaultPlan::new(61).with_drops(r)));
+        specs.push(("duplicate", r, FaultPlan::new(62).with_duplicates(r)));
+        specs.push(("corrupt", r, FaultPlan::new(63).with_corruption(r)));
+        specs.push(("crash", r / 2, FaultPlan::new(64).with_crashes(r / 2, 2)));
+    }
+    // Substrate 1: the host graph, Brooks Δ-colored.
+    let base = brooks::brooks_color(&g, 4).expect("nice 4-regular host");
+    for spec in &specs {
+        fault_sweep_cell(&mut t, "G", &g, 4, spec, || {
+            Engine::new(&g, 0, |v| base.get(v).expect("total").0)
+        });
+    }
+    // Substrate 2: an induced subgraph G[S] run through the overlay
+    // (members = host ids not divisible by 29; overlay rank i is node i
+    // of the materialized induced graph, which verification runs on).
+    let mask: Vec<bool> = g.nodes().map(|v| v.0 % 29 != 0).collect();
+    let members: Vec<NodeId> = g.nodes().filter(|v| mask[v.index()]).collect();
+    let (sub, _globals) = g.induced(&members);
+    let sub_palette = sub.max_degree() + 1;
+    let sub_base = greedy_coloring(&sub);
+    for spec in &specs {
+        fault_sweep_cell(&mut t, "G[S]", &sub, sub_palette, spec, || {
+            OverlayEngine::new(&g, InducedOverlay { members: &mask }, 0, |r| {
+                sub_base.get(r).expect("total").0
+            })
+        });
+    }
+    // Substrate 3: the power graph G^2 run through the overlay
+    // (verification runs on the materialized power graph; overlay rank
+    // = host id since every node is a member).
+    let gp = delta_graphs::power::power_graph(&g, 2);
+    let gp_palette = gp.max_degree() + 1;
+    let gp_base = greedy_coloring(&gp);
+    for spec in &specs {
+        fault_sweep_cell(&mut t, "G^2", &gp, gp_palette, spec, || {
+            OverlayEngine::new(&g, PowerOverlay { k: 2 }, 0, |r| {
+                gp_base.get(r).expect("total").0
+            })
+        });
+    }
+    t
+}
+
 /// Runs an experiment by id.
 pub fn run(id: &str, scale: Scale) -> Option<Table> {
     Some(match id {
@@ -870,13 +1046,14 @@ pub fn run(id: &str, scale: Scale) -> Option<Table> {
         "f4" => f4(scale),
         "f5" => f5(scale),
         "f6" => f6(scale),
+        "f7" => f7(scale),
         _ => return None,
     })
 }
 
 /// All experiment ids in canonical order.
 pub const ALL: &[&str] = &[
-    "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "f6",
+    "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "f6", "f7",
 ];
 
 #[cfg(test)]
@@ -896,5 +1073,32 @@ mod tests {
     fn run_dispatches() {
         assert!(run("f6", Scale { quick: true }).is_some());
         assert!(run("nope", Scale { quick: true }).is_none());
+    }
+
+    #[test]
+    fn quick_f7_injects_and_recovers_on_every_substrate() {
+        let t = f7(Scale { quick: true });
+        // 3 substrates × (1 control + 4 fault kinds at 1 rate).
+        assert_eq!(t.len(), 15);
+        let metric = |name: &str| {
+            t.metrics()
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        // The sweep injected faults and healed the damage it caused
+        // (every cell asserts post-repair cleanliness internally).
+        assert!(metric("faults_injected") > 0, "no faults injected");
+        assert!(metric("violations") > 0, "faults caused no damage");
+        assert!(metric("repairs") > 0, "no repairs ran");
+        assert!(metric("recover_rounds") > 0);
+        // Control rows are fault-free: the sweep stays deterministic
+        // and the baseline gate keeps passing.
+        let csv = t.to_csv();
+        for line in csv.lines().skip(1).filter(|l| l.contains(",none,")) {
+            let injected: u64 = line.split(',').nth(3).unwrap().parse().unwrap();
+            assert_eq!(injected, 0, "control row injected faults: {line}");
+        }
     }
 }

@@ -11,6 +11,7 @@ pub struct Table {
     rows: Vec<Vec<String>>,
     sim_rounds: u64,
     max_edge_bits: u64,
+    metrics: Vec<(String, u64)>,
 }
 
 impl Table {
@@ -22,6 +23,7 @@ impl Table {
             rows: Vec::new(),
             sim_rounds: 0,
             max_edge_bits: 0,
+            metrics: Vec::new(),
         }
     }
 
@@ -42,6 +44,25 @@ impl Table {
     pub fn meter_ledger(&mut self, ledger: &local_model::RoundLedger) {
         self.add_sim_rounds(ledger.total());
         self.add_max_edge_bits(ledger.max_edge_bits());
+    }
+
+    /// Accumulates a named counter (summed across calls, created on
+    /// first use). Experiments use these for domain metrics beyond
+    /// rounds and bits — e.g. the fault sweep's injected faults,
+    /// detected violations, repair rounds, and colors changed — and the
+    /// summary JSON emits them per experiment.
+    pub fn add_metric(&mut self, name: &str, value: u64) {
+        if let Some(m) = self.metrics.iter_mut().find(|(n, _)| n == name) {
+            m.1 += value;
+        } else {
+            self.metrics.push((name.to_string(), value));
+        }
+    }
+
+    /// The named counters accumulated via [`Table::add_metric`], in
+    /// first-seen order.
+    pub fn metrics(&self) -> &[(String, u64)] {
+        &self.metrics
     }
 
     /// Total simulated LOCAL rounds charged while producing this table.
@@ -143,6 +164,19 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"h,i\""));
         assert!(csv.contains("\"pla\"\"in\""));
+    }
+
+    #[test]
+    fn metrics_accumulate_by_name() {
+        let mut t = Table::new("x", &["a"]);
+        assert!(t.metrics().is_empty());
+        t.add_metric("faults", 3);
+        t.add_metric("repairs", 1);
+        t.add_metric("faults", 2);
+        assert_eq!(
+            t.metrics(),
+            &[("faults".to_string(), 5), ("repairs".to_string(), 1)]
+        );
     }
 
     #[test]

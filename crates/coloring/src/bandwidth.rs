@@ -230,6 +230,13 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
             Execution::Mixed,
             "first probe is an engine 2-ball; deep probes + walk central",
         ),
+        row::<BrooksMsg>(
+            "repair",
+            "Color + BrooksMsg",
+            p,
+            Execution::Mixed,
+            "detection exchanges colors; healing inherits the Brooks ball probes",
+        ),
         row::<LayerMsg>(
             "layering",
             "LayerMsg",
@@ -331,6 +338,7 @@ mod tests {
                 "ruling",
                 "gallai",
                 "brooks",
+                "repair",
                 "delta/rand",
                 "delta/det",
                 "delta/netdecomp",
@@ -346,14 +354,14 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_all_nineteen_substrates() {
+    fn registry_covers_all_twenty_substrates() {
         let p = WireParams {
             n: 1 << 12,
             max_degree: 4,
             palette: 5,
         };
         let rows = classify(&p);
-        assert_eq!(rows.len(), 19);
+        assert_eq!(rows.len(), 20);
         // Bounded rows really are within budget; unbounded rows say so.
         for r in &rows {
             match r.max_bits {
@@ -405,7 +413,7 @@ mod tests {
         // Layering's todo subgraphs now color through the induced
         // overlay, but its BFS layer waves stay charged central
         // simulations — mixed, like the drivers that inherit them.
-        for name in ["layering", "brooks", "delta/rand", "delta/det"] {
+        for name in ["layering", "brooks", "repair", "delta/rand", "delta/det"] {
             assert_eq!(exec_of(name), Execution::Mixed, "{name}");
         }
         assert_eq!(exec_of("decomp"), Execution::Central, "decomp");

@@ -57,7 +57,8 @@
 //! | [`decomp`] | MPX network decomposition | \[PS92\]/\[AGLP89\] substitute | CONGEST-feasible | central (charged) |
 //! | [`delta`] | the headline algorithms | Theorems 1, 3, 4 | LOCAL-only (inherit detection/repairs) | mixed |
 //! | [`baseline`] | `(Δ+1)` baseline and a PS-style Δ-coloring baseline | \[PS92, PS95\] | — | mixed |
-//! | [`verify`] | end-to-end validity checking | — | — | — |
+//! | [`verify`] | end-to-end validity checking, full violation reports | — | — | — |
+//! | [`repair`] | detection + self-healing of damaged colorings | Theorem 5, Lemma 16 | LOCAL-only (ball probes) | mixed: inherits the Brooks repair |
 //! | [`bandwidth`] | CONGEST-feasibility + execution registry of all of the above | cf. KMW | — | — |
 //!
 //! Phases that remain genuinely centralized (with charged round
@@ -97,6 +98,7 @@ pub mod marking;
 pub mod mis;
 pub mod palette;
 pub mod reduce;
+pub mod repair;
 pub mod ruling;
 pub mod verify;
 

@@ -1,0 +1,186 @@
+//! Self-healing region repair: detect a damaged Δ-coloring and restore
+//! it by re-coloring only the affected balls.
+//!
+//! This is the recovery half of the fault loop that
+//! [`local_model::faults`] injects into: a fault burst (dropped or
+//! corrupted messages, a crashed node rejoining with stale state)
+//! leaves the coloring with conflicting edges, palette overflows, or
+//! uncolored nodes. [`repair_region`] runs [`crate::verify::violations`]
+//! to enumerate the exact damage, clears the invalid assignments, and
+//! re-colors each hole with the Theorem-5 single-node repair
+//! ([`crate::brooks::repair_single_uncolored`]) — ball probes confined
+//! to the damaged regions, never a global restart. The returned
+//! [`RepairReport`] meters rounds-to-recover and colors-changed per
+//! event, which is what the fault-sweep experiments record.
+
+use crate::brooks::repair_single_uncolored;
+use crate::palette::{ColoringError, PartialColoring};
+use crate::verify::violations;
+use delta_graphs::Graph;
+use local_model::RoundLedger;
+
+/// Metrics of one detection + self-healing pass over a damaged
+/// Δ-coloring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Monochromatic edges found by detection.
+    pub conflict_edges: usize,
+    /// Nodes whose color overflowed the Δ palette.
+    pub out_of_range: usize,
+    /// Nodes with no color before repair (as found, before any
+    /// clearing).
+    pub uncolored_before: usize,
+    /// Single-node repairs actually executed.
+    pub repairs: usize,
+    /// LOCAL rounds charged by this pass: one detection exchange plus
+    /// every ball probe and recoloring announcement.
+    pub rounds_to_recover: u64,
+    /// Nodes whose color differs from before the pass (including nodes
+    /// recolored as collateral by a degree-choosable-component walk).
+    pub colors_changed: usize,
+    /// Largest repair radius any single hole needed.
+    pub max_radius: usize,
+    /// Repairs that had to recolor a degree-choosable component.
+    pub dcc_recolorings: usize,
+}
+
+/// Detects all violations of a Δ-coloring and heals them in place.
+///
+/// Detection charges one synchronous round (every node exchanges its
+/// color with its neighbors and reports local violations). Healing then
+/// clears the minimum set of assignments — every out-of-palette color,
+/// and the larger-id endpoint of each monochromatic edge — and
+/// re-colors each hole via the Theorem-5 ball repair, charging the
+/// probed radii to `ledger` under `phase`.
+///
+/// The pass is deterministic: violations are enumerated in node/edge
+/// order and holes are filled in ascending node id, so identical damage
+/// yields identical post-repair colorings (the determinism suite pins
+/// this across [`local_model::ExecMode`]s).
+///
+/// # Errors
+///
+/// [`ColoringError::Unsolvable`] if some hole admits no Theorem-5
+/// repair — impossible on nice graphs (Lemma 16), so an error indicates
+/// a non-nice input.
+pub fn repair_region(
+    g: &Graph,
+    coloring: &mut PartialColoring,
+    delta: usize,
+    ledger: &mut RoundLedger,
+    phase: &str,
+) -> Result<RepairReport, ColoringError> {
+    let before = coloring.clone();
+    let entry_rounds = ledger.total();
+    // Detection: one exchange of colors across every edge suffices for
+    // each node to see all three violation kinds locally.
+    ledger.charge(phase, 1);
+    let damage = violations(g, coloring, delta);
+    let mut report = RepairReport {
+        conflict_edges: damage.conflicting_edges.len(),
+        out_of_range: damage.out_of_range.len(),
+        uncolored_before: damage.uncolored.len(),
+        ..RepairReport::default()
+    };
+    if damage.is_clean() {
+        report.rounds_to_recover = ledger.total() - entry_rounds;
+        return Ok(report);
+    }
+    // Clear the minimum set of invalid assignments: every overflowed
+    // color, and one endpoint per monochromatic edge (the larger id, so
+    // clearing is order-independent).
+    for &(v, _) in &damage.out_of_range {
+        coloring.unset(v);
+    }
+    for &(u, v, _) in &damage.conflicting_edges {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        if coloring.get(a).is_some() && coloring.get(a) == coloring.get(b) {
+            coloring.unset(b);
+        }
+    }
+    // Heal holes in ascending node id. A DCC walk for one hole may
+    // recolor (even color) other nodes, so re-check before each repair.
+    let holes: Vec<_> = coloring.uncolored().collect();
+    for v in holes {
+        if coloring.is_colored(v) {
+            continue;
+        }
+        let out = repair_single_uncolored(g, coloring, v, delta, ledger, phase)?;
+        report.repairs += 1;
+        report.max_radius = report.max_radius.max(out.radius);
+        if out.used_dcc {
+            report.dcc_recolorings += 1;
+        }
+    }
+    debug_assert!(violations(g, coloring, delta).is_clean());
+    report.rounds_to_recover = ledger.total() - entry_rounds;
+    report.colors_changed = g
+        .nodes()
+        .filter(|&v| before.get(v) != coloring.get(v))
+        .count();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brooks::brooks_color;
+    use crate::palette::Color;
+    use crate::verify::check_delta_coloring;
+    use delta_graphs::{generators, NodeId};
+
+    #[test]
+    fn clean_coloring_is_a_cheap_noop() {
+        let g = generators::torus(6, 6);
+        let mut c = brooks_color(&g, 4).unwrap();
+        let snapshot = c.clone();
+        let mut ledger = RoundLedger::new();
+        let report = repair_region(&g, &mut c, 4, &mut ledger, "repair").unwrap();
+        assert_eq!(report.repairs, 0);
+        assert_eq!(report.colors_changed, 0);
+        assert_eq!(report.rounds_to_recover, 1, "detection round only");
+        assert_eq!(c, snapshot);
+    }
+
+    #[test]
+    fn heals_conflicts_overflows_and_holes() {
+        let g = generators::random_regular(64, 4, 3);
+        let mut c = brooks_color(&g, 4).unwrap();
+        // Damage: one hole, one overflow, one forced conflict.
+        c.unset(NodeId(5));
+        c.set(NodeId(11), Color(40));
+        let u = NodeId(20);
+        let w = g.neighbors(u)[0];
+        c.set(u, c.get(w).unwrap());
+        let mut ledger = RoundLedger::new();
+        let report = repair_region(&g, &mut c, 4, &mut ledger, "repair").unwrap();
+        assert!(check_delta_coloring(&g, &c).is_ok());
+        assert_eq!(report.uncolored_before, 1);
+        assert_eq!(report.out_of_range, 1);
+        assert!(report.conflict_edges >= 1);
+        assert!(report.repairs >= 3);
+        assert!(report.rounds_to_recover > report.repairs as u64);
+        assert!(report.colors_changed >= 2);
+        assert_eq!(ledger.total(), report.rounds_to_recover);
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let g = generators::random_regular(48, 4, 9);
+        let base = brooks_color(&g, 4).unwrap();
+        let damage = |c: &mut PartialColoring| {
+            c.unset(NodeId(2));
+            c.unset(NodeId(30));
+            c.set(NodeId(17), Color(99));
+        };
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut c = base.clone();
+            damage(&mut c);
+            let mut ledger = RoundLedger::new();
+            let report = repair_region(&g, &mut c, 4, &mut ledger, "repair").unwrap();
+            runs.push((c, report, ledger.total()));
+        }
+        assert_eq!(runs[0], runs[1]);
+    }
+}

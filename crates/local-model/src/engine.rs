@@ -28,9 +28,11 @@
 //!   half-edges, [`Graph::arc_range`]) with a single `O(log Δ)`
 //!   [`Graph::neighbor_position`] lookup plus the `O(1)`
 //!   [`Graph::reverse_arc`] table; the lookup doubles as the
-//!   non-neighbor validity check (a `debug_assert!`; release builds
-//!   drop invalid messages without the historical extra `has_edge`
-//!   search), and a linear stable counting pass groups the messages by
+//!   non-neighbor validity check (the message is discarded and the
+//!   first offender surfaces as a typed [`EngineError`] — a panic via
+//!   [`Engine::step`], a value via [`Engine::try_step`] — without the
+//!   historical extra `has_edge` search), and a linear stable counting
+//!   pass groups the messages by
 //!   recipient — already arc-ordered within each bucket, because
 //!   senders are visited in increasing id order;
 //! * a **fill pass** then builds inboxes in a strictly forward sweep
@@ -294,6 +296,43 @@ pub fn force_exec_mode(mode: ExecMode) -> ExecModeGuard {
     ExecModeGuard { _lock: lock }
 }
 
+/// A typed failure of one engine round — the conditions that used to
+/// be hot-path `expect`/`debug_assert!` panics. [`Engine::try_step`]
+/// surfaces them as values so fault and robustness tests can assert on
+/// the failure mode; [`Engine::step`] still panics on them (they are
+/// program bugs, not runtime conditions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// A node addressed a directed message to a non-neighbor. In the
+    /// LOCAL model there is no route for it; the round still completes
+    /// with the message discarded, and the first offender is reported.
+    InvalidDirectedTarget {
+        /// The sending node.
+        from: NodeId,
+        /// The addressed non-neighbor.
+        to: NodeId,
+    },
+    /// The type-keyed delivery scratch resolved to a mailbox of a
+    /// different message type (unreachable unless `TypeId` lies).
+    ScratchTypeConflict,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidDirectedTarget { from, to } => write!(
+                f,
+                "node {from} sent a directed message to non-neighbor {to}"
+            ),
+            EngineError::ScratchTypeConflict => {
+                f.write_str("delivery scratch resolved to a mismatched message type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Per-edge-per-round bandwidth regime the engine accounts against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BandwidthPolicy {
@@ -341,6 +380,17 @@ pub struct MessageStats {
     /// (edge, round) pairs whose load exceeded the
     /// [`BandwidthPolicy::Congest`] budget (always 0 under `Local`).
     pub congest_violations: u64,
+    /// Deliveries removed by fault injection. The engine itself never
+    /// drops a delivery; a [`crate::FaultyDriver`] fills these four
+    /// counters when a [`crate::FaultPlan`] is active.
+    pub dropped: u64,
+    /// Spurious extra deliveries injected by fault injection.
+    pub duplicated: u64,
+    /// Payloads corrupted (bit-flipped codec roundtrip) by fault
+    /// injection.
+    pub corrupted: u64,
+    /// (node, round) pairs spent crashed under fault injection.
+    pub crashed_rounds: u64,
 }
 
 /// Reusable per-message-type delivery scratch: the persistent outboxes
@@ -627,6 +677,12 @@ impl<'g, S: Send> Engine<'g, S> {
     /// Both closures must be `Sync`: they run concurrently across nodes
     /// in parallel mode. All per-node mutability flows through the
     /// `&mut` state and the node-private RNG in the context.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an [`EngineError`] (e.g. a directed message to a
+    /// non-neighbor — a program bug). Use [`Engine::try_step`] to
+    /// observe the failure as a value instead.
     pub fn step<M, SEND, RECV>(
         &mut self,
         ledger: &mut RoundLedger,
@@ -638,6 +694,38 @@ impl<'g, S: Send> Engine<'g, S> {
         SEND: Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>) + Sync,
         RECV: Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]) + Sync,
     {
+        if let Err(e) = self.try_step(ledger, phase, send, recv) {
+            panic!("engine round failed: {e}");
+        }
+    }
+
+    /// [`Engine::step`] with typed errors instead of panics: the round
+    /// executes identically (an invalid directed message is discarded
+    /// during routing, everything else is delivered and charged), and
+    /// any [`EngineError`] observed is returned after the round
+    /// completes — so callers can assert on failure modes without
+    /// unwinding, and a fault harness can keep driving the engine past
+    /// a misbehaving program.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidDirectedTarget`] reports the first (in
+    /// global send order) directed message addressed to a non-neighbor;
+    /// [`EngineError::ScratchTypeConflict`] reports a corrupted
+    /// delivery-scratch map (never constructible through the public
+    /// API).
+    pub fn try_step<M, SEND, RECV>(
+        &mut self,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        send: SEND,
+        recv: RECV,
+    ) -> Result<(), EngineError>
+    where
+        M: Clone + Send + Sync + WireCodec + 'static,
+        SEND: Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>) + Sync,
+        RECV: Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]) + Sync,
+    {
         let graph = self.graph;
         let parallel = self.parallel();
         let mailbox: &mut Mailbox<M> = self
@@ -645,7 +733,7 @@ impl<'g, S: Send> Engine<'g, S> {
             .entry(TypeId::of::<M>())
             .or_insert_with(|| Box::new(Mailbox::<M>::new()))
             .downcast_mut()
-            .expect("scratch map is keyed by message TypeId");
+            .ok_or(EngineError::ScratchTypeConflict)?;
         mailbox.ensure_shape(graph);
         let states = &mut self.states;
         let rngs = &mut self.rngs;
@@ -760,6 +848,10 @@ impl<'g, S: Send> Engine<'g, S> {
 
         self.rounds_run += 1;
         ledger.charge(phase, 1);
+        match bw.invalid {
+            Some((from, to)) => Err(EngineError::InvalidDirectedTarget { from, to }),
+            None => Ok(()),
+        }
     }
 }
 
@@ -897,6 +989,10 @@ struct RoundBandwidth {
     max_edge_bits: u64,
     /// Edges over the CONGEST budget this round.
     violations: u64,
+    /// First (in global send order) directed message addressed to a
+    /// non-neighbor, if any — surfaced as
+    /// [`EngineError::InvalidDirectedTarget`] after the round.
+    invalid: Option<(NodeId, NodeId)>,
 }
 
 /// Splits `[lo, hi)` into at most `chunks` contiguous ranges.
@@ -921,6 +1017,7 @@ struct StagePart<M> {
     bcast_deliveries: u64,
     directed_queued: u64,
     delivered: u64,
+    invalid: Option<(NodeId, NodeId)>,
 }
 
 /// Sequential staging walk: per sender, charge the broadcast size,
@@ -933,7 +1030,8 @@ fn stage_sequential<M: Clone + WireCodec>(
     graph: &Graph,
     mailbox: &mut Mailbox<M>,
     stats: &mut MessageStats,
-) {
+) -> Option<(NodeId, NodeId)> {
+    let mut invalid: Option<(NodeId, NodeId)> = None;
     let mut rev: Option<&[u32]> = None;
     for (i, out) in mailbox.outboxes.iter().enumerate() {
         let v = NodeId::from_index(i);
@@ -970,13 +1068,14 @@ fn stage_sequential<M: Clone + WireCodec>(
                         mailbox.dir_arc_count[i] += 1;
                     }
                 }
-                None => debug_assert!(
-                    false,
-                    "node {v} sent a directed message to non-neighbor {to}"
-                ),
+                // A directed message only reaches an actual neighbor;
+                // it is discarded, and the first offender is reported
+                // as a typed [`EngineError`] after the round.
+                None => invalid = invalid.or(Some((v, *to))),
             }
         }
     }
+    invalid
 }
 
 /// Chunk-parallel staging: senders split into contiguous ranges, each
@@ -989,7 +1088,7 @@ fn stage_parallel<M: Clone + Send + Sync + WireCodec>(
     mailbox: &mut Mailbox<M>,
     stats: &mut MessageStats,
     chunks: usize,
-) {
+) -> Option<(NodeId, NodeId)> {
     // Broadcast wire sizes: the only per-sender staging cost that grows
     // with the payload, farmed out per sender.
     {
@@ -1015,6 +1114,7 @@ fn stage_parallel<M: Clone + Send + Sync + WireCodec>(
                 bcast_deliveries: 0,
                 directed_queued: 0,
                 delivered: 0,
+                invalid: None,
             };
             for (i, out) in (a..b).zip(&outboxes[a..b]) {
                 let v = NodeId::from_index(i);
@@ -1031,17 +1131,19 @@ fn stage_parallel<M: Clone + Send + Sync + WireCodec>(
                             part.routed_to.push(to.0);
                             part.delivered += 1;
                         }
-                        None => debug_assert!(
-                            false,
-                            "node {v} sent a directed message to non-neighbor {to}"
-                        ),
+                        None => part.invalid = part.invalid.or(Some((v, *to))),
                     }
                 }
             }
             part
         })
         .collect();
+    // Chunks are merged in chunk (= sender) order, so the first invalid
+    // message found here is the first in global send order — matching
+    // the sequential walk exactly.
+    let mut invalid: Option<(NodeId, NodeId)> = None;
     for part in parts {
+        invalid = invalid.or(part.invalid);
         stats.broadcasts += part.bcast_senders.len() as u64;
         stats.directed += part.directed_queued;
         stats.deliveries += part.bcast_deliveries + part.delivered;
@@ -1066,6 +1168,7 @@ fn stage_parallel<M: Clone + Send + Sync + WireCodec>(
         mailbox.routed.extend(part.routed);
         mailbox.routed_to.extend_from_slice(&part.routed_to);
     }
+    invalid
 }
 
 /// Routing pass: resolves every directed message to its destination arc
@@ -1114,11 +1217,11 @@ fn route_messages<M: Clone + Send + Sync + WireCodec>(
         mailbox.arc_mark.fill(0);
         mailbox.arc_epoch = 1;
     }
-    if par_chunks > 0 {
-        stage_parallel(graph, mailbox, stats, par_chunks);
+    let invalid = if par_chunks > 0 {
+        stage_parallel(graph, mailbox, stats, par_chunks)
     } else {
-        stage_sequential(graph, mailbox, stats);
-    }
+        stage_sequential(graph, mailbox, stats)
+    };
     // Bucket the staged messages by recipient: prefix-sum the counts,
     // then scatter indices with the per-recipient cursors (shifting
     // each cursor to its bucket's end). Senders were visited in
@@ -1212,6 +1315,7 @@ fn route_messages<M: Clone + Send + Sync + WireCodec>(
     }
     mailbox.dir_senders.clear();
     mailbox.bcast_senders.clear();
+    bw.invalid = invalid;
     bw
 }
 

@@ -1,5 +1,6 @@
 //! Round accounting for LOCAL-model executions.
 
+use crate::faults::FaultCounters;
 use std::fmt;
 
 /// Accumulates the number of LOCAL rounds an execution costs, broken
@@ -33,6 +34,9 @@ pub struct RoundLedger {
     /// Number of (edge, round) pairs that exceeded the engine's
     /// [`crate::BandwidthPolicy::Congest`] budget (0 under `Local`).
     congest_violations: u64,
+    /// Faults injected while executions were charged here (filled by
+    /// [`crate::FaultyDriver`]; all zero for fault-free runs).
+    faults: FaultCounters,
 }
 
 impl RoundLedger {
@@ -64,6 +68,22 @@ impl RoundLedger {
         self.bits_sent += bits;
         self.max_edge_bits = self.max_edge_bits.max(max_edge_bits);
         self.congest_violations += violations;
+    }
+
+    /// Charges injected faults: deliveries dropped, spurious duplicate
+    /// deliveries, corrupted payloads, and (node, round) pairs spent
+    /// crashed. [`crate::FaultyDriver`] calls this once per faulty
+    /// round; fault-free executions never touch it.
+    pub fn charge_faults(&mut self, dropped: u64, duplicated: u64, corrupted: u64, crashed: u64) {
+        self.faults.dropped += dropped;
+        self.faults.duplicated += duplicated;
+        self.faults.corrupted += corrupted;
+        self.faults.crashed_rounds += crashed;
+    }
+
+    /// Totals of the faults injected while charging to this ledger.
+    pub fn faults(&self) -> FaultCounters {
+        self.faults
     }
 
     /// Total rounds charged so far.
@@ -132,6 +152,12 @@ impl RoundLedger {
             other.max_edge_bits,
             other.congest_violations,
         );
+        self.charge_faults(
+            other.faults.dropped,
+            other.faults.duplicated,
+            other.faults.corrupted,
+            other.faults.crashed_rounds,
+        );
     }
 }
 
@@ -146,6 +172,16 @@ impl fmt::Display for RoundLedger {
                 f,
                 "bandwidth: {} bits sent, max {} bits/edge/round, {} congest violations",
                 self.bits_sent, self.max_edge_bits, self.congest_violations
+            )?;
+        }
+        if self.faults != FaultCounters::default() {
+            writeln!(
+                f,
+                "faults: {} dropped, {} duplicated, {} corrupted, {} crashed node-rounds",
+                self.faults.dropped,
+                self.faults.duplicated,
+                self.faults.corrupted,
+                self.faults.crashed_rounds
             )?;
         }
         Ok(())
@@ -220,6 +256,25 @@ mod tests {
         assert_eq!(c.total(), 0, "absorb_bandwidth leaves rounds alone");
         let s = a.to_string();
         assert!(s.contains("157 bits sent"));
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_absorb() {
+        let mut a = RoundLedger::new();
+        a.charge_faults(3, 1, 0, 2);
+        a.charge_faults(1, 0, 4, 0);
+        assert_eq!(a.faults().dropped, 4);
+        assert_eq!(a.faults().duplicated, 1);
+        assert_eq!(a.faults().corrupted, 4);
+        assert_eq!(a.faults().crashed_rounds, 2);
+        let mut b = RoundLedger::new();
+        b.absorb(&a);
+        assert_eq!(b.faults(), a.faults());
+        let s = a.to_string();
+        assert!(s.contains("4 dropped"));
+        // Fault-free ledgers keep the historical rendering.
+        let clean = RoundLedger::new();
+        assert!(!clean.to_string().contains("dropped"));
     }
 
     #[test]

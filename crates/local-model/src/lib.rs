@@ -35,6 +35,14 @@
 //!   charging the ledger the true dilated host cost. The shared
 //!   [`RoundDriver`] trait lets one program (Luby MIS, the ball/reach
 //!   floods, list coloring) run on every topology;
+//! * **deterministic fault injection** ([`faults`]) — a seeded
+//!   [`FaultPlan`] (per-delivery drops, duplications, bit-flip codec
+//!   corruption, and node crash/recover windows) applied by a
+//!   [`FaultyDriver`] wrapper around any [`RoundDriver`], so every
+//!   program runs under faults with zero call-site changes on `G`,
+//!   `G^k`, and `G[S]` alike; fault decisions are pure hashes of
+//!   (seed, round, arc, slot), so transcripts, counters, and post-fault
+//!   states stay bit-identical across [`ExecMode`]s;
 //! * central ball materialization through [`Graph::ball`]
 //!   (`delta_graphs`) with explicit round charging on a
 //!   [`RoundLedger`], packaged as [`BallOracle`] — the reference oracle
@@ -55,6 +63,7 @@
 
 pub mod ball;
 pub mod engine;
+pub mod faults;
 pub mod ledger;
 pub mod oracle;
 pub mod overlay;
@@ -65,9 +74,10 @@ pub use ball::{
     run_reach_phase, run_reach_phase_within, BallMsg, BallView, CenterMsg, ReachMsg,
 };
 pub use engine::{
-    force_exec_mode, BandwidthPolicy, Engine, ExecMode, ExecModeGuard, MessageStats, NodeCtx,
-    NodeProgram, Outbox, RoundDriver, PARALLEL_THRESHOLD,
+    force_exec_mode, BandwidthPolicy, Engine, EngineError, ExecMode, ExecModeGuard, MessageStats,
+    NodeCtx, NodeProgram, Outbox, RoundDriver, PARALLEL_THRESHOLD,
 };
+pub use faults::{CrashWindow, FaultCounters, FaultEvent, FaultKind, FaultPlan, FaultyDriver, PPM};
 pub use ledger::RoundLedger;
 pub use oracle::BallOracle;
 pub use overlay::{
