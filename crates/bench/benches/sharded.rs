@@ -1,0 +1,83 @@
+//! Criterion round-throughput benchmarks of the sharded mailbox engine.
+//!
+//! The sharded engine buys parallel per-shard compute at the price of
+//! encoding every cross-shard message through a wire-level boundary
+//! block. This group measures where that trade lands: the same cheap
+//! mixed workload (broadcast + one directed message, `u64` payloads) as
+//! the single-arena `engine-rounds` group, swept over shard counts
+//! S ∈ {1, 2, 4, 8}, two graph families (4-regular circulant "rr4" and
+//! a square torus — both from the streaming generators the 2^27
+//! headline run uses), and sizes n ∈ {2^14, 2^17, 2^20}. S = 1 is the
+//! overhead floor (no boundary traffic at all); rising S trades
+//! boundary-codec work for compute parallelism. The reported mean is
+//! `ROUNDS_PER_ITER` rounds of wall-clock; divide for rounds/sec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delta_graphs::{io, Graph};
+use local_model::{Outbox, RoundLedger, ShardedEngine};
+use std::hint::black_box;
+
+/// Rounds executed per measured iteration.
+const ROUNDS_PER_ITER: u64 = 4;
+
+fn graph_for(family: &str, n: usize) -> Graph {
+    match family {
+        "rr4" => io::stream_circulant4(n),
+        "torus" => {
+            let side = (n as f64).sqrt().round() as usize;
+            io::stream_torus(side, side)
+        }
+        other => panic!("unknown family {other}"),
+    }
+}
+
+/// `ROUNDS_PER_ITER` rounds of the mixed workload on a persistent
+/// sharded engine.
+fn run_rounds(engine: &mut ShardedEngine<'_, u64>, g: &Graph, ledger: &mut RoundLedger) {
+    for _ in 0..ROUNDS_PER_ITER {
+        engine.step(
+            ledger,
+            "bench",
+            |ctx, s: &mut u64, out: &mut Outbox<u64>| {
+                out.broadcast(*s);
+                if let Some(&w) = g.neighbors(ctx.id).first() {
+                    out.send_to(w, !*s);
+                }
+            },
+            |_, s, inbox| {
+                for &(w, m) in inbox {
+                    *s = s.wrapping_mul(31).wrapping_add(m ^ w.0 as u64);
+                }
+            },
+        );
+    }
+}
+
+fn bench_sharded_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded");
+    group.sample_size(12);
+    for &n in &[1usize << 14, 1 << 17, 1 << 20] {
+        for family in ["rr4", "torus"] {
+            let g = graph_for(family, n);
+            for shards in [1usize, 2, 4, 8] {
+                let mut engine = ShardedEngine::contiguous(&g, shards, 7, |v| v.0 as u64);
+                let mut ledger = RoundLedger::new();
+                let label = format!("{family}/n={}/s={shards}", g.n());
+                group.bench_with_input(
+                    BenchmarkId::new("rounds", &label),
+                    &ROUNDS_PER_ITER,
+                    |b, _| {
+                        b.iter(|| {
+                            run_rounds(&mut engine, &g, &mut ledger);
+                            black_box(engine.rounds_run())
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_rounds);
+criterion_main!(benches);

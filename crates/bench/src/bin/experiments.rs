@@ -274,18 +274,23 @@ fn run_baseline_check(
         None => drift.push("baseline has no total_simulated_rounds".into()),
     }
     for (id, table, _) in results {
-        match baseline
-            .experiments
-            .iter()
-            .find(|(bid, _, _)| bid == id)
-            .and_then(|&(_, _, bits)| bits)
-        {
+        let base = baseline.experiments.iter().find(|b| &b.id == id);
+        match base.and_then(|b| b.max_edge_bits) {
             Some(base_bits) if base_bits != table.max_edge_bits() => drift.push(format!(
                 "{id} max_edge_bits drifted: baseline {base_bits}, now {}",
                 table.max_edge_bits()
             )),
             Some(_) => {}
             None => drift.push(format!("baseline has no max_edge_bits for {id}")),
+        }
+        // Every named metric in the committed baseline must still be
+        // reported: a key disappearing means an experiment quietly
+        // stopped measuring something. Values stay advisory (diffed in
+        // the table above) — some metrics are throughput-like.
+        for (name, _) in base.map(|b| b.metrics.as_slice()).unwrap_or(&[]) {
+            if !table.metrics().iter().any(|(n, _)| n == name) {
+                drift.push(format!("{id} no longer reports baseline metric '{name}'"));
+            }
         }
     }
     if let Some(base_wall) = baseline.total_wall_clock_s {
@@ -376,7 +381,17 @@ struct Baseline {
     /// The committed sweep's summed simulated LOCAL rounds — the
     /// contention-free invariant `--check-baseline` enforces.
     total_simulated_rounds: Option<u64>,
-    experiments: Vec<(String, f64, Option<u64>)>,
+    experiments: Vec<BaselineExp>,
+}
+
+/// One experiment line of the committed summary: wall-clock, the
+/// `max_edge_bits` invariant, and the named domain metrics (e.g. the
+/// fault sweep's recovery counters), which diff by name.
+struct BaselineExp {
+    id: String,
+    wall_clock_s: f64,
+    max_edge_bits: Option<u64>,
+    metrics: Vec<(String, u64)>,
 }
 
 impl Baseline {
@@ -397,6 +412,30 @@ impl Baseline {
                 .trim()
                 .parse()
                 .ok()
+        }
+        /// The `"metrics": {...}` object on an experiment line, as
+        /// name/value pairs (empty when the line carries none).
+        fn metrics_object(line: &str) -> Vec<(String, u64)> {
+            let Some(rest) = line.split_once("\"metrics\":") else {
+                return Vec::new();
+            };
+            let Some(body) = rest
+                .1
+                .split_once('{')
+                .and_then(|(_, tail)| tail.split_once('}'))
+            else {
+                return Vec::new();
+            };
+            body.0
+                .split(',')
+                .filter_map(|pair| {
+                    let (name, value) = pair.split_once(':')?;
+                    Some((
+                        name.trim().trim_matches('"').to_string(),
+                        value.trim().parse().ok()?,
+                    ))
+                })
+                .collect()
         }
         let mut base = Baseline {
             quick: None,
@@ -431,7 +470,12 @@ impl Baseline {
             if let (Some(id), Some(wall)) = (str_field(line, "id"), f64_field(line, "wall_clock_s"))
             {
                 let bits = f64_field(line, "max_edge_bits").map(|b| b as u64);
-                base.experiments.push((id, wall, bits));
+                base.experiments.push(BaselineExp {
+                    id,
+                    wall_clock_s: wall,
+                    max_edge_bits: bits,
+                    metrics: metrics_object(line),
+                });
             }
         }
         if base.experiments.is_empty() && base.total_wall_clock_s.is_none() {
@@ -498,19 +542,23 @@ fn print_baseline_diff(
             }
         };
     for (id, table, secs) in results {
-        let base = baseline.experiments.iter().find(|(bid, _, _)| bid == id);
+        let base = baseline.experiments.iter().find(|b| &b.id == id);
         row(
             id,
-            base.map(|&(_, w, _)| w),
+            base.map(|b| b.wall_clock_s),
             *secs,
-            base.and_then(|&(_, _, b)| b),
+            base.and_then(|b| b.max_edge_bits),
             Some(table.max_edge_bits()),
         );
     }
     // The baseline total covers the full sweep; comparing a partial
     // run's total against it would only mislead.
     if results.len() == ALL.len() {
-        let base_max = baseline.experiments.iter().filter_map(|&(_, _, b)| b).max();
+        let base_max = baseline
+            .experiments
+            .iter()
+            .filter_map(|b| b.max_edge_bits)
+            .max();
         let now_max = results.iter().map(|(_, t, _)| t.max_edge_bits()).max();
         row(
             "TOTAL",
@@ -519,6 +567,36 @@ fn print_baseline_diff(
             base_max,
             now_max,
         );
+    }
+    // Named domain metrics (the fault sweep's recovery counters, the
+    // sharded sweep's throughput cells, ...) diff by name rather than
+    // being silently dropped; keys present on only one side say so.
+    for (id, table, _) in results {
+        let base_metrics = baseline
+            .experiments
+            .iter()
+            .find(|b| &b.id == id)
+            .map(|b| b.metrics.as_slice())
+            .unwrap_or(&[]);
+        if base_metrics.is_empty() && table.metrics().is_empty() {
+            continue;
+        }
+        let mut cells: Vec<String> = Vec::new();
+        for (name, base_v) in base_metrics {
+            match table.metrics().iter().find(|(n, _)| n == name) {
+                Some(&(_, now_v)) => cells.push(format!(
+                    "{name} {base_v} -> {now_v} ({:+})",
+                    now_v as i64 - *base_v as i64
+                )),
+                None => cells.push(format!("{name} {base_v} -> MISSING")),
+            }
+        }
+        for (name, now_v) in table.metrics() {
+            if !base_metrics.iter().any(|(n, _)| n == name) {
+                cells.push(format!("{name} (new) {now_v}"));
+            }
+        }
+        println!("  {id} metrics: {}", cells.join(", "));
     }
     // The headline memory claim, diffed like the wall-clock rows: the
     // G^7 ruling path's peak heap, overlay vs materialized, against the

@@ -174,6 +174,19 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
             Execution::Engine,
             "G[S] round on the host edge: bcast + unbounded directed list",
         ),
+        // The sharded engine's boundary block is not a per-edge message
+        // but the batched shard-pair envelope (gamma section counts,
+        // gamma-coded sender/arc offsets, payloads), so it has no
+        // per-message bound; its realized wire bits are metered per
+        // block by `BoundaryStats`.
+        SubstrateBandwidth {
+            name: "shard/boundary",
+            message: "BoundaryBlock",
+            max_bits: None,
+            class: BandwidthClass::LocalOnly,
+            execution: Execution::Engine,
+            note: "batched block per shard pair per round: all cross-shard traffic, wire-exact",
+        },
         row::<LinialMsg>(
             "linial",
             "LinialMsg",
@@ -354,14 +367,14 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_all_twenty_substrates() {
+    fn registry_covers_all_twenty_one_substrates() {
         let p = WireParams {
             n: 1 << 12,
             max_degree: 4,
             palette: 5,
         };
         let rows = classify(&p);
-        assert_eq!(rows.len(), 20);
+        assert_eq!(rows.len(), 21);
         // Bounded rows really are within budget; unbounded rows say so.
         for r in &rows {
             match r.max_bits {

@@ -189,6 +189,53 @@ impl Graph {
         GraphBuilder::new(n).build()
     }
 
+    /// Builds a graph directly from CSR arrays: `offsets` has `n + 1`
+    /// entries and `adj[offsets[v]..offsets[v + 1]]` is `v`'s adjacency
+    /// list, **sorted and symmetric** (every arc has its reverse). This
+    /// is the streaming construction path (`crate::io::stream_graph`):
+    /// unlike [`GraphBuilder::build`], it never materializes an edge
+    /// list or sorts anything, so giant generated instances cost only
+    /// their final CSR footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent; sortedness and symmetry
+    /// are `debug_assert`ed (callers are the in-crate generators, which
+    /// emit sorted neighborhoods by construction).
+    pub(crate) fn from_csr_parts(offsets: Vec<u32>, adj: Vec<NodeId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets needs a leading 0");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            adj.len(),
+            "offsets must end at the adjacency length"
+        );
+        let n = offsets.len() - 1;
+        let mut max_degree = 0u32;
+        let mut min_degree = u32::MAX;
+        for v in 0..n {
+            let d = offsets[v + 1] - offsets[v];
+            max_degree = max_degree.max(d);
+            min_degree = min_degree.min(d);
+            debug_assert!(
+                adj[offsets[v] as usize..offsets[v + 1] as usize]
+                    .windows(2)
+                    .all(|w| w[0] < w[1]),
+                "adjacency of {v} must be sorted and duplicate-free"
+            );
+        }
+        if n == 0 {
+            min_degree = 0;
+        }
+        Graph {
+            offsets,
+            adj,
+            rev: std::sync::OnceLock::new(),
+            max_degree,
+            min_degree,
+        }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {

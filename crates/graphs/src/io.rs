@@ -212,6 +212,101 @@ pub fn load(path: &Path) -> Result<Graph, Box<dyn std::error::Error>> {
     Ok(g)
 }
 
+/// Builds a graph in one streaming pass over per-node neighborhoods,
+/// without ever materializing an edge list.
+///
+/// `neighbors_of(v, buf)` must fill `buf` with `v`'s **sorted,
+/// duplicate-free** neighbor list (no self-loops), and must emit a
+/// symmetric relation (`w ∈ N(v)` iff `v ∈ N(w)`). The callback runs
+/// twice per node — once to size the CSR offsets, once to fill the
+/// adjacency array — so it must be deterministic.
+///
+/// This is the scale path for generated instances: [`GraphBuilder`]
+/// stores and sorts an `m`-entry edge `Vec` (plus per-list sorts),
+/// which at `2^27` nodes of a 4-regular substrate is gigabytes of
+/// transient allocation; `stream_graph` peaks at the final CSR
+/// footprint itself.
+///
+/// # Panics
+///
+/// Panics if the two passes disagree on a degree, or if an emitted
+/// neighbor is out of range.
+pub fn stream_graph<F>(n: usize, mut neighbors_of: F) -> Graph
+where
+    F: FnMut(u32, &mut Vec<crate::NodeId>),
+{
+    let mut buf: Vec<crate::NodeId> = Vec::new();
+    let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    offsets.push(0);
+    let mut acc = 0u64;
+    for v in 0..n {
+        buf.clear();
+        neighbors_of(v as u32, &mut buf);
+        acc += buf.len() as u64;
+        offsets.push(u32::try_from(acc).expect("arc count exceeds u32 range"));
+    }
+    let mut adj: Vec<crate::NodeId> = Vec::with_capacity(acc as usize);
+    for v in 0..n {
+        buf.clear();
+        neighbors_of(v as u32, &mut buf);
+        assert_eq!(
+            buf.len(),
+            (offsets[v + 1] - offsets[v]) as usize,
+            "neighbors_of must be deterministic across passes"
+        );
+        for &w in &buf {
+            assert!(w.index() < n, "neighbor {w} out of range");
+            adj.push(w);
+        }
+    }
+    Graph::from_csr_parts(offsets, adj)
+}
+
+/// Streaming 2-dimensional torus, structurally identical to
+/// [`crate::generators::torus`] but built through [`stream_graph`]
+/// (node `(r, c)` has id `r * cols + c`).
+///
+/// # Panics
+///
+/// Panics if `rows < 2` or `cols < 2`.
+pub fn stream_torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 2 && cols >= 2, "torus needs both dimensions >= 2");
+    stream_graph(rows * cols, move |v, buf| {
+        let (r, c) = (v as usize / cols, v as usize % cols);
+        let id = |r: usize, c: usize| crate::NodeId((r * cols + c) as u32);
+        buf.extend_from_slice(&[
+            id((r + rows - 1) % rows, c),
+            id((r + 1) % rows, c),
+            id(r, (c + cols - 1) % cols),
+            id(r, (c + 1) % cols),
+        ]);
+        buf.sort_unstable();
+        buf.dedup();
+    })
+}
+
+/// Streaming 4-regular circulant (`v ± 1, v ± 2 (mod n)`), structurally
+/// identical to [`crate::generators::circulant`]`(n, 4)` but built
+/// through [`stream_graph`] — the deterministic degree-4 stand-in for a
+/// random regular instance at scales where the configuration model's
+/// full stub shuffle is unaffordable.
+///
+/// # Panics
+///
+/// Panics if `n < 5` (smaller circulants collapse offsets).
+pub fn stream_circulant4(n: usize) -> Graph {
+    assert!(n >= 5, "4-regular circulant needs n >= 5");
+    stream_graph(n, move |v, buf| {
+        let v = v as usize;
+        buf.extend(
+            [n - 2, n - 1, 1, 2]
+                .iter()
+                .map(|&d| crate::NodeId(((v + d) % n) as u32)),
+        );
+        buf.sort_unstable();
+    })
+}
+
 /// Renders a Graphviz DOT representation; if `colors` is given (one
 /// entry per node), nodes are filled from a qualitative palette.
 pub fn to_dot(g: &Graph, colors: Option<&[u32]>) -> String {
@@ -298,6 +393,53 @@ mod tests {
         let colored = to_dot(&g, Some(&[0, 1, 2]));
         assert!(colored.contains("fillcolor"));
         assert!(colored.contains("label=\"2:2\""));
+    }
+
+    #[test]
+    fn stream_torus_matches_builder_torus() {
+        for (rows, cols) in [(2, 2), (2, 5), (3, 3), (4, 7), (8, 8)] {
+            let streamed = stream_torus(rows, cols);
+            let built = generators::torus(rows, cols);
+            assert_eq!(streamed, built, "torus {rows}x{cols}");
+            assert_eq!(streamed.max_degree(), built.max_degree());
+            assert_eq!(streamed.min_degree(), built.min_degree());
+        }
+    }
+
+    #[test]
+    fn stream_circulant4_matches_builder_circulant() {
+        for n in [5, 6, 9, 32, 101] {
+            let streamed = stream_circulant4(n);
+            let built = generators::circulant(n, 4);
+            assert_eq!(streamed, built, "circulant4 n={n}");
+            assert!(streamed.is_regular(4));
+        }
+    }
+
+    #[test]
+    fn stream_graph_arcs_round_trip() {
+        // The streamed CSR must support the full arc API (the engine's
+        // delivery substrate): reverse arcs round-trip.
+        let g = stream_torus(4, 5);
+        for v in g.nodes() {
+            for a in g.arc_range(v) {
+                let b = g.reverse_arc(a);
+                assert_eq!(g.arc_head(b), v);
+                assert_eq!(g.reverse_arc(b), a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic across passes")]
+    fn stream_graph_rejects_nondeterministic_source() {
+        let mut calls = 0usize;
+        let _ = stream_graph(3, move |v, buf| {
+            calls += 1;
+            if calls > 3 && v == 1 {
+                buf.push(crate::NodeId(0)); // second pass disagrees
+            }
+        });
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod components;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod partition;
 pub mod power;
 pub mod props;
 
 pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
+pub use partition::ShardPlan;

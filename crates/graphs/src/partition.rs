@@ -1,0 +1,198 @@
+//! Contiguous shard partitions of the node range.
+//!
+//! A [`ShardPlan`] splits `0..n` into `S` contiguous node ranges. The
+//! sharded engine in the `local-model` crate assigns each range to one
+//! *home shard*: only a node's home shard ever steps its program or
+//! writes its inbox (the single-owner discipline), so shards can run a
+//! round's compute phases in parallel with no cross-shard writes, and
+//! contiguity means every shard's adjacency is one CSR slice of the
+//! host graph.
+//!
+//! Two constructors are provided:
+//!
+//! * [`ShardPlan::contiguous`] — equal node counts per shard, the
+//!   right default for the near-regular experiment substrates;
+//! * [`ShardPlan::degree_balanced`] — a greedy sweep that places the
+//!   cut points so the shards' *degree sums* (≈ per-round routing and
+//!   delivery work) are balanced, for skewed-degree graphs. The result
+//!   is still contiguous ranges, so it plugs into the same CSR-slice
+//!   machinery.
+
+use crate::graph::Graph;
+
+/// A partition of the node range `0..n` into contiguous shards.
+///
+/// # Example
+///
+/// ```
+/// use delta_graphs::partition::ShardPlan;
+/// let plan = ShardPlan::contiguous(10, 3);
+/// assert_eq!(plan.num_shards(), 3);
+/// assert_eq!(plan.range(0), 0..3);
+/// assert_eq!(plan.range(2), 6..10);
+/// assert_eq!(plan.home_of(6), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `num_shards() + 1` cut points: shard `s` owns
+    /// `starts[s]..starts[s + 1]`; `starts[0] == 0` and the last entry
+    /// is `n`.
+    starts: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Splits `0..n` into `shards` contiguous ranges of (nearly) equal
+    /// node count. `shards` is clamped to `1..=max(n, 1)`, so every
+    /// shard is non-empty whenever `n > 0`.
+    pub fn contiguous(n: usize, shards: usize) -> Self {
+        let s = shards.clamp(1, n.max(1));
+        let starts = (0..=s).map(|i| (n * i / s) as u32).collect();
+        ShardPlan { starts }
+    }
+
+    /// Splits `g`'s node range into `shards` contiguous ranges whose
+    /// degree sums are greedily balanced: sweeping nodes in id order,
+    /// each cut is placed once the running degree sum reaches the next
+    /// multiple of `2m / shards`, while always leaving enough nodes for
+    /// the remaining shards to be non-empty. Deterministic, `O(n)`.
+    pub fn degree_balanced(g: &Graph, shards: usize) -> Self {
+        let n = g.n();
+        let s = shards.clamp(1, n.max(1));
+        let total = g.num_arcs() as u64;
+        let mut starts = Vec::with_capacity(s + 1);
+        starts.push(0u32);
+        let mut acc = 0u64;
+        let mut v = 0usize;
+        for cut in 1..s {
+            // Shard `cut - 1` takes nodes until its share of the degree
+            // mass is met; each shard takes at least one node, and at
+            // most `n - (s - cut)` in total so the rest stay non-empty.
+            let target = total * cut as u64 / s as u64;
+            let hi = n - (s - cut);
+            loop {
+                acc += g.degree(crate::graph::NodeId(v as u32)) as u64;
+                v += 1;
+                if v >= hi || (acc >= target && v > starts[cut - 1] as usize) {
+                    break;
+                }
+            }
+            starts.push(v as u32);
+        }
+        starts.push(n as u32);
+        ShardPlan { starts }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of nodes partitioned.
+    pub fn n(&self) -> usize {
+        *self.starts.last().expect("at least one cut point") as usize
+    }
+
+    /// The node range owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= num_shards()`.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.starts[s] as usize..self.starts[s + 1] as usize
+    }
+
+    /// The home shard of node `v`. `O(log S)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()` (no shard owns it).
+    pub fn home_of(&self, v: u32) -> usize {
+        debug_assert!((v as usize) < self.n(), "node {v} outside the plan");
+        self.starts.partition_point(|&c| c <= v) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_partition(plan: &ShardPlan, n: usize) {
+        assert_eq!(plan.n(), n);
+        let mut covered = 0usize;
+        for s in 0..plan.num_shards() {
+            let r = plan.range(s);
+            assert_eq!(r.start, covered, "ranges are contiguous and ordered");
+            covered = r.end;
+            for v in r.clone() {
+                assert_eq!(plan.home_of(v as u32), s);
+            }
+        }
+        assert_eq!(covered, n, "ranges cover 0..n");
+    }
+
+    #[test]
+    fn contiguous_covers_and_balances() {
+        for (n, s) in [(10, 3), (16, 4), (5, 1), (7, 7), (1, 1)] {
+            let plan = ShardPlan::contiguous(n, s);
+            assert_eq!(plan.num_shards(), s);
+            check_partition(&plan, n);
+            let sizes: Vec<usize> = (0..s).map(|i| plan.range(i).len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "equal split up to rounding: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let plan = ShardPlan::contiguous(3, 8);
+        assert_eq!(plan.num_shards(), 3);
+        check_partition(&plan, 3);
+        let empty = ShardPlan::contiguous(0, 4);
+        assert_eq!(empty.num_shards(), 1);
+        assert_eq!(empty.range(0), 0..0);
+    }
+
+    #[test]
+    fn degree_balanced_covers_and_tracks_mass() {
+        // A star plus a long path: node 0 carries most of the degree
+        // mass, so the first shard should stay small.
+        let mut b = crate::GraphBuilder::new(64);
+        for i in 1..32 {
+            b.add_edge(0, i);
+        }
+        for i in 32..63 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        let plan = ShardPlan::degree_balanced(&g, 4);
+        assert_eq!(plan.num_shards(), 4);
+        check_partition(&plan, 64);
+        let mass = |s: usize| -> u64 {
+            plan.range(s)
+                .map(|v| g.degree(crate::graph::NodeId(v as u32)) as u64)
+                .sum()
+        };
+        // The star center's shard must not also swallow the whole path.
+        assert!(mass(0) < g.num_arcs() as u64 / 2 + g.max_degree() as u64);
+        assert!((0..4).all(|s| !plan.range(s).is_empty()));
+    }
+
+    #[test]
+    fn degree_balanced_on_regular_graph_is_near_equal() {
+        let g = generators::torus(8, 8);
+        let plan = ShardPlan::degree_balanced(&g, 4);
+        check_partition(&plan, 64);
+        let sizes: Vec<usize> = (0..4).map(|s| plan.range(s).len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "regular graph splits evenly: {sizes:?}");
+    }
+
+    #[test]
+    fn home_of_matches_ranges_under_skew() {
+        let g = generators::gnp(50, 0.2, 9);
+        for s in [1, 2, 3, 8] {
+            check_partition(&ShardPlan::degree_balanced(&g, s), 50);
+        }
+    }
+}

@@ -315,6 +315,21 @@ pub enum EngineError {
     /// The type-keyed delivery scratch resolved to a mailbox of a
     /// different message type (unreachable unless `TypeId` lies).
     ScratchTypeConflict,
+    /// A staged boundary-block message's destination arc fell outside
+    /// the destination shard's arc range — a violation of the sharded
+    /// engine's single-owner discipline (only a node's home shard may
+    /// fill its inbox), caught by the `arc_range` check at the
+    /// boundary-block encode site. Unreachable through the public API:
+    /// routing derives every destination arc from the recipient's own
+    /// adjacency, and the block's target shard is the recipient's home.
+    CrossShardArc {
+        /// The sending node.
+        from: NodeId,
+        /// The staged destination arc.
+        arc: u32,
+        /// The shard whose boundary block the message was staged into.
+        shard: u32,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -327,6 +342,10 @@ impl std::fmt::Display for EngineError {
             EngineError::ScratchTypeConflict => {
                 f.write_str("delivery scratch resolved to a mismatched message type")
             }
+            EngineError::CrossShardArc { from, arc, shard } => write!(
+                f,
+                "node {from} staged destination arc {arc} outside shard {shard}'s arc range"
+            ),
         }
     }
 }
@@ -957,12 +976,18 @@ pub const ARENA_BLOCK: usize = 1 << 18;
 
 /// Bucket of directed-message indices for recipient `v` inside
 /// `dir_idx` (see [`Mailbox::dir_start`]'s cursor-shift layout).
-fn bucket_bounds(dir_start: &[u32], v: usize) -> std::ops::Range<usize> {
+/// Shared with the sharded engine, whose per-shard counting sort uses
+/// the same cursor-shift layout over shard-local recipient indices.
+pub(crate) fn bucket_bounds(dir_start: &[u32], v: usize) -> std::ops::Range<usize> {
     let start = if v == 0 { 0 } else { dir_start[v - 1] as usize };
     start..dir_start[v] as usize
 }
 
-fn run_send<S, M>(
+/// Runs one node's send phase: reset the persistent outbox, build the
+/// context, invoke the program. Shared with the sharded engine so both
+/// substrates present identical contexts (global node id, host degree,
+/// the node's private RNG stream).
+pub(crate) fn run_send<S, M>(
     graph: &Graph,
     i: usize,
     state: &mut S,

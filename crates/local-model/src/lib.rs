@@ -43,6 +43,14 @@
 //!   `G^k`, and `G[S]` alike; fault decisions are pure hashes of
 //!   (seed, round, arc, slot), so transcripts, counters, and post-fault
 //!   states stay bit-identical across [`ExecMode`]s;
+//! * **sharded execution** ([`shard`]) — [`ShardedEngine`] partitions
+//!   the graph into single-owner shards (a
+//!   [`delta_graphs::ShardPlan`]), computes shards in parallel, and
+//!   exchanges cross-shard traffic as one batched [`WireCodec`]-encoded
+//!   boundary block per ordered shard pair per round, while intra-shard
+//!   delivery keeps the zero-allocation arena path — seed-bit-identical
+//!   to the single-arena [`Engine`] (`tests/sharded_equivalence.rs`)
+//!   with the overlay's own wire cost metered by [`BoundaryStats`];
 //! * central ball materialization through [`Graph::ball`]
 //!   (`delta_graphs`) with explicit round charging on a
 //!   [`RoundLedger`], packaged as [`BallOracle`] — the reference oracle
@@ -67,6 +75,7 @@ pub mod faults;
 pub mod ledger;
 pub mod oracle;
 pub mod overlay;
+pub mod shard;
 pub mod wire;
 
 pub use ball::{
@@ -84,4 +93,5 @@ pub use overlay::{
     expand_rank_mask, InducedOverlay, InducedPowerOverlay, OverlayEngine, OverlayEnvelope,
     OverlayRelay, PowerOverlay, RelayItem, VirtualTopology,
 };
+pub use shard::{BoundaryStats, ShardedEngine};
 pub use wire::{congest_budget, BitReader, BitWriter, WireCodec, WireParams};
