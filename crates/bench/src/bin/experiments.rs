@@ -45,7 +45,10 @@
 use delta_coloring::bandwidth::classify;
 use delta_coloring_bench::experiments::{run, Scale, ALL};
 use delta_coloring_bench::Table;
-use local_model::{congest_budget, RoundLedger, WireParams};
+use local_model::{
+    congest_budget, JsonlSink, ProgressSink, RoundLedger, RunManifest, TraceSink, Tracer,
+    WireParams,
+};
 use rayon::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -123,6 +126,7 @@ fn main() {
     let mut quick = false;
     let mut check_baseline = false;
     let mut out_dir = PathBuf::from("results");
+    let mut trace_dir: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -135,8 +139,17 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--trace-dir" => {
+                trace_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--trace-dir requires a directory argument");
+                    std::process::exit(2);
+                })));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [--check-baseline] [--out DIR] [ids...]");
+                eprintln!(
+                    "usage: experiments [--quick] [--check-baseline] [--out DIR] \
+                     [--trace-dir DIR] [ids...]"
+                );
                 eprintln!("ids: {}", ALL.join(" "));
                 return;
             }
@@ -157,6 +170,12 @@ fn main() {
         eprintln!("cannot create {}: {e}", out_dir.display());
         std::process::exit(1);
     }
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
 
     // Memory probe first, single-threaded, so the allocator counters
     // see only the measured path.
@@ -170,13 +189,36 @@ fn main() {
     );
 
     // The experiments are independent; sweep them on worker threads and
-    // report in canonical order afterwards.
+    // report in canonical order afterwards. Each gets its own tracer:
+    // a progress narrator (prints only when a run outlives its 10s
+    // interval) plus, under `--trace-dir`, a JSONL stream `{id}.jsonl`
+    // whose totals mirror the experiment's own round/bits meters.
     let wall_start = Instant::now();
     let results: Vec<(String, Table, f64)> = ids
         .par_iter()
         .map(|id| {
             let start = Instant::now();
-            let table = run(id, scale).expect("ids validated above");
+            let mut sinks: Vec<Box<dyn TraceSink>> = vec![Box::new(ProgressSink::new(
+                id,
+                std::time::Duration::from_secs(10),
+            ))];
+            if let Some(dir) = &trace_dir {
+                let path = dir.join(format!("{id}.jsonl"));
+                match JsonlSink::create(&path) {
+                    Ok(sink) => sinks.push(Box::new(sink)),
+                    Err(e) => {
+                        eprintln!("cannot create {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+            let tr = Tracer::with_sinks(sinks);
+            let mut manifest = RunManifest::new(id);
+            manifest.quick = quick;
+            manifest.exec_mode = "auto".to_string();
+            tr.manifest(&manifest);
+            let table = run(id, scale, &tr).expect("ids validated above");
+            tr.finish();
             (id.clone(), table, start.elapsed().as_secs_f64())
         })
         .collect();
@@ -332,22 +374,23 @@ fn print_bandwidth_table(quick: bool, results: &[(String, Table, f64)]) {
         p.max_degree
     );
     println!(
-        "{:<18} {:<18} {:>10}  {:<18} {:<18} why",
-        "substrate", "message", "max_bits", "class", "execution"
+        "{:<18} {:<18} {:>10}  {:<18} {:<18} {:<21} why",
+        "substrate", "message", "max_bits", "class", "execution", "trace"
     );
-    println!("{}", "-".repeat(118));
+    println!("{}", "-".repeat(140));
     for row in classify(&p) {
         let bits = row
             .max_bits
             .map(|b| b.to_string())
             .unwrap_or_else(|| "unbounded".into());
         println!(
-            "{:<18} {:<18} {:>10}  {:<18} {:<18} {}",
+            "{:<18} {:<18} {:>10}  {:<18} {:<18} {:<21} {}",
             row.name,
             row.message,
             bits,
             row.class.to_string(),
             row.execution.to_string(),
+            row.trace,
             row.note
         );
     }

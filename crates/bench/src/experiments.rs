@@ -21,7 +21,7 @@ use delta_coloring::verify;
 use delta_graphs::{generators, props, Graph, NodeId};
 use local_model::{
     Engine, FaultPlan, FaultyDriver, InducedOverlay, Outbox, OverlayEngine, PowerOverlay,
-    RoundDriver, RoundLedger, ShardedEngine,
+    RoundDriver, RoundLedger, ShardedEngine, Tracer,
 };
 use rand::Rng;
 use rayon::prelude::*;
@@ -69,7 +69,7 @@ fn log2(x: f64) -> f64 {
 
 /// T1 — Theorem 1 / Corollary 2: randomized Δ-coloring rounds vs `n`
 /// at constant Δ (expected shape: `O((log log n)²)`, i.e. near-flat).
-pub fn t1(scale: Scale) -> Table {
+pub fn t1(scale: Scale, tr: &Tracer) -> Table {
     let mut t = Table::new(
         "T1: randomized delta-coloring, rounds vs n (Thm 1 / Cor 2; expect ~(log log n)^2 growth)",
         &[
@@ -114,7 +114,7 @@ pub fn t1(scale: Scale) -> Table {
                 } else {
                     RandConfig::large_delta(&g, seed)
                 };
-                let mut ledger = RoundLedger::new();
+                let mut ledger = tr.ledger();
                 let (c, stats) = delta_color_rand(&g, cfg, &mut ledger).expect("colorable");
                 verify::check_delta_coloring(&g, &c).expect("valid");
                 rounds.push(ledger.total() as f64);
@@ -147,7 +147,7 @@ pub fn t1(scale: Scale) -> Table {
 /// T2 — Theorem 3: randomized Δ-coloring rounds vs Δ at fixed `n`
 /// (expected shape: dominated by the list-coloring Δ-dependence; the
 /// theorem's own term is `O(log Δ)`).
-pub fn t2(scale: Scale) -> Table {
+pub fn t2(scale: Scale, tr: &Tracer) -> Table {
     let mut t = Table::new(
         "T2: randomized delta-coloring, rounds vs delta at fixed n (Thm 3; expect slow growth ~ log delta)",
         &["n", "delta", "rounds(mean)", "attempts", "fellback", "log2(delta)"],
@@ -160,7 +160,7 @@ pub fn t2(scale: Scale) -> Table {
         for seed in 0..scale.seeds() {
             let g = generators::random_regular(n, delta, seed * 31 + delta as u64);
             let cfg = RandConfig::large_delta(&g, seed);
-            let mut ledger = RoundLedger::new();
+            let mut ledger = tr.ledger();
             let (c, stats) = delta_color_rand(&g, cfg, &mut ledger).expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
             rounds.push(ledger.total() as f64);
@@ -182,7 +182,7 @@ pub fn t2(scale: Scale) -> Table {
 
 /// T3 — Theorem 4: deterministic Δ-coloring rounds vs `n` (expected
 /// shape: `O(log² n)`).
-pub fn t3(scale: Scale) -> Table {
+pub fn t3(scale: Scale, tr: &Tracer) -> Table {
     let mut t = Table::new(
         "T3: deterministic delta-coloring, rounds vs n (Thm 4; expect ~log^2 n growth)",
         &[
@@ -207,7 +207,7 @@ pub fn t3(scale: Scale) -> Table {
         .into_par_iter()
         .map(|(delta, n)| {
             let g = generators::random_regular(n, delta, 7 + delta as u64);
-            let mut ledger = RoundLedger::new();
+            let mut ledger = tr.ledger();
             let (c, stats) =
                 delta_color_det(&g, DetConfig::default(), &mut ledger).expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
@@ -233,7 +233,12 @@ pub fn t3(scale: Scale) -> Table {
 }
 
 /// T4 — algorithm × family comparison at a fixed size: who wins.
-pub fn t4(scale: Scale) -> Table {
+///
+/// Each algorithm column runs under a trace span (`t4:<alg>`), and the
+/// table reports advisory `wall_permille_<alg>` metrics — each
+/// algorithm's share of the experiment's algorithm wall time, sourced
+/// from the span tree (all zero when no trace is attached).
+pub fn t4(scale: Scale, tr: &Tracer) -> Table {
     let mut t = Table::new(
         "T4: algorithms x graph families (rounds; all colorings verified)",
         &[
@@ -269,22 +274,25 @@ pub fn t4(scale: Scale) -> Table {
         }
         let delta = g.max_degree();
         let rand_rounds = {
+            let _span = tr.span("t4:rand");
             let cfg = RandConfig::large_delta(&g, 1);
-            let mut ledger = RoundLedger::new();
+            let mut ledger = tr.ledger();
             let (c, _) = delta_color_rand(&g, cfg, &mut ledger).expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
             t.meter_ledger(&ledger);
             ledger.total()
         };
         let det_rounds = {
-            let mut ledger = RoundLedger::new();
+            let _span = tr.span("t4:det");
+            let mut ledger = tr.ledger();
             let (c, _) = delta_color_det(&g, DetConfig::default(), &mut ledger).expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
             t.meter_ledger(&ledger);
             ledger.total()
         };
         let nd_rounds = {
-            let mut ledger = RoundLedger::new();
+            let _span = tr.span("t4:netdecomp");
+            let mut ledger = tr.ledger();
             let (c, _) = delta_color_netdecomp(&g, ListColorMethod::Randomized, 4, &mut ledger)
                 .expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
@@ -292,14 +300,16 @@ pub fn t4(scale: Scale) -> Table {
             ledger.total()
         };
         let ps_rounds = {
-            let mut ledger = RoundLedger::new();
+            let _span = tr.span("t4:ps");
+            let mut ledger = tr.ledger();
             let (c, _) = baseline::ps_style_delta(&g, 2, &mut ledger).expect("colorable");
             verify::check_delta_coloring(&g, &c).expect("valid");
             t.meter_ledger(&ledger);
             ledger.total()
         };
         let dp1_rounds = {
-            let mut ledger = RoundLedger::new();
+            let _span = tr.span("t4:greedy");
+            let mut ledger = tr.ledger();
             let c = baseline::randomized_delta_plus_one(&g, 3, &mut ledger).expect("colorable");
             delta_coloring::palette::check_k_coloring(&g, &c, delta + 1).expect("valid");
             t.meter_ledger(&ledger);
@@ -316,12 +326,38 @@ pub fn t4(scale: Scale) -> Table {
             dp1_rounds.to_string(),
         ]);
     }
+    add_wall_share_metrics(
+        &mut t,
+        tr,
+        "t4",
+        &["rand", "det", "netdecomp", "ps", "greedy"],
+    );
     t
+}
+
+/// Folds the spans `{prefix}:{name}` into advisory
+/// `wall_permille_{name}` metrics: each span's share (‰) of the group's
+/// summed wall time. The keys are always emitted — a disabled tracer
+/// reports zeros, so the baseline vanished-key gate holds regardless.
+fn add_wall_share_metrics(t: &mut Table, tr: &Tracer, prefix: &str, names: &[&str]) {
+    let spans = tr.span_totals();
+    let wall = |name: &str| {
+        let path = format!("{prefix}:{name}");
+        spans
+            .iter()
+            .find(|(p, _)| p == &path)
+            .map_or(0, |(_, a)| a.wall_ns)
+    };
+    let total: u64 = names.iter().map(|n| wall(n)).sum();
+    for name in names {
+        let share = (wall(name) * 1000).checked_div(total).unwrap_or(0);
+        t.add_metric(&format!("wall_permille_{name}"), share);
+    }
 }
 
 /// T5 — ablations on the randomized algorithm: backoff distance `b`,
 /// selection probability scale, and disabling the DCC-removal phase.
-pub fn t5(scale: Scale) -> Table {
+pub fn t5(scale: Scale, tr: &Tracer) -> Table {
     let mut t = Table::new(
         "T5: ablations (random 4-regular; backoff b, selection p, DCC removal on/off)",
         &[
@@ -390,7 +426,7 @@ pub fn t5(scale: Scale) -> Table {
         ),
     ];
     for (name, cfg) in variants {
-        let mut ledger = RoundLedger::new();
+        let mut ledger = tr.ledger();
         let result = delta_color_rand(&g, cfg, &mut ledger);
         t.meter_ledger(&ledger);
         let probe = shattering_probe(&g, &cfg, 99);
@@ -425,7 +461,7 @@ pub fn t5(scale: Scale) -> Table {
 
 /// F1 — Theorem 5: distributed-Brooks repair radius vs `n`, against the
 /// `2·log_{Δ-1} n` bound.
-pub fn f1(scale: Scale) -> Table {
+pub fn f1(scale: Scale, tr: &Tracer) -> Table {
     let mut t = Table::new(
         "F1: distributed Brooks repair radius (Thm 5): greedy completion in random order; stuck nodes repaired",
         &["delta", "n", "repairs", "radius(max)", "radius(mean)", "bound", "dcc-used"],
@@ -463,7 +499,7 @@ pub fn f1(scale: Scale) -> Table {
                     coloring.set(v, c);
                     continue;
                 }
-                let mut ledger = RoundLedger::new();
+                let mut ledger = tr.ledger();
                 let out =
                     brooks::repair_single_uncolored(&g, &mut coloring, v, delta, &mut ledger, "r")
                         .expect("repairable");
@@ -502,7 +538,7 @@ pub fn f1(scale: Scale) -> Table {
 /// regular graphs and on the projective-plane incidence graphs
 /// `PG(2, q)` (deterministic girth-6 family: every radius-2 ball is a
 /// tree, so 100% of balls qualify at r = 2).
-pub fn f2(scale: Scale) -> Table {
+pub fn f2(scale: Scale, _tr: &Tracer) -> Table {
     let mut t = Table::new(
         "F2: expansion without DCCs (Lemma 15; |B_r| >= (delta-1)^{r/2}, violations must be 0)",
         &[
@@ -589,7 +625,12 @@ pub fn f2(scale: Scale) -> Table {
 /// removes marked nodes, `|B_r(v)|` in `H` stays at least
 /// `(Δ-2)^{r/2}` (Δ >= 4, b = 6) resp. `4^{r/6}` (Δ = 3, b = 12) around
 /// qualifying nodes. Violations must be zero.
-pub fn f3(scale: Scale) -> Table {
+///
+/// The two per-config phases — the distributed ruling-set probe and the
+/// host-side expansion check — run under trace spans (`f3:ruling-probe`
+/// / `f3:expansion-check`), reported as advisory `wall_permille_*`
+/// metrics (zeros without a trace).
+pub fn f3(scale: Scale, tr: &Tracer) -> Table {
     let mut t = Table::new(
         "F3: expansion after marking (Lemmas 12/14; violations must be 0; planted maximal marking)",
         &[
@@ -613,9 +654,11 @@ pub fn f3(scale: Scale) -> Table {
         // random process rarely produces marks at feasible n (see F4),
         // so plant the densest valid pattern: a (b+1, b) ruling set as
         // the selected nodes, each marking two non-adjacent neighbors.
-        let mut ledger = RoundLedger::new();
-        let selected =
-            delta_coloring::ruling::ruling_set_randomized(&g, b + 1, 7, &mut ledger, "probe");
+        let mut ledger = tr.ledger();
+        let selected = {
+            let _span = tr.span("f3:ruling-probe");
+            delta_coloring::ruling::ruling_set_randomized(&g, b + 1, 7, &mut ledger, "probe")
+        };
         t.meter_ledger(&ledger);
         let mut marked = vec![false; g.n()];
         let mut t_nodes = 0usize;
@@ -647,6 +690,7 @@ pub fn f3(scale: Scale) -> Table {
         let mut qualifying = 0usize;
         let mut min_level = usize::MAX;
         let mut violations = 0usize;
+        let _span = tr.span("f3:expansion-check");
         for i in 0..sample {
             let lv = NodeId(((i as u64 * 2_654_435_761) % h.n() as u64) as u32);
             // Lemma preconditions: ball DCC-free and degrees in
@@ -687,13 +731,14 @@ pub fn f3(scale: Scale) -> Table {
             violations.to_string(),
         ]);
     }
+    add_wall_share_metrics(&mut t, tr, "f3", &["ruling-probe", "expansion-check"]);
     t
 }
 
 /// F4 — Lemmas 22/23/31: shattering quality of phases (4)–(5): happy
 /// fraction and leftover component sizes (components should stay
 /// `O(log n)`-ish when T-nodes exist).
-pub fn f4(scale: Scale) -> Table {
+pub fn f4(scale: Scale, _tr: &Tracer) -> Table {
     let mut t = Table::new(
         "F4: shattering probe (Lemmas 22/23/31): happy fraction, leftover components",
         &[
@@ -723,7 +768,7 @@ pub fn f4(scale: Scale) -> Table {
 
 /// F5 — Theorems 18/19 stand-ins: list-coloring round counts, randomized
 /// vs deterministic, across `n` and Δ.
-pub fn f5(scale: Scale) -> Table {
+pub fn f5(scale: Scale, tr: &Tracer) -> Table {
     let mut t = Table::new(
         "F5: (deg+1)-list coloring rounds (randomized ~log n w.h.p.; deterministic ~delta^2 + log* n)",
         &["delta", "n", "randomized", "deterministic", "log2(n)"],
@@ -732,7 +777,7 @@ pub fn f5(scale: Scale) -> Table {
     let run = |delta: usize, n: usize, t: &mut Table| {
         let g = generators::random_regular(n, delta, 31 + delta as u64);
         let lists = Lists::uniform(g.n(), delta + 1);
-        let mut l1 = RoundLedger::new();
+        let mut l1 = tr.ledger();
         let c1 = list_coloring::list_color(
             &g,
             &lists,
@@ -744,7 +789,7 @@ pub fn f5(scale: Scale) -> Table {
         )
         .expect("solvable");
         delta_coloring::palette::check_list_coloring(&g, &c1, &lists).expect("valid");
-        let mut l2 = RoundLedger::new();
+        let mut l2 = tr.ledger();
         let c2 = list_coloring::list_color(
             &g,
             &lists,
@@ -778,7 +823,7 @@ pub fn f5(scale: Scale) -> Table {
 /// F6 — Lemma 13: in graphs without radius-1 DCCs, every neighborhood
 /// `G[N(v)]` decomposes into disjoint cliques. Reported consistency must
 /// be `true` on every row.
-pub fn f6(_scale: Scale) -> Table {
+pub fn f6(_scale: Scale, _tr: &Tracer) -> Table {
     let mut t = Table::new(
         "F6: neighborhood clique decomposition (Lemma 13; consistent must be true)",
         &[
@@ -827,7 +872,7 @@ pub fn f6(_scale: Scale) -> Table {
 
 /// T6 — Remark 17: SLOCAL Δ-coloring locality against the
 /// `O(log_Δ n)` bound, plus how often greedy dead-ends (repairs).
-pub fn t6(scale: Scale) -> Table {
+pub fn t6(scale: Scale, _tr: &Tracer) -> Table {
     let mut t = Table::new(
         "T6: SLOCAL delta-coloring locality (Remark 17; locality must stay below the bound)",
         &[
@@ -909,6 +954,7 @@ fn maintain_colors<D: RoundDriver<u32>>(
 /// `(fault kind, rate in ppm, plan)`.
 fn fault_sweep_cell<D: RoundDriver<u32>>(
     t: &mut Table,
+    tr: &Tracer,
     substrate: &str,
     graph: &Graph,
     palette: usize,
@@ -917,7 +963,7 @@ fn fault_sweep_cell<D: RoundDriver<u32>>(
 ) {
     let (kind, rate_ppm, plan) = spec;
     let mut drv = FaultyDriver::new(make_driver(), plan.clone());
-    let mut ledger = RoundLedger::new();
+    let mut ledger = tr.ledger();
     let states = maintain_colors(&mut drv, palette as u32, &mut ledger);
     let c = drv.fault_counters();
     let injected = c.dropped + c.duplicated + c.corrupted + c.crashed_rounds;
@@ -964,7 +1010,7 @@ fn fault_sweep_cell<D: RoundDriver<u32>>(
 /// (rounds-to-recover, colors-changed) per cell. The `none` rows are
 /// the control arm: zero faults must mean zero violations, keeping the
 /// sweep inside the drift-free baseline gate.
-pub fn f7(scale: Scale) -> Table {
+pub fn f7(scale: Scale, tr: &Tracer) -> Table {
     let mut t = Table::new(
         "F7: fault sweep — maintenance under drop/duplicate/corrupt/crash, then region repair",
         &[
@@ -997,7 +1043,7 @@ pub fn f7(scale: Scale) -> Table {
     // Substrate 1: the host graph, Brooks Δ-colored.
     let base = brooks::brooks_color(&g, 4).expect("nice 4-regular host");
     for spec in &specs {
-        fault_sweep_cell(&mut t, "G", &g, 4, spec, || {
+        fault_sweep_cell(&mut t, tr, "G", &g, 4, spec, || {
             Engine::new(&g, 0, |v| base.get(v).expect("total").0)
         });
     }
@@ -1010,7 +1056,7 @@ pub fn f7(scale: Scale) -> Table {
     let sub_palette = sub.max_degree() + 1;
     let sub_base = greedy_coloring(&sub);
     for spec in &specs {
-        fault_sweep_cell(&mut t, "G[S]", &sub, sub_palette, spec, || {
+        fault_sweep_cell(&mut t, tr, "G[S]", &sub, sub_palette, spec, || {
             OverlayEngine::new(&g, InducedOverlay { members: &mask }, 0, |r| {
                 sub_base.get(r).expect("total").0
             })
@@ -1023,7 +1069,7 @@ pub fn f7(scale: Scale) -> Table {
     let gp_palette = gp.max_degree() + 1;
     let gp_base = greedy_coloring(&gp);
     for spec in &specs {
-        fault_sweep_cell(&mut t, "G^2", &gp, gp_palette, spec, || {
+        fault_sweep_cell(&mut t, tr, "G^2", &gp, gp_palette, spec, || {
             OverlayEngine::new(&g, PowerOverlay { k: 2 }, 0, |r| {
                 gp_base.get(r).expect("total").0
             })
@@ -1057,7 +1103,7 @@ fn count_conflicts(g: &Graph, colors: &[u8]) -> u64 {
 /// made visible); the throughput metrics recorded per graph × S in
 /// `BENCH_delta.json` are wall-clock-derived and therefore advisory in
 /// the baseline gate, which only insists the keys keep being reported.
-pub fn f8(scale: Scale) -> Table {
+pub fn f8(scale: Scale, tr: &Tracer) -> Table {
     let mut t = Table::new(
         "F8: sharded engine — 5-palette conflict resolution, throughput vs shard count",
         &[
@@ -1083,14 +1129,22 @@ pub fn f8(scale: Scale) -> Table {
         ("torus", delta_graphs::io::stream_torus(rows, cols)),
         ("rr4", delta_graphs::io::stream_circulant4(n_rr)),
     ];
+    // Progress-sink hints: total engine rounds the sweep will charge
+    // (2 graphs x 4 shard counts) and, per graph, the node count — the
+    // long-running full-scale sweep narrates rounds/s and an ETA.
+    tr.observe(
+        "progress_total_rounds",
+        cases.len() as u64 * 4 * rounds as u64,
+    );
     // Scrambled initial colors so the palette starts in heavy conflict.
     let init = |v: NodeId| (v.0.wrapping_mul(2_654_435_761) >> 16) as u8 % 5;
     for (name, g) in &cases {
+        tr.observe("progress_nodes", g.n() as u64);
         let start: Vec<u8> = g.nodes().map(init).collect();
         let conflicts_start = count_conflicts(g, &start);
         drop(start);
         for shards in [1usize, 2, 4, 8] {
-            let mut ledger = RoundLedger::new();
+            let mut ledger = tr.ledger();
             let mut eng = ShardedEngine::contiguous(g, shards, 0xF8, init);
             let wall = std::time::Instant::now();
             for _ in 0..rounds {
@@ -1159,7 +1213,7 @@ mod f8_tests {
 
     #[test]
     fn quick_f8_resolves_conflicts_identically_across_shard_counts() {
-        let t = f8(Scale { quick: true });
+        let t = f8(Scale { quick: true }, &Tracer::disabled());
         assert_eq!(t.len(), 8, "2 graphs x 4 shard counts");
         let csv = t.to_csv();
         for graph in ["torus", "rr4"] {
@@ -1187,23 +1241,26 @@ mod f8_tests {
     }
 }
 
-/// Runs an experiment by id.
-pub fn run(id: &str, scale: Scale) -> Option<Table> {
+/// Runs an experiment by id, attaching `tr` to every metered ledger —
+/// the per-experiment trace totals therefore mirror the table's
+/// simulated-rounds / max-edge-bits meters exactly. Pass
+/// [`Tracer::disabled`] for an untraced run.
+pub fn run(id: &str, scale: Scale, tr: &Tracer) -> Option<Table> {
     Some(match id {
-        "t1" => t1(scale),
-        "t2" => t2(scale),
-        "t3" => t3(scale),
-        "t4" => t4(scale),
-        "t5" => t5(scale),
-        "t6" => t6(scale),
-        "f1" => f1(scale),
-        "f2" => f2(scale),
-        "f3" => f3(scale),
-        "f4" => f4(scale),
-        "f5" => f5(scale),
-        "f6" => f6(scale),
-        "f7" => f7(scale),
-        "f8" => f8(scale),
+        "t1" => t1(scale, tr),
+        "t2" => t2(scale, tr),
+        "t3" => t3(scale, tr),
+        "t4" => t4(scale, tr),
+        "t5" => t5(scale, tr),
+        "t6" => t6(scale, tr),
+        "f1" => f1(scale, tr),
+        "f2" => f2(scale, tr),
+        "f3" => f3(scale, tr),
+        "f4" => f4(scale, tr),
+        "f5" => f5(scale, tr),
+        "f6" => f6(scale, tr),
+        "f7" => f7(scale, tr),
+        "f8" => f8(scale, tr),
         _ => return None,
     })
 }
@@ -1219,7 +1276,7 @@ mod tests {
 
     #[test]
     fn quick_f6_is_consistent() {
-        let t = f6(Scale { quick: true });
+        let t = f6(Scale { quick: true }, &Tracer::disabled());
         let csv = t.to_csv();
         for line in csv.lines().skip(1) {
             assert!(line.ends_with("true"), "inconsistent row: {line}");
@@ -1228,13 +1285,29 @@ mod tests {
 
     #[test]
     fn run_dispatches() {
-        assert!(run("f6", Scale { quick: true }).is_some());
-        assert!(run("nope", Scale { quick: true }).is_none());
+        let tr = Tracer::disabled();
+        assert!(run("f6", Scale { quick: true }, &tr).is_some());
+        assert!(run("nope", Scale { quick: true }, &tr).is_none());
+    }
+
+    /// The trace layer's headline invariant at the experiment level: a
+    /// collecting tracer attached to a quick f7 run reports exactly the
+    /// rounds and max-edge-bits the table metered — the trace is a view
+    /// of the ledgers, never a second count.
+    #[test]
+    fn quick_f7_trace_totals_mirror_the_table_meter() {
+        let tr = Tracer::collecting();
+        let t = f7(Scale { quick: true }, &tr);
+        tr.finish();
+        let totals = tr.totals();
+        assert_eq!(totals.rounds, t.sim_rounds());
+        assert_eq!(totals.max_edge_bits, t.max_edge_bits());
+        assert!(totals.faults.dropped > 0, "fault records flowed through");
     }
 
     #[test]
     fn quick_f7_injects_and_recovers_on_every_substrate() {
-        let t = f7(Scale { quick: true });
+        let t = f7(Scale { quick: true }, &Tracer::disabled());
         // 3 substrates × (1 control + 4 fault kinds at 1 rate).
         assert_eq!(t.len(), 15);
         let metric = |name: &str| {

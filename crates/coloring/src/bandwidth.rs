@@ -27,6 +27,15 @@
 //! MPX decomposition, the Brooks token walk and its deep probes) still
 //! charge estimated rounds.
 //!
+//! Each row also says what the substrate emits into an attached trace
+//! ([`local_model::Tracer`]): engine-backed rounds produce enriched
+//! round records (wall time, delivery counts, inbox peaks); central
+//! simulations produce bare charged records; the overlay substrates
+//! additionally emit **level-tagged virtual-round records** (`G^k` /
+//! `G[S]`) distinguishing a virtual round from the host relay rounds it
+//! compiles to, and the sharded boundary adds per-shard block/bit
+//! columns to every round record.
+//!
 //! The experiments binary prints this table next to the *measured*
 //! per-edge loads the engine accounts at run time
 //! ([`local_model::MessageStats`]).
@@ -104,8 +113,31 @@ pub struct SubstrateBandwidth {
     pub class: BandwidthClass,
     /// How the substrate's rounds execute (measured vs charged).
     pub execution: Execution,
+    /// What the substrate emits into an attached trace
+    /// ([`local_model::Tracer`]): derived from [`Execution`] by
+    /// default; the overlay substrates override it with their
+    /// level-tagged virtual-round streams and the sharded boundary
+    /// with its per-shard round columns.
+    pub trace: &'static str,
     /// Why (one line).
     pub note: &'static str,
+}
+
+/// The default trace emission for an execution style: engine rounds
+/// produce enriched round records, central simulations bare charges.
+fn default_trace(execution: Execution) -> &'static str {
+    match execution {
+        Execution::Engine => "rounds",
+        Execution::Mixed => "rounds+charges",
+        Execution::Central => "charges",
+    }
+}
+
+/// Overrides the trace column for substrates whose streams carry more
+/// than the execution default (level tags, per-shard columns).
+fn with_trace(mut r: SubstrateBandwidth, trace: &'static str) -> SubstrateBandwidth {
+    r.trace = trace;
+    r
 }
 
 fn row<M: WireCodec>(
@@ -126,6 +158,7 @@ fn row<M: WireCodec>(
         max_bits,
         class,
         execution,
+        trace: default_trace(execution),
         note,
     }
 }
@@ -160,19 +193,25 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
             Execution::Engine,
             "per relayed source: origin id + hop TTL + payload",
         ),
-        row::<OverlayRelay<()>>(
-            "overlay/relay",
-            "OverlayRelay",
-            p,
-            Execution::Engine,
-            "G^k round compiled to k relay rounds: batches Theta(Delta^(k-1)) items",
+        with_trace(
+            row::<OverlayRelay<()>>(
+                "overlay/relay",
+                "OverlayRelay",
+                p,
+                Execution::Engine,
+                "G^k round compiled to k relay rounds: batches Theta(Delta^(k-1)) items",
+            ),
+            "rounds+vrounds(G^k)",
         ),
-        row::<OverlayEnvelope<()>>(
-            "overlay/induced",
-            "OverlayEnvelope",
-            p,
-            Execution::Engine,
-            "G[S] round on the host edge: bcast + unbounded directed list",
+        with_trace(
+            row::<OverlayEnvelope<()>>(
+                "overlay/induced",
+                "OverlayEnvelope",
+                p,
+                Execution::Engine,
+                "G[S] round on the host edge: bcast + unbounded directed list",
+            ),
+            "rounds+vrounds(G[S])",
         ),
         // The sharded engine's boundary block is not a per-edge message
         // but the batched shard-pair envelope (gamma section counts,
@@ -185,6 +224,7 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
             max_bits: None,
             class: BandwidthClass::LocalOnly,
             execution: Execution::Engine,
+            trace: "rounds+shard-cols",
             note: "batched block per shard pair per round: all cross-shard traffic, wire-exact",
         },
         row::<LinialMsg>(
@@ -430,6 +470,32 @@ mod tests {
             assert_eq!(exec_of(name), Execution::Mixed, "{name}");
         }
         assert_eq!(exec_of("decomp"), Execution::Central, "decomp");
+    }
+
+    #[test]
+    fn trace_column_tags_the_level_emitters() {
+        let p = WireParams {
+            n: 1 << 12,
+            max_degree: 4,
+            palette: 5,
+        };
+        let trace_of = |name: &str| {
+            classify(&p)
+                .into_iter()
+                .find(|r| r.name == name)
+                .map(|r| r.trace)
+                .expect("registered substrate")
+        };
+        // The overlay substrates emit level-tagged virtual-round
+        // records; the sharded boundary adds per-shard columns; plain
+        // engine substrates emit enriched round records; central
+        // simulations only charged records.
+        assert_eq!(trace_of("overlay/relay"), "rounds+vrounds(G^k)");
+        assert_eq!(trace_of("overlay/induced"), "rounds+vrounds(G[S])");
+        assert_eq!(trace_of("shard/boundary"), "rounds+shard-cols");
+        assert_eq!(trace_of("linial"), "rounds");
+        assert_eq!(trace_of("brooks"), "rounds+charges");
+        assert_eq!(trace_of("decomp"), "charges");
     }
 
     #[test]

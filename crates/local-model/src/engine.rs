@@ -747,6 +747,15 @@ impl<'g, S: Send> Engine<'g, S> {
     {
         let graph = self.graph;
         let parallel = self.parallel();
+        // Trace enrichment starts the round clock and snapshots the
+        // cumulative stats (for per-round deltas) only when a sink is
+        // attached — the untraced path pays one branch, no clock read.
+        let trace_start = if ledger.tracing() {
+            Some((std::time::Instant::now(), self.stats))
+        } else {
+            None
+        };
+        let mut trace_max_inbox = 0u32;
         let mailbox: &mut Mailbox<M> = self
             .scratch
             .entry(TypeId::of::<M>())
@@ -837,6 +846,13 @@ impl<'g, S: Send> Engine<'g, S> {
                 fill_block(graph, mailbox, block_start, block_end, &mut dir_cursor);
             }
 
+            if trace_start.is_some() {
+                for i in block_start..block_end {
+                    let len = mailbox.inbox_start[i + 1] - mailbox.inbox_start[i];
+                    trace_max_inbox = trace_max_inbox.max(len);
+                }
+            }
+
             let arena = &mailbox.arena;
             let inbox_start = &mailbox.inbox_start;
             let run_one = |i: usize, state: &mut S, rng: &mut StdRng| {
@@ -865,6 +881,17 @@ impl<'g, S: Send> Engine<'g, S> {
             block_start = block_end;
         }
 
+        if let Some((t0, pre)) = trace_start {
+            ledger.trace_meta(crate::trace::RoundMeta {
+                round: self.rounds_run,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+                broadcasts: self.stats.broadcasts - pre.broadcasts,
+                directed: self.stats.directed - pre.directed,
+                deliveries: self.stats.deliveries - pre.deliveries,
+                max_inbox: trace_max_inbox as u64,
+                boundary: Vec::new(),
+            });
+        }
         self.rounds_run += 1;
         ledger.charge(phase, 1);
         match bw.invalid {

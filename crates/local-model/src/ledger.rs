@@ -1,6 +1,8 @@
 //! Round accounting for LOCAL-model executions.
 
 use crate::faults::FaultCounters;
+use crate::trace::{PhaseSpan, RoundMeta, TraceHandle, VirtualRecord};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Accumulates the number of LOCAL rounds an execution costs, broken
@@ -25,6 +27,11 @@ use std::fmt;
 #[derive(Debug, Clone, Default)]
 pub struct RoundLedger {
     entries: Vec<(String, u64)>,
+    /// Per-phase totals in first-seen order, with `phase_idx` mapping
+    /// phase name → index: `phase_total` / `by_phase` in O(1) / O(P)
+    /// instead of scanning `entries`.
+    phase_totals: Vec<(String, u64)>,
+    phase_idx: HashMap<String, usize>,
     total: u64,
     /// Total bits transmitted across all directed edges (CONGEST-style
     /// accounting; charged by the engine per round).
@@ -37,6 +44,10 @@ pub struct RoundLedger {
     /// Faults injected while executions were charged here (filled by
     /// [`crate::FaultyDriver`]; all zero for fault-free runs).
     faults: FaultCounters,
+    /// Trace attachment ([`crate::Tracer::attach`]): when set, every
+    /// charge is mirrored into the trace event stream. `None` (the
+    /// default) costs one branch per charge and never allocates.
+    pub(crate) trace: Option<TraceHandle>,
 }
 
 impl RoundLedger {
@@ -51,6 +62,17 @@ impl RoundLedger {
             return;
         }
         self.total += rounds;
+        match self.phase_idx.get(phase) {
+            Some(&i) => self.phase_totals[i].1 += rounds,
+            None => {
+                self.phase_idx
+                    .insert(phase.to_string(), self.phase_totals.len());
+                self.phase_totals.push((phase.to_string(), rounds));
+            }
+        }
+        if let Some(t) = &self.trace {
+            t.on_charge(phase, rounds);
+        }
         if let Some(last) = self.entries.last_mut() {
             if last.0 == phase {
                 last.1 += rounds;
@@ -68,6 +90,9 @@ impl RoundLedger {
         self.bits_sent += bits;
         self.max_edge_bits = self.max_edge_bits.max(max_edge_bits);
         self.congest_violations += violations;
+        if let Some(t) = &self.trace {
+            t.on_bandwidth(bits, max_edge_bits, violations);
+        }
     }
 
     /// Charges injected faults: deliveries dropped, spurious duplicate
@@ -79,6 +104,54 @@ impl RoundLedger {
         self.faults.duplicated += duplicated;
         self.faults.corrupted += corrupted;
         self.faults.crashed_rounds += crashed;
+        if let Some(t) = &self.trace {
+            if dropped | duplicated | corrupted | crashed != 0 {
+                t.on_faults(FaultCounters {
+                    dropped,
+                    duplicated,
+                    corrupted,
+                    crashed_rounds: crashed,
+                });
+            }
+        }
+    }
+
+    /// Whether a trace is attached ([`crate::Tracer::attach`]). Engines
+    /// check this once per round to skip all record construction on the
+    /// untraced path.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Supplies engine-side enrichment for the round about to be
+    /// charged (see [`RoundMeta`]); folded into the next round record.
+    /// No-op without a trace.
+    pub fn trace_meta(&mut self, meta: RoundMeta) {
+        if let Some(t) = &self.trace {
+            t.on_meta(meta);
+        }
+    }
+
+    /// Emits an overlay virtual-round record. No-op without a trace.
+    pub fn trace_virtual(&self, rec: &VirtualRecord) {
+        if let Some(t) = &self.trace {
+            t.on_virtual(rec);
+        }
+    }
+
+    /// Records a named scalar observation. No-op without a trace.
+    pub fn trace_observe(&self, name: &str, value: u64) {
+        if let Some(t) = &self.trace {
+            t.on_observe(name, value);
+        }
+    }
+
+    /// Opens a phase span on this ledger's trace (inert without one).
+    pub fn trace_span(&self, label: &str) -> PhaseSpan {
+        match &self.trace {
+            Some(t) => t.span(label),
+            None => PhaseSpan::disabled(),
+        }
     }
 
     /// Totals of the faults injected while charging to this ledger.
@@ -106,13 +179,12 @@ impl RoundLedger {
         self.congest_violations
     }
 
-    /// Total rounds charged to phases with the given name.
+    /// Total rounds charged to phases with the given name. O(1): reads
+    /// the keyed accumulator maintained by [`RoundLedger::charge`].
     pub fn phase_total(&self, phase: &str) -> u64 {
-        self.entries
-            .iter()
-            .filter(|(p, _)| p == phase)
-            .map(|(_, r)| r)
-            .sum()
+        self.phase_idx
+            .get(phase)
+            .map_or(0, |&i| self.phase_totals[i].1)
     }
 
     /// The (phase, rounds) entries in charge order; consecutive charges
@@ -122,16 +194,10 @@ impl RoundLedger {
     }
 
     /// Collapses entries into per-phase totals, in first-seen order.
+    /// O(P): clones the keyed accumulator maintained by
+    /// [`RoundLedger::charge`] instead of rescanning `entries`.
     pub fn by_phase(&self) -> Vec<(String, u64)> {
-        let mut out: Vec<(String, u64)> = Vec::new();
-        for (p, r) in &self.entries {
-            if let Some(e) = out.iter_mut().find(|(q, _)| q == p) {
-                e.1 += r;
-            } else {
-                out.push((p.clone(), *r));
-            }
-        }
-        out
+        self.phase_totals.clone()
     }
 
     /// Merges another ledger's entries into this one, including its

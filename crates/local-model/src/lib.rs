@@ -51,6 +51,14 @@
 //!   delivery keeps the zero-allocation arena path — seed-bit-identical
 //!   to the single-arena [`Engine`] (`tests/sharded_equivalence.rs`)
 //!   with the overlay's own wire cost metered by [`BoundaryStats`];
+//! * **round-trace observability** ([`trace`]) — a [`Tracer`] wires
+//!   [`TraceSink`]s (in-memory [`MetricsRegistry`], JSONL streaming
+//!   with a [`RunManifest`] header, periodic progress reporting) into
+//!   any [`RoundLedger`]: per-round records, level-tagged overlay
+//!   records, and RAII [`PhaseSpan`]s derived from the ledger's own
+//!   charge calls — zero-allocation when no sink is attached
+//!   (`tests/alloc_audit.rs`) and total-exact against the ledger on
+//!   every substrate (`tests/trace_equivalence.rs`);
 //! * central ball materialization through [`Graph::ball`]
 //!   (`delta_graphs`) with explicit round charging on a
 //!   [`RoundLedger`], packaged as [`BallOracle`] — the reference oracle
@@ -76,6 +84,7 @@ pub mod ledger;
 pub mod oracle;
 pub mod overlay;
 pub mod shard;
+pub mod trace;
 pub mod wire;
 
 pub use ball::{
@@ -94,4 +103,9 @@ pub use overlay::{
     OverlayRelay, PowerOverlay, RelayItem, VirtualTopology,
 };
 pub use shard::{BoundaryStats, ShardedEngine};
+pub use trace::{
+    parse_trace_line, Histogram, JsonlSink, MetricsRegistry, PhaseSpan, ProgressSink, RoundMeta,
+    RoundRecord, RunManifest, SpanAgg, SpanRecord, TraceLine, TraceSink, TraceSummary, TraceTotals,
+    Tracer, VirtualRecord, TRACE_SCHEMA,
+};
 pub use wire::{congest_budget, BitReader, BitWriter, WireCodec, WireParams};

@@ -124,6 +124,19 @@ pub trait VirtualTopology: Sync {
     /// The membership mask, if the overlay restricts membership
     /// (`None` = every host node participates).
     fn member_mask(&self) -> Option<&[bool]>;
+
+    /// Level label for trace records (`G^k`, `G[S]`, `(G[S])^k`): the
+    /// tag attached to every virtual-round record this overlay emits
+    /// into an attached [`crate::Tracer`].
+    fn trace_label(&self) -> String {
+        let k = self.dilation();
+        match (self.member_mask().is_some(), k) {
+            (false, 1) => "G".to_string(),
+            (false, _) => format!("G^{k}"),
+            (true, 1) => "G[S]".to_string(),
+            (true, _) => format!("(G[S])^{k}"),
+        }
+    }
 }
 
 /// The power graph `G^k`: every host node is a member; one virtual
@@ -744,6 +757,13 @@ impl<'g, S: Send, T: VirtualTopology> OverlayEngine<'g, S, T> {
     {
         let m = self.members.len();
         let parallel = resolve_parallel(self.mode, m);
+        // Trace enrichment: virtual-round clock + virtual-level stats
+        // snapshot, assembled only when a sink is attached.
+        let trace_start = if ledger.tracing() {
+            Some((std::time::Instant::now(), self.stats))
+        } else {
+            None
+        };
 
         // Virtual send phase: per-rank states and RNG streams, exactly
         // like the engine's send phase on a materialized virtual graph.
@@ -936,6 +956,19 @@ impl<'g, S: Send, T: VirtualTopology> OverlayEngine<'g, S, T> {
                     .for_each(|(r, (state, rng))| run_one(r, state, rng, &mut buf));
             }
         }
+        if let Some((t0, pre)) = trace_start {
+            // Level-tagged virtual record: the k host relay rounds have
+            // already emitted their own round records through the same
+            // ledger, so this carries virtual-level stats only.
+            ledger.trace_virtual(&crate::trace::VirtualRecord {
+                level: self.topo.trace_label(),
+                vround: self.virtual_rounds,
+                host_rounds: k as u64,
+                bits: self.stats.bits_sent - pre.bits_sent,
+                deliveries: self.stats.deliveries - pre.deliveries,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
         self.virtual_rounds += 1;
     }
 
@@ -1124,6 +1157,18 @@ impl<'g, S: Send, T: VirtualTopology> OverlayEngine<'g, S, T> {
                     let _ = ctx;
                 },
             );
+            if ledger.tracing() {
+                // Flood-frontier size after this relay round: how many
+                // (node, origin) pairs were freshly heard and will be
+                // forwarded next round. Feeds the `flood_frontier`
+                // histogram in metrics sinks.
+                let frontier: u64 = relay
+                    .states()
+                    .iter()
+                    .map(|s| (s.heard.len() - s.last_start as usize) as u64)
+                    .sum();
+                ledger.trace_observe("flood_frontier", frontier);
+            }
         }
         // Move each member's heard origins out (host order = rank
         // order), drop the self-seed, and sort into the materialized

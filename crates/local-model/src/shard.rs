@@ -629,6 +629,14 @@ impl<'g, S: Send> ShardedEngine<'g, S> {
         let s_count = plan.num_shards();
         let parallel = resolve_parallel(self.mode, graph.n());
         let policy = self.policy;
+        // Trace enrichment (clock + stats snapshot + per-shard boundary
+        // deltas) is only assembled when a sink is attached.
+        let trace_start = if ledger.tracing() {
+            Some((std::time::Instant::now(), self.stats))
+        } else {
+            None
+        };
+        let mut trace_boundary: Vec<(u64, u64)> = Vec::new();
 
         // Pair each shard with its typed mailbox (taken out of the
         // scratch map for the round) and its slices of the engine-owned
@@ -686,6 +694,9 @@ impl<'g, S: Send> ShardedEngine<'g, S> {
             self.boundary.blocks += up.boundary.blocks;
             self.boundary.block_bits += up.boundary.block_bits;
             self.boundary.messages += up.boundary.messages;
+            if trace_start.is_some() {
+                trace_boundary.push((up.boundary.blocks, up.boundary.block_bits));
+            }
         }
 
         // The exchange barrier: transpose uplink blocks so each shard
@@ -734,6 +745,17 @@ impl<'g, S: Send> ShardedEngine<'g, S> {
         self.stats.congest_violations += bw.violations;
         ledger.charge_bandwidth(bw.bits, bw.max_edge_bits, bw.violations);
 
+        if let Some((t0, pre)) = trace_start {
+            ledger.trace_meta(crate::trace::RoundMeta {
+                round: self.rounds_run,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+                broadcasts: self.stats.broadcasts - pre.broadcasts,
+                directed: self.stats.directed - pre.directed,
+                deliveries: self.stats.deliveries - pre.deliveries,
+                max_inbox: 0,
+                boundary: trace_boundary,
+            });
+        }
         self.rounds_run += 1;
         ledger.charge(phase, 1);
         match invalid {

@@ -22,7 +22,7 @@
 
 use delta_graphs::generators;
 use local_model::{
-    Engine, ExecMode, Outbox, OverlayEngine, PowerOverlay, RoundDriver, RoundLedger,
+    Engine, ExecMode, Outbox, OverlayEngine, PowerOverlay, RoundDriver, RoundLedger, Tracer,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,6 +117,48 @@ fn warm_engine_rounds_do_not_allocate() {
     // Bandwidth accounting ran on the same allocation-free pass: every
     // u64 payload is 64 bits, broadcast to 4 neighbors + 1 directed.
     assert_eq!(engine.message_stats().bits_sent, 35 * 512 * (4 + 1) * 64);
+}
+
+/// The trace layer must be zero-cost when disabled: with no sink
+/// installed, warm rounds driven through the full trace surface — a
+/// disabled [`Tracer`], its handed-out ledger, a [`PhaseSpan`] opened
+/// and dropped every round, and per-round observations — allocate
+/// nothing. The engine's `ledger.tracing()` check, the ledger's
+/// per-hook `Option` branches, and the inert span guard are all the
+/// disabled path is allowed to cost.
+///
+/// [`PhaseSpan`]: local_model::PhaseSpan
+#[test]
+fn warm_rounds_with_no_trace_sink_do_not_allocate() {
+    let _guard = AUDIT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let g = generators::random_regular(512, 4, 9);
+    let tracer = Tracer::disabled();
+    let mut ledger = tracer.ledger();
+    assert!(!ledger.tracing());
+    let mut engine = Engine::new(&g, 3, |v| v.0 as u64).with_mode(ExecMode::Sequential);
+    let traced_round = |engine: &mut Engine<'_, u64>, ledger: &mut RoundLedger| {
+        let _span = ledger.trace_span("audit-span");
+        ledger.trace_observe("audit-observe", 1);
+        mixed_round(engine, &g, ledger);
+    };
+    for _ in 0..3 {
+        traced_round(&mut engine, &mut ledger);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..32 {
+        traced_round(&mut engine, &mut ledger);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled trace layer allocated {} times across 32 warm rounds",
+        after - before
+    );
+    assert_eq!(engine.rounds_run(), 35);
+    assert_eq!(tracer.totals(), local_model::TraceTotals::default());
 }
 
 /// Runs `rounds` warm broadcast-only virtual rounds on `G^k` over a

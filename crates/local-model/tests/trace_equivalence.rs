@@ -1,0 +1,259 @@
+//! The trace is a view of the ledger, never a second source of truth.
+//!
+//! Every record stream a [`Tracer`] emits is derived from the traced
+//! [`RoundLedger`]'s own charge calls, so summing the stream must
+//! reproduce the ledger's round/bit/fault totals exactly — on the plain
+//! engine, both overlay families (`G^k`, `G[S]`), the sharded engine at
+//! S ∈ {1, 2, 8}, and under fault injection, in both [`ExecMode`]s.
+//! The JSONL encoding must round-trip through the reader with the same
+//! totals and a consistent trailer.
+
+use delta_graphs::{generators, Graph, ShardPlan};
+use local_model::{
+    Engine, ExecMode, FaultPlan, FaultyDriver, InducedOverlay, JsonlSink, MetricsRegistry, Outbox,
+    OverlayEngine, PowerOverlay, RoundDriver, RoundLedger, RunManifest, ShardedEngine, TraceLine,
+    TraceSummary, Tracer,
+};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Drives `rounds` broadcast rounds of a mixing program on any driver.
+fn drive<D: RoundDriver<u64>>(drv: &mut D, ledger: &mut RoundLedger, rounds: usize) {
+    for _ in 0..rounds {
+        drv.round_step(
+            ledger,
+            "trace-eq",
+            |ctx, s: &mut u64, out: &mut Outbox<u64>| {
+                *s = s
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(ctx.id.0 as u64);
+                out.broadcast(*s);
+            },
+            |_, s, inbox| {
+                for &(w, m) in inbox {
+                    *s = s.wrapping_add(m ^ w.0 as u64);
+                }
+            },
+        );
+    }
+}
+
+/// The equivalence at the heart of the layer: trace totals ≡ ledger.
+fn assert_trace_matches(tr: &Tracer, ledger: &RoundLedger) {
+    let t = tr.totals();
+    assert_eq!(t.rounds, ledger.total(), "rounds");
+    assert_eq!(t.bits, ledger.bits_sent(), "bits");
+    assert_eq!(t.max_edge_bits, ledger.max_edge_bits(), "max_edge_bits");
+    assert_eq!(t.violations, ledger.congest_violations(), "violations");
+    assert_eq!(t.faults, ledger.faults(), "faults");
+}
+
+fn host() -> Graph {
+    generators::random_regular(96, 4, 31)
+}
+
+#[test]
+fn engine_trace_totals_match_ledger_in_both_modes() {
+    for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::with_sinks(vec![Box::new(reg.clone())]);
+        let mut ledger = tr.ledger();
+        let g = host();
+        let mut engine = Engine::new(&g, 7, |v| v.0 as u64).with_mode(mode);
+        drive(&mut engine, &mut ledger, 9);
+        assert_trace_matches(&tr, &ledger);
+        // The registry saw the same stream.
+        assert_eq!(reg.counter("rounds"), ledger.total());
+        assert_eq!(reg.counter("bits"), ledger.bits_sent());
+        assert_eq!(reg.gauge("max_edge_bits"), ledger.max_edge_bits());
+        // Engine enrichment flowed through: per-round deliveries sum to
+        // the engine's cumulative stats.
+        assert_eq!(reg.counter("deliveries"), engine.message_stats().deliveries);
+        assert_eq!(reg.counter("broadcasts"), engine.message_stats().broadcasts);
+        assert_eq!(reg.histogram("round_bits").unwrap().count, 9);
+        assert!(reg.histogram("round_max_inbox").unwrap().max >= 4);
+    }
+}
+
+#[test]
+fn overlay_trace_totals_match_ledger_in_both_modes() {
+    let g = host();
+    let members: Vec<bool> = (0..g.n()).map(|v| v % 3 != 0).collect();
+    for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+        // G^k: the k host relay rounds emit the round records; the
+        // virtual rounds ride along level-tagged.
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::with_sinks(vec![Box::new(reg.clone())]);
+        let mut ledger = tr.ledger();
+        let mut power =
+            OverlayEngine::new(&g, PowerOverlay { k: 3 }, 5, |v| v.0 as u64).with_mode(mode);
+        drive(&mut power, &mut ledger, 4);
+        assert_trace_matches(&tr, &ledger);
+        assert_eq!(ledger.total(), 12, "4 virtual rounds dilate to 12");
+        assert_eq!(reg.counter("virtual_rounds"), 4);
+        assert!(
+            reg.histogram("flood_frontier").is_some(),
+            "flood relays observe their frontier sizes"
+        );
+
+        // G[S]: dilation 1, directed envelopes.
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::with_sinks(vec![Box::new(reg.clone())]);
+        let mut ledger = tr.ledger();
+        let mut induced =
+            OverlayEngine::new(&g, InducedOverlay { members: &members }, 5, |v| v.0 as u64)
+                .with_mode(mode);
+        drive(&mut induced, &mut ledger, 5);
+        assert_trace_matches(&tr, &ledger);
+        assert_eq!(reg.counter("virtual_rounds"), 5);
+    }
+}
+
+#[test]
+fn sharded_trace_totals_match_ledger_for_s_1_2_8() {
+    let g = host();
+    for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+        for shards in [1usize, 2, 8] {
+            let reg = MetricsRegistry::new();
+            let tr = Tracer::with_sinks(vec![Box::new(reg.clone())]);
+            let mut ledger = tr.ledger();
+            let plan = ShardPlan::contiguous(g.n(), shards);
+            let mut engine = ShardedEngine::new(&g, plan, 7, |v| v.0 as u64).with_mode(mode);
+            drive(&mut engine, &mut ledger, 6);
+            assert_trace_matches(&tr, &ledger);
+            // Per-shard boundary enrichment sums to the engine's own
+            // boundary meter.
+            let b = engine.boundary_stats();
+            assert_eq!(reg.counter("boundary_blocks"), b.blocks, "S={shards}");
+            assert_eq!(reg.counter("boundary_bits"), b.block_bits, "S={shards}");
+            if shards == 1 {
+                assert_eq!(b.blocks, 0, "S=1 has no cross-shard traffic");
+            } else {
+                assert!(b.blocks > 0, "S={shards} crossed shard boundaries");
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_trace_totals_match_ledger_in_both_modes() {
+    let g = host();
+    let plan = FaultPlan::new(2024)
+        .with_drops(150_000)
+        .with_duplicates(90_000)
+        .with_corruption(70_000)
+        .with_crash_window(5, 1, 4);
+    for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+        let reg = MetricsRegistry::new();
+        let tr = Tracer::with_sinks(vec![Box::new(reg.clone())]);
+        let mut ledger = tr.ledger();
+        let engine = Engine::new(&g, 11, |v| v.0 as u64).with_mode(mode);
+        let mut drv = FaultyDriver::new(engine, plan.clone());
+        drive(&mut drv, &mut ledger, 8);
+        assert_trace_matches(&tr, &ledger);
+        let f = ledger.faults();
+        assert!(
+            f.dropped > 0 && f.duplicated > 0,
+            "plan actually injected faults"
+        );
+        assert_eq!(reg.counter("faults_dropped"), f.dropped);
+        assert_eq!(reg.counter("faults_duplicated"), f.duplicated);
+        assert_eq!(reg.counter("faults_corrupted"), f.corrupted);
+        assert_eq!(reg.counter("faults_crashed_rounds"), f.crashed_rounds);
+    }
+}
+
+#[test]
+fn central_charges_count_too() {
+    // Charges that never pass through an engine (central simulations)
+    // still land in the stream — trailing bandwidth included.
+    let tr = Tracer::collecting();
+    let mut ledger = tr.ledger();
+    ledger.charge("central-bfs", 17);
+    ledger.charge_bandwidth(1000, 128, 2);
+    ledger.charge("central-probe", 3);
+    ledger.charge_bandwidth(50, 10, 0);
+    tr.finish();
+    assert_trace_matches(&tr, &ledger);
+}
+
+/// A cloneable in-memory writer so the test can read back what the
+/// moved-in sink wrote.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn jsonl_round_trips_through_the_reader() {
+    let g = host();
+    let buf = SharedBuf::default();
+    let tr = Tracer::with_sinks(vec![Box::new(JsonlSink::new(Box::new(buf.clone())))]);
+
+    let mut manifest = RunManifest::new("trace-eq");
+    manifest.seed = 7;
+    manifest.nodes = g.n() as u64;
+    manifest.edges = g.m() as u64;
+    manifest.exec_mode = "sequential".to_string();
+    manifest
+        .extra
+        .push(("graph".into(), "random_regular".into()));
+    tr.manifest(&manifest);
+
+    let mut ledger = tr.ledger();
+    {
+        let _span = tr.span("engine");
+        let mut engine = Engine::new(&g, 7, |v| v.0 as u64).with_mode(ExecMode::Sequential);
+        drive(&mut engine, &mut ledger, 5);
+    }
+    {
+        let _span = tr.span("overlay");
+        let mut power = OverlayEngine::new(&g, PowerOverlay { k: 2 }, 3, |v| v.0 as u64)
+            .with_mode(ExecMode::Sequential);
+        drive(&mut power, &mut ledger, 2);
+    }
+    {
+        let _span = tr.span("faulty");
+        let engine = Engine::new(&g, 9, |v| v.0 as u64).with_mode(ExecMode::Sequential);
+        let mut drv = FaultyDriver::new(engine, FaultPlan::new(3).with_drops(200_000));
+        drive(&mut drv, &mut ledger, 4);
+    }
+    tr.finish();
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("valid utf-8");
+    let lines: Vec<TraceLine> = text
+        .lines()
+        .map(|l| local_model::parse_trace_line(l).expect("every line parses"))
+        .collect();
+    assert!(
+        matches!(lines.first(), Some(TraceLine::Manifest(_))),
+        "manifest leads the stream"
+    );
+
+    let summary = TraceSummary::from_lines(lines);
+    summary.check_consistent().expect("trailer matches stream");
+    assert_eq!(summary.rounds, ledger.total());
+    assert_eq!(summary.bits, ledger.bits_sent());
+    assert_eq!(summary.max_edge_bits, ledger.max_edge_bits());
+    assert_eq!(summary.faults, ledger.faults());
+    let m = summary.manifest.as_ref().expect("manifest parsed");
+    assert_eq!(m, &manifest);
+    assert_eq!(summary.virtual_rounds, 2, "two G^2 virtual rounds");
+    // All three spans closed, with the engine span holding its rounds.
+    let tree = summary.span_tree();
+    assert_eq!(tree.len(), 3);
+    let engine_span = tree.iter().find(|(p, _)| p == "engine").unwrap();
+    assert_eq!(engine_span.1.rounds, 5);
+    // Phase aggregation covers everything that was charged.
+    let phase_sum: u64 = summary.phases.iter().map(|(_, a)| a.rounds).sum();
+    assert_eq!(phase_sum, ledger.total());
+}
