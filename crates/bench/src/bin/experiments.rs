@@ -1,10 +1,10 @@
 //! Experiment harness CLI.
 //!
 //! ```text
-//! experiments [--quick] [--check-baseline] [--out DIR] [ids...]
+//! experiments [--quick] [--check-baseline] [--congest-bits N] [--out DIR] [ids...]
 //! ```
 //!
-//! With no ids, runs every experiment (T1–T6, F1–F6 of DESIGN.md §5),
+//! With no ids, runs every experiment (T1–T6, F1–F9 of DESIGN.md §5),
 //! fanning the experiments out across worker threads. Prints aligned
 //! tables to stdout (in canonical order), writes one CSV per experiment
 //! into `--out DIR` (default `results/`), and emits a
@@ -17,7 +17,14 @@
 //! substrate (wire-format `max_bits` bound vs the `O(log n)` CONGEST
 //! budget: CONGEST-feasible or LOCAL-only), says how each substrate
 //! executes (engine-backed with measured loads vs charged central
-//! simulation), and lists each experiment's measured per-edge load.
+//! simulation), whether its rows run CONGEST-enforced through the
+//! fragmentation layer (`local / congest-enforced / congest-feasible`
+//! plus the static blow-up each enforced row pays), and lists each
+//! experiment's measured per-edge load with the fragmentation factor
+//! that load would cost on CONGEST wires. `--congest-bits N` overrides
+//! the enforced wire budget the `f9` experiment runs under (default
+//! `congest_budget(n)`); the chosen budget lands in `BENCH_delta.json`
+//! as f9's `congest_bits` metric.
 //!
 //! Before anything is written, the fresh numbers are **diffed against
 //! the committed baseline** (`BENCH_delta.json` in the working
@@ -125,6 +132,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut check_baseline = false;
+    let mut congest_bits: Option<u64> = None;
     let mut out_dir = PathBuf::from("results");
     let mut trace_dir: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -133,6 +141,26 @@ fn main() {
         match a.as_str() {
             "--quick" => quick = true,
             "--check-baseline" => check_baseline = true,
+            "--congest-bits" => {
+                let arg = it.next().unwrap_or_else(|| {
+                    eprintln!("--congest-bits requires a bit-count argument");
+                    std::process::exit(2);
+                });
+                match arg.parse::<u64>() {
+                    Ok(b) if b >= local_model::MIN_CONGEST_BITS => congest_bits = Some(b),
+                    Ok(b) => {
+                        eprintln!(
+                            "--congest-bits {b} is below the minimum framable budget ({})",
+                            local_model::MIN_CONGEST_BITS
+                        );
+                        std::process::exit(2);
+                    }
+                    Err(e) => {
+                        eprintln!("--congest-bits: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--out" => {
                 out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
                     eprintln!("--out requires a directory argument");
@@ -147,8 +175,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--check-baseline] [--out DIR] \
-                     [--trace-dir DIR] [ids...]"
+                    "usage: experiments [--quick] [--check-baseline] [--congest-bits N] \
+                     [--out DIR] [--trace-dir DIR] [ids...]"
                 );
                 eprintln!("ids: {}", ALL.join(" "));
                 return;
@@ -165,7 +193,10 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let scale = Scale { quick };
+    let scale = Scale {
+        quick,
+        congest_bits,
+    };
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
         std::process::exit(1);
@@ -373,23 +404,34 @@ fn print_bandwidth_table(quick: bool, results: &[(String, Table, f64)]) {
         p.n,
         p.max_degree
     );
+    let budget = congest_budget(p.n);
+    // Static per-round blow-up an enforced row pays: its wire-format
+    // ceiling fragmented onto the budget ("-" when the bound is
+    // run-time only or no fragmentation is needed).
+    let blowup = |max_bits: Option<u64>| match max_bits {
+        Some(b) if b > budget => format!("x{}", b.div_ceil(budget)),
+        Some(_) => "x1".into(),
+        None => "-".into(),
+    };
     println!(
-        "{:<18} {:<18} {:>10}  {:<18} {:<18} {:<21} why",
-        "substrate", "message", "max_bits", "class", "execution", "trace"
+        "{:<18} {:<18} {:>10}  {:<14} {:<18} {:<18} {:>7}  {:<21} why",
+        "substrate", "message", "max_bits", "class", "execution", "measurement", "blowup", "trace"
     );
-    println!("{}", "-".repeat(140));
+    println!("{}", "-".repeat(150));
     for row in classify(&p) {
         let bits = row
             .max_bits
             .map(|b| b.to_string())
             .unwrap_or_else(|| "unbounded".into());
         println!(
-            "{:<18} {:<18} {:>10}  {:<18} {:<18} {:<21} {}",
+            "{:<18} {:<18} {:>10}  {:<14} {:<18} {:<18} {:>7}  {:<21} {}",
             row.name,
             row.message,
             bits,
             row.class.to_string(),
             row.execution.to_string(),
+            row.measurement.to_string(),
+            blowup(row.max_bits),
             row.trace,
             row.note
         );
@@ -402,10 +444,13 @@ fn print_bandwidth_table(quick: bool, results: &[(String, Table, f64)]) {
         let m = table.max_edge_bits();
         let verdict = if m == 0 {
             "no engine rounds".into()
-        } else if m <= congest_budget(p.n) {
-            format!("within budget ({})", congest_budget(p.n))
+        } else if m <= budget {
+            format!("within budget ({budget})")
         } else {
-            format!("over budget ({})", congest_budget(p.n))
+            format!(
+                "over budget ({budget}) -> x{} fragmentation under enforcement",
+                m.div_ceil(budget)
+            )
         };
         println!("  {id:<6} {m:>10} bits  {verdict}");
     }

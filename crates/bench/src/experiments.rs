@@ -1,4 +1,4 @@
-//! The experiment implementations (DESIGN.md §5): T1–T5 and F1–F6.
+//! The experiment implementations (DESIGN.md §5): T1–T6 and F1–F9.
 //!
 //! Every experiment returns a [`Table`]; the `experiments` binary prints
 //! them and writes CSVs. Absolute round counts depend on our substrate
@@ -31,9 +31,21 @@ use rayon::prelude::*;
 pub struct Scale {
     /// Reduced sizes when true.
     pub quick: bool,
+    /// Override for the CONGEST wire budget (bits/edge/round) used by
+    /// `f9`; `None` uses the default [`local_model::congest_budget`]
+    /// per graph size. Set from the binary's `--congest-bits` flag.
+    pub congest_bits: Option<u64>,
 }
 
 impl Scale {
+    /// A scale with the default CONGEST budget.
+    pub fn new(quick: bool) -> Self {
+        Scale {
+            quick,
+            congest_bits: None,
+        }
+    }
+
     fn n_sweep(&self, full: &[usize], quick: &[usize]) -> Vec<usize> {
         if self.quick {
             quick.to_vec()
@@ -1213,7 +1225,7 @@ mod f8_tests {
 
     #[test]
     fn quick_f8_resolves_conflicts_identically_across_shard_counts() {
-        let t = f8(Scale { quick: true }, &Tracer::disabled());
+        let t = f8(Scale::new(true), &Tracer::disabled());
         assert_eq!(t.len(), 8, "2 graphs x 4 shard counts");
         let csv = t.to_csv();
         for graph in ["torus", "rr4"] {
@@ -1241,6 +1253,155 @@ mod f8_tests {
     }
 }
 
+/// F9 — true-CONGEST enforcement: the headline randomized Δ-coloring
+/// compiled onto `O(log n)`-bit wires by the fragmentation/pipelining
+/// layer (`local_model::congest`). Each size runs twice from the same
+/// seed — plain LOCAL, then under [`local_model::enforce_congest`] —
+/// and the enforced run must (a) finish with **zero** CONGEST
+/// violations, (b) reproduce the bit-identical coloring, and (c)
+/// report the honest wire-round blow-up it paid for that.
+pub fn f9(scale: Scale, tr: &Tracer) -> Table {
+    let mut t = Table::new(
+        "F9: true-CONGEST enforcement - headline delta-coloring fragmented onto O(log n)-bit wires (zero violations, bit-identical colors)",
+        &[
+            "n",
+            "delta",
+            "budget-bits",
+            "local-rounds",
+            "wire-rounds",
+            "blowup",
+            "local-max-edge-bits",
+            "wire-max-edge-bits",
+            "violations",
+            "colors-equal",
+        ],
+    );
+    let ns = scale.n_sweep(&[1 << 10, 1 << 12, 1 << 14], &[1 << 10]);
+    let delta = 4usize;
+    let mut budget_bits = 0u64;
+    let mut logical_total = 0u64;
+    let mut wire_total = 0u64;
+    let mut worst_blowup = 0u64;
+    let mut violations_total = 0u64;
+    for n in ns {
+        let seed = 7u64;
+        let g = generators::random_regular(n, delta, seed * 13 + 5);
+        let budget = scale
+            .congest_bits
+            .unwrap_or_else(|| local_model::congest_budget(n as u64));
+        // Reference run: plain LOCAL, broadcast-everything wires.
+        let mut local_ledger = tr.ledger();
+        let (local_colors, _) =
+            delta_color_rand(&g, RandConfig::large_delta(&g, seed), &mut local_ledger)
+                .expect("colorable");
+        verify::check_delta_coloring(&g, &local_colors).expect("valid LOCAL coloring");
+        // Enforced run: same graph + seed, but every engine the driver
+        // builds is compiled through the congest layer, so oversized
+        // payloads fragment and each logical round is charged as the
+        // wire rounds it dilated into.
+        let mut wire_ledger = tr.ledger();
+        let wire_colors = {
+            let _guard = local_model::enforce_congest(budget);
+            let (c, _) = delta_color_rand(&g, RandConfig::large_delta(&g, seed), &mut wire_ledger)
+                .expect("colorable under CONGEST");
+            c
+        };
+        verify::check_delta_coloring(&g, &wire_colors).expect("valid CONGEST coloring");
+        let colors_equal = wire_colors == local_colors;
+        assert!(colors_equal, "fragmentation changed the n={n} coloring");
+        assert_eq!(
+            wire_ledger.congest_violations(),
+            0,
+            "n={n}: enforced run violated the {budget}-bit budget"
+        );
+        assert!(
+            wire_ledger.max_edge_bits() <= budget,
+            "n={n}: wire round carried {} > {budget} bits",
+            wire_ledger.max_edge_bits()
+        );
+        let blowup = wire_ledger.blowup_permille(local_ledger.total());
+        t.meter_ledger(&local_ledger);
+        t.meter_ledger(&wire_ledger);
+        budget_bits = budget_bits.max(budget);
+        logical_total += local_ledger.total();
+        wire_total += wire_ledger.total();
+        worst_blowup = worst_blowup.max(blowup);
+        violations_total += wire_ledger.congest_violations();
+        t.row(vec![
+            n.to_string(),
+            delta.to_string(),
+            budget.to_string(),
+            local_ledger.total().to_string(),
+            wire_ledger.total().to_string(),
+            format!("{:.3}", blowup as f64 / 1000.0),
+            local_ledger.max_edge_bits().to_string(),
+            wire_ledger.max_edge_bits().to_string(),
+            wire_ledger.congest_violations().to_string(),
+            colors_equal.to_string(),
+        ]);
+    }
+    t.add_metric("congest_bits", budget_bits);
+    t.add_metric("congest_logical_rounds", logical_total);
+    t.add_metric("congest_wire_rounds", wire_total);
+    t.add_metric("congest_blowup_permille", worst_blowup);
+    t.add_metric("congest_violations", violations_total);
+    t
+}
+
+#[cfg(test)]
+mod f9_tests {
+    use super::*;
+
+    #[test]
+    fn quick_f9_enforced_run_is_violation_free_and_bit_identical() {
+        // The assertions inside f9 are the test; here we pin the shape
+        // and that dilation was real (wire rounds strictly exceed
+        // logical rounds, so enforcement wasn't a no-op).
+        let t = f9(Scale::new(true), &Tracer::disabled());
+        assert_eq!(t.len(), 1);
+        let metric = |name: &str| {
+            t.metrics()
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert_eq!(metric("congest_violations"), 0);
+        assert!(metric("congest_bits") >= local_model::MIN_CONGEST_BITS);
+        assert!(
+            metric("congest_wire_rounds") > metric("congest_logical_rounds"),
+            "no dilation: fragmentation never engaged"
+        );
+        assert!(metric("congest_blowup_permille") > 1000);
+        let csv = t.to_csv();
+        assert!(csv.lines().nth(1).unwrap().ends_with("0,true"));
+    }
+
+    #[test]
+    fn quick_f9_honours_a_budget_override() {
+        let wide = Scale {
+            quick: true,
+            congest_bits: Some(1 << 20),
+        };
+        let t = f9(wide, &Tracer::disabled());
+        let metric = |name: &str| {
+            t.metrics()
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert_eq!(metric("congest_bits"), 1 << 20);
+        // A budget wider than any message means zero fragmentation:
+        // wire rounds collapse back onto logical rounds.
+        assert_eq!(
+            metric("congest_wire_rounds"),
+            metric("congest_logical_rounds")
+        );
+        assert_eq!(metric("congest_blowup_permille"), 1000);
+    }
+}
+
 /// Runs an experiment by id, attaching `tr` to every metered ledger —
 /// the per-experiment trace totals therefore mirror the table's
 /// simulated-rounds / max-edge-bits meters exactly. Pass
@@ -1261,13 +1422,14 @@ pub fn run(id: &str, scale: Scale, tr: &Tracer) -> Option<Table> {
         "f6" => f6(scale, tr),
         "f7" => f7(scale, tr),
         "f8" => f8(scale, tr),
+        "f9" => f9(scale, tr),
         _ => return None,
     })
 }
 
 /// All experiment ids in canonical order.
 pub const ALL: &[&str] = &[
-    "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8",
+    "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9",
 ];
 
 #[cfg(test)]
@@ -1276,7 +1438,7 @@ mod tests {
 
     #[test]
     fn quick_f6_is_consistent() {
-        let t = f6(Scale { quick: true }, &Tracer::disabled());
+        let t = f6(Scale::new(true), &Tracer::disabled());
         let csv = t.to_csv();
         for line in csv.lines().skip(1) {
             assert!(line.ends_with("true"), "inconsistent row: {line}");
@@ -1286,8 +1448,8 @@ mod tests {
     #[test]
     fn run_dispatches() {
         let tr = Tracer::disabled();
-        assert!(run("f6", Scale { quick: true }, &tr).is_some());
-        assert!(run("nope", Scale { quick: true }, &tr).is_none());
+        assert!(run("f6", Scale::new(true), &tr).is_some());
+        assert!(run("nope", Scale::new(true), &tr).is_none());
     }
 
     /// The trace layer's headline invariant at the experiment level: a
@@ -1297,7 +1459,7 @@ mod tests {
     #[test]
     fn quick_f7_trace_totals_mirror_the_table_meter() {
         let tr = Tracer::collecting();
-        let t = f7(Scale { quick: true }, &tr);
+        let t = f7(Scale::new(true), &tr);
         tr.finish();
         let totals = tr.totals();
         assert_eq!(totals.rounds, t.sim_rounds());
@@ -1307,7 +1469,7 @@ mod tests {
 
     #[test]
     fn quick_f7_injects_and_recovers_on_every_substrate() {
-        let t = f7(Scale { quick: true }, &Tracer::disabled());
+        let t = f7(Scale::new(true), &Tracer::disabled());
         // 3 substrates × (1 control + 4 fault kinds at 1 rate).
         assert_eq!(t.len(), 15);
         let metric = |name: &str| {

@@ -17,15 +17,27 @@
 //!   (ball relays, floods) or over budget: a CONGEST port would need
 //!   message splitting over extra rounds.
 //!
-//! Orthogonally, [`Execution`] records whether the substrate's rounds
-//! actually run through [`local_model::Engine::step`] — in which case
-//! its bandwidth numbers in the experiment tables are **measured**
-//! wire-exact loads, not static estimates. Since the ball-collection
-//! subsystem landed ([`local_model::ball`]), the ruling-set, marking,
-//! and DCC-detection phases execute engine-backed; only the
-//! centrally simulated remainders (power-graph Luby, layer BFS waves,
-//! MPX decomposition, the Brooks token walk and its deep probes) still
-//! charge estimated rounds.
+//! Orthogonally, [`Measurement`] records whether the substrate's
+//! rounds actually run through [`local_model::Engine::step`] — in
+//! which case its bandwidth numbers in the experiment tables are
+//! **measured** wire-exact loads, not static estimates. Since the
+//! ball-collection subsystem landed ([`local_model::ball`]), the
+//! ruling-set, marking, and DCC-detection phases execute
+//! engine-backed; only the centrally simulated remainders (power-graph
+//! Luby, layer BFS waves, MPX decomposition, the Brooks token walk and
+//! its deep probes) still charge estimated rounds.
+//!
+//! [`Execution`] answers the CONGEST question operationally, now that
+//! [`local_model::congest`] exists: every engine-backed substrate
+//! constructs its driver through [`local_model::compile`], so under an
+//! [`local_model::enforce_congest`] guard its rounds run **enforced** —
+//! oversized payloads fragmented into budget-sized chunks over honest
+//! dilated wire rounds ([`Execution::CongestEnforced`]); substrates
+//! whose wire format already fits the budget run under the same guard
+//! without dilation ([`Execution::CongestFeasible`]); only the
+//! overlay/shard materialization layers themselves — whose envelopes
+//! *are* the relay mechanism — stay LOCAL-level accounting
+//! ([`Execution::Local`]).
 //!
 //! Each row also says what the substrate emits into an attached trace
 //! ([`local_model::Tracer`]): engine-backed rounds produce enriched
@@ -76,9 +88,9 @@ impl std::fmt::Display for BandwidthClass {
     }
 }
 
-/// How a substrate's rounds execute.
+/// How a substrate's round/bit numbers are obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Execution {
+pub enum Measurement {
     /// Every round runs through [`local_model::Engine::step`]: round
     /// counts and per-edge bit loads are measured, wire-exact.
     Engine,
@@ -90,12 +102,42 @@ pub enum Execution {
     Central,
 }
 
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Measurement::Engine => write!(f, "engine (measured)"),
+            Measurement::Mixed => write!(f, "mixed"),
+            Measurement::Central => write!(f, "central (charged)"),
+        }
+    }
+}
+
+/// How a substrate behaves under a [`local_model::enforce_congest`]
+/// guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// The substrate *is* a LOCAL-level materialization mechanism
+    /// (overlay relay envelopes, sharded boundary blocks): its traffic
+    /// is the compiled form of some virtual round, accounted at its
+    /// own level, not budget-enforced itself.
+    Local,
+    /// Engine-backed rounds constructed through
+    /// [`local_model::compile`] with an over-budget wire format: under
+    /// enforcement, payloads fragment into budget-sized chunks over
+    /// dilated honest wire rounds, and the run completes with zero
+    /// `congest_violations`.
+    CongestEnforced,
+    /// Wire format already fits [`congest_budget`]: the substrate runs
+    /// under enforcement unchanged (dilation factor 1).
+    CongestFeasible,
+}
+
 impl std::fmt::Display for Execution {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Execution::Engine => write!(f, "engine (measured)"),
-            Execution::Mixed => write!(f, "mixed"),
-            Execution::Central => write!(f, "central (charged)"),
+            Execution::Local => write!(f, "local"),
+            Execution::CongestEnforced => write!(f, "congest-enforced"),
+            Execution::CongestFeasible => write!(f, "congest-feasible"),
         }
     }
 }
@@ -111,10 +153,12 @@ pub struct SubstrateBandwidth {
     pub max_bits: Option<u64>,
     /// The verdict against [`congest_budget`].
     pub class: BandwidthClass,
-    /// How the substrate's rounds execute (measured vs charged).
+    /// How the substrate's rounds are measured (engine vs charged).
+    pub measurement: Measurement,
+    /// How the substrate behaves under CONGEST enforcement.
     pub execution: Execution,
     /// What the substrate emits into an attached trace
-    /// ([`local_model::Tracer`]): derived from [`Execution`] by
+    /// ([`local_model::Tracer`]): derived from [`Measurement`] by
     /// default; the overlay substrates override it with their
     /// level-tagged virtual-round streams and the sharded boundary
     /// with its per-shard round columns.
@@ -123,20 +167,28 @@ pub struct SubstrateBandwidth {
     pub note: &'static str,
 }
 
-/// The default trace emission for an execution style: engine rounds
+/// The default trace emission for a measurement style: engine rounds
 /// produce enriched round records, central simulations bare charges.
-fn default_trace(execution: Execution) -> &'static str {
-    match execution {
-        Execution::Engine => "rounds",
-        Execution::Mixed => "rounds+charges",
-        Execution::Central => "charges",
+fn default_trace(measurement: Measurement) -> &'static str {
+    match measurement {
+        Measurement::Engine => "rounds",
+        Measurement::Mixed => "rounds+charges",
+        Measurement::Central => "charges",
     }
 }
 
 /// Overrides the trace column for substrates whose streams carry more
-/// than the execution default (level tags, per-shard columns).
+/// than the measurement default (level tags, per-shard columns).
 fn with_trace(mut r: SubstrateBandwidth, trace: &'static str) -> SubstrateBandwidth {
     r.trace = trace;
+    r
+}
+
+/// Overrides the execution column for the materialization-layer rows
+/// (relay envelopes, boundary blocks) that are never budget-enforced
+/// themselves.
+fn local_level(mut r: SubstrateBandwidth) -> SubstrateBandwidth {
+    r.execution = Execution::Local;
     r
 }
 
@@ -144,7 +196,7 @@ fn row<M: WireCodec>(
     name: &'static str,
     message: &'static str,
     p: &WireParams,
-    execution: Execution,
+    measurement: Measurement,
     note: &'static str,
 ) -> SubstrateBandwidth {
     let max_bits = M::max_bits(p);
@@ -152,13 +204,22 @@ fn row<M: WireCodec>(
         Some(b) if b <= congest_budget(p.n) => BandwidthClass::Congest,
         _ => BandwidthClass::LocalOnly,
     };
+    // Every protocol substrate builds its drivers through
+    // `local_model::compile`, so a within-budget format runs under
+    // enforcement unchanged and an over-budget one runs fragmented;
+    // only the materialization layers override this to `Local`.
+    let execution = match class {
+        BandwidthClass::Congest => Execution::CongestFeasible,
+        BandwidthClass::LocalOnly => Execution::CongestEnforced,
+    };
     SubstrateBandwidth {
         name,
         message,
         max_bits,
         class,
+        measurement,
         execution,
-        trace: default_trace(execution),
+        trace: default_trace(measurement),
         note,
     }
 }
@@ -176,43 +237,43 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
             "ball/collect",
             "BallMsg",
             p,
-            Execution::Engine,
+            Measurement::Engine,
             "radius-r certificate flood: Theta(Delta^r) adjacency lists",
         ),
         row::<ReachMsg<()>>(
             "ball/reach",
             "ReachMsg",
             p,
-            Execution::Engine,
+            Measurement::Engine,
             "membership flood: batches every source crossing an edge",
         ),
         row::<RelayItem<()>>(
             "overlay/relay-item",
             "RelayItem",
             p,
-            Execution::Engine,
+            Measurement::Engine,
             "per relayed source: origin id + hop TTL + payload",
         ),
-        with_trace(
+        local_level(with_trace(
             row::<OverlayRelay<()>>(
                 "overlay/relay",
                 "OverlayRelay",
                 p,
-                Execution::Engine,
+                Measurement::Engine,
                 "G^k round compiled to k relay rounds: batches Theta(Delta^(k-1)) items",
             ),
             "rounds+vrounds(G^k)",
-        ),
-        with_trace(
+        )),
+        local_level(with_trace(
             row::<OverlayEnvelope<()>>(
                 "overlay/induced",
                 "OverlayEnvelope",
                 p,
-                Execution::Engine,
+                Measurement::Engine,
                 "G[S] round on the host edge: bcast + unbounded directed list",
             ),
             "rounds+vrounds(G[S])",
-        ),
+        )),
         // The sharded engine's boundary block is not a per-edge message
         // but the batched shard-pair envelope (gamma section counts,
         // gamma-coded sender/arc offsets, payloads), so it has no
@@ -223,7 +284,8 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
             message: "BoundaryBlock",
             max_bits: None,
             class: BandwidthClass::LocalOnly,
-            execution: Execution::Engine,
+            measurement: Measurement::Engine,
+            execution: Execution::Local,
             trace: "rounds+shard-cols",
             note: "batched block per shard pair per round: all cross-shard traffic, wire-exact",
         },
@@ -231,105 +293,105 @@ pub fn classify(p: &WireParams) -> Vec<SubstrateBandwidth> {
             "linial",
             "LinialMsg",
             p,
-            Execution::Engine,
+            Measurement::Engine,
             "one gamma-coded color < max(n, q0^2)",
         ),
         row::<ReduceMsg>(
             "reduce",
             "ReduceMsg",
             &reduce_params,
-            Execution::Engine,
+            Measurement::Engine,
             "one gamma-coded color < Linial bound",
         ),
         row::<MisMsg>(
             "mis",
             "MisMsg",
             p,
-            Execution::Engine,
+            Measurement::Engine,
             "n^3-domain draw + id tiebreak",
         ),
         row::<LcMsg>(
             "list_coloring",
             "LcMsg",
             p,
-            Execution::Engine,
+            Measurement::Engine,
             "tag + gamma-coded color",
         ),
         row::<ReachMsg<()>>(
             "marking",
             "ReachMsg + MkMsg",
             p,
-            Execution::Engine,
+            Measurement::Engine,
             "backoff reach-flood of Theta(Delta^b) ids; picks via 2-balls",
         ),
         row::<RulingMsg>(
             "ruling",
             "RulingMsg",
             p,
-            Execution::Engine,
+            Measurement::Engine,
             "bit-halving reach-floods + Luby on the G^k overlay, both measured",
         ),
         row::<GallaiMsg>(
             "gallai",
             "GallaiMsg",
             p,
-            Execution::Engine,
+            Measurement::Engine,
             "DCC detection collects radius-r balls: Theta(Delta^r) edges",
         ),
         row::<BrooksMsg>(
             "brooks",
             "BrooksMsg",
             p,
-            Execution::Mixed,
+            Measurement::Mixed,
             "first probe is an engine 2-ball; deep probes + walk central",
         ),
         row::<BrooksMsg>(
             "repair",
             "Color + BrooksMsg",
             p,
-            Execution::Mixed,
+            Measurement::Mixed,
             "detection exchanges colors; healing inherits the Brooks ball probes",
         ),
         row::<LayerMsg>(
             "layering",
             "LayerMsg",
             p,
-            Execution::Mixed,
+            Measurement::Mixed,
             "todo-subgraph coloring on the induced overlay; BFS waves central",
         ),
         row::<DecompMsg>(
             "decomp",
             "DecompMsg",
             p,
-            Execution::Central,
+            Measurement::Central,
             "fixed-point key + gamma-coded center",
         ),
         row::<RandMsg>(
             "delta/rand",
             "RandMsg",
             p,
-            Execution::Mixed,
+            Measurement::Mixed,
             "inherits DCC detection + marking flood",
         ),
         row::<DetMsg>(
             "delta/det",
             "DetMsg",
             p,
-            Execution::Mixed,
+            Measurement::Mixed,
             "inherits power-graph ruling + repairs",
         ),
         row::<NetDecompMsg>(
             "delta/netdecomp",
             "NetDecompMsg",
             p,
-            Execution::Mixed,
+            Measurement::Mixed,
             "inherits separation blocking + repairs",
         ),
         row::<SlocalMsg>(
             "delta/slocal",
             "SlocalMsg",
             p,
-            Execution::Mixed,
+            Measurement::Mixed,
             "repairs rewrite whole balls",
         ),
     ]
@@ -440,7 +502,7 @@ mod tests {
             classify(&p)
                 .into_iter()
                 .find(|r| r.name == name)
-                .map(|r| r.execution)
+                .map(|r| r.measurement)
                 .expect("registered substrate")
         };
         // The ball subsystem and the virtual-topology overlay made
@@ -461,15 +523,76 @@ mod tests {
             "ruling",
             "gallai",
         ] {
-            assert_eq!(exec_of(name), Execution::Engine, "{name}");
+            assert_eq!(exec_of(name), Measurement::Engine, "{name}");
         }
         // Layering's todo subgraphs now color through the induced
         // overlay, but its BFS layer waves stay charged central
         // simulations — mixed, like the drivers that inherit them.
         for name in ["layering", "brooks", "repair", "delta/rand", "delta/det"] {
-            assert_eq!(exec_of(name), Execution::Mixed, "{name}");
+            assert_eq!(exec_of(name), Measurement::Mixed, "{name}");
         }
-        assert_eq!(exec_of("decomp"), Execution::Central, "decomp");
+        assert_eq!(exec_of("decomp"), Measurement::Central, "decomp");
+    }
+
+    #[test]
+    fn execution_column_is_three_state_and_matches_enforcement() {
+        let p = WireParams {
+            n: 1 << 12,
+            max_degree: 4,
+            palette: 5,
+        };
+        let rows = classify(&p);
+        let execution_of = |name: &str| {
+            rows.iter()
+                .find(|r| r.name == name)
+                .map(|r| r.execution)
+                .expect("registered substrate")
+        };
+        // Over-budget wire formats built through `local_model::compile`
+        // run fragmented under an `enforce_congest` guard — including
+        // the marking/ruling/gallai substrates and every headline
+        // driver, which is what lets the Δ-coloring experiment finish
+        // with zero congest_violations.
+        for name in [
+            "ball/collect",
+            "ball/reach",
+            "marking",
+            "ruling",
+            "gallai",
+            "brooks",
+            "repair",
+            "delta/rand",
+            "delta/det",
+            "delta/netdecomp",
+            "delta/slocal",
+        ] {
+            assert_eq!(execution_of(name), Execution::CongestEnforced, "{name}");
+        }
+        // Within-budget formats need no fragmentation: under the same
+        // guard they run with dilation factor 1.
+        for name in [
+            "overlay/relay-item",
+            "linial",
+            "reduce",
+            "mis",
+            "list_coloring",
+            "layering",
+            "decomp",
+        ] {
+            assert_eq!(execution_of(name), Execution::CongestFeasible, "{name}");
+        }
+        // The materialization layers are the relay mechanism itself,
+        // never budget-enforced.
+        for name in ["overlay/relay", "overlay/induced", "shard/boundary"] {
+            assert_eq!(execution_of(name), Execution::Local, "{name}");
+        }
+        // Every row carries some execution verdict (three-state, no
+        // fourth option smuggled in through literals).
+        assert_eq!(
+            rows.len(),
+            11 + 7 + 3,
+            "execution partition covers the registry"
+        );
     }
 
     #[test]

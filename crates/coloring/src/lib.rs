@@ -38,35 +38,46 @@
 //! per-component CDCC detection run on the `InducedOverlay`
 //! (non-members silent), and the layering technique colors its todo
 //! subgraphs the same way. The [`bandwidth`] module classifies each
-//! substrate against the `O(log n)` per-edge budget and records how it
-//! executes; the verdicts below are for the implemented wire formats
-//! (see each message type's docs for why):
+//! substrate against the `O(log n)` per-edge budget and records both
+//! how it executes under CONGEST enforcement (`congest-feasible`
+//! messages fit the budget natively; `congest-enforced` ones run
+//! fragmented onto it by [`local_model::congest`] while a
+//! [`local_model::enforce_congest`] guard is live; `local` marks
+//! internal materialization layers whose logical level is enforced
+//! instead) and how its numbers are obtained; the verdicts below are
+//! for the implemented wire formats (see each message type's docs for
+//! why):
 //!
-//! | Module | Contents | Paper reference | Bandwidth | Execution |
-//! |---|---|---|---|---|
-//! | [`palette`] | colors, partial colorings, lists, validity checks | — | — | — |
-//! | [`linial`] | `O(Δ²)` coloring in `O(log* n)` rounds | \[Lin92\], used for symmetry breaking | CONGEST-feasible | engine (measured) |
-//! | [`reduce`] | color-class reduction to `Δ+1` | — | CONGEST-feasible | engine (measured) |
-//! | [`mis`] | Luby's MIS, on the host graph and on `G^k`/`(G[S])^k` overlays | Lemma 20 substrate | CONGEST-feasible (host); LOCAL-only on overlays | engine (measured) |
-//! | [`ruling`] | ruling sets and ruling forests | Lemma 20 | LOCAL-only (power-graph relays) | engine (measured): bit-halving reach-floods + Luby on the `G^k` overlay |
-//! | [`list_coloring`] | `(deg+1)`-list coloring, randomized & deterministic | Theorems 18, 19 | CONGEST-feasible | engine (measured); randomized also on the induced overlay |
-//! | [`gallai`] | degree-choosable components, Gallai trees, the degree-list solver | Definitions 6–9, Theorem 8 | LOCAL-only (ball relays) | engine (measured) via [`gallai::find_dccs_all`] / [`gallai::find_dccs_all_within`] |
-//! | [`brooks`] | sequential Brooks & the distributed Brooks repair | Theorem 5, Lemma 16 | LOCAL-only (ball probes) | mixed: radius-2 probe engine-backed, deepening + walk central |
-//! | [`layering`] | the layering technique | Section 3 | CONGEST-feasible | mixed: todo-subgraph coloring on the induced overlay, BFS waves central |
-//! | [`marking`] | the marking process and T-nodes | Section 2.2, phase (4) | LOCAL-only (backoff flood) | engine (measured), incl. [`marking::marking_process_within`] on the induced overlay |
-//! | [`decomp`] | MPX network decomposition | \[PS92\]/\[AGLP89\] substitute | CONGEST-feasible | central (charged) |
-//! | [`delta`] | the headline algorithms | Theorems 1, 3, 4 | LOCAL-only (inherit detection/repairs) | mixed |
-//! | [`baseline`] | `(Δ+1)` baseline and a PS-style Δ-coloring baseline | \[PS92, PS95\] | — | mixed |
-//! | [`verify`] | end-to-end validity checking, full violation reports | — | — | — |
-//! | [`repair`] | detection + self-healing of damaged colorings | Theorem 5, Lemma 16 | LOCAL-only (ball probes) | mixed: inherits the Brooks repair |
-//! | [`bandwidth`] | CONGEST-feasibility + execution registry of all of the above | cf. KMW | — | — |
+//! | Module | Contents | Paper reference | Bandwidth | CONGEST execution | Measurement |
+//! |---|---|---|---|---|---|
+//! | [`palette`] | colors, partial colorings, lists, validity checks | — | — | — | — |
+//! | [`linial`] | `O(Δ²)` coloring in `O(log* n)` rounds | \[Lin92\], used for symmetry breaking | CONGEST-feasible | congest-feasible | engine (measured) |
+//! | [`reduce`] | color-class reduction to `Δ+1` | — | CONGEST-feasible | congest-feasible | engine (measured) |
+//! | [`mis`] | Luby's MIS, on the host graph and on `G^k`/`(G[S])^k` overlays | Lemma 20 substrate | CONGEST-feasible (host); LOCAL-only on overlays | congest-feasible | engine (measured) |
+//! | [`ruling`] | ruling sets and ruling forests | Lemma 20 | LOCAL-only (power-graph relays) | congest-enforced | engine (measured): bit-halving reach-floods + Luby on the `G^k` overlay |
+//! | [`list_coloring`] | `(deg+1)`-list coloring, randomized & deterministic | Theorems 18, 19 | CONGEST-feasible | congest-feasible | engine (measured); randomized also on the induced overlay |
+//! | [`gallai`] | degree-choosable components, Gallai trees, the degree-list solver | Definitions 6–9, Theorem 8 | LOCAL-only (ball relays) | congest-enforced | engine (measured) via [`gallai::find_dccs_all`] / [`gallai::find_dccs_all_within`] |
+//! | [`brooks`] | sequential Brooks & the distributed Brooks repair | Theorem 5, Lemma 16 | LOCAL-only (ball probes) | congest-enforced | mixed: radius-2 probe engine-backed, deepening + walk central |
+//! | [`layering`] | the layering technique | Section 3 | CONGEST-feasible | congest-feasible | mixed: todo-subgraph coloring on the induced overlay, BFS waves central |
+//! | [`marking`] | the marking process and T-nodes | Section 2.2, phase (4) | LOCAL-only (backoff flood) | congest-enforced | engine (measured), incl. [`marking::marking_process_within`] on the induced overlay |
+//! | [`decomp`] | MPX network decomposition | \[PS92\]/\[AGLP89\] substitute | CONGEST-feasible | congest-feasible | central (charged) |
+//! | [`delta`] | the headline algorithms | Theorems 1, 3, 4 | LOCAL-only (inherit detection/repairs) | congest-enforced | mixed |
+//! | [`baseline`] | `(Δ+1)` baseline and a PS-style Δ-coloring baseline | \[PS92, PS95\] | — | — | mixed |
+//! | [`verify`] | end-to-end validity checking, full violation reports | — | — | — | — |
+//! | [`repair`] | detection + self-healing of damaged colorings | Theorem 5, Lemma 16 | LOCAL-only (ball probes) | congest-enforced | mixed: inherits the Brooks repair |
+//! | [`bandwidth`] | CONGEST-feasibility + execution registry of all of the above | cf. KMW | — | — | — |
 //!
 //! Phases that remain genuinely centralized (with charged round
 //! estimates): the layering/boundary BFS waves, MPX decomposition, the
 //! virtual minor graphs of phases (2)/(6) (GDCC/CDCC rulings — their
 //! nodes are *sets* of host nodes, so they are not induced subgraphs
 //! and need leader simulation to compile), and the Brooks repair's
-//! deep doubling probes and token walk.
+//! deep doubling probes and token walk. Charged phases are untouched
+//! by CONGEST enforcement (no wire traffic to fragment); everything
+//! engine-backed runs through [`local_model::compile`], so a single
+//! `enforce_congest` guard around a headline driver yields a run whose
+//! ledger counts honest `O(log n)`-bit wire rounds with **zero**
+//! congest violations and the bit-identical coloring.
 //!
 //! # Quickstart
 //!

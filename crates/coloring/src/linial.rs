@@ -16,7 +16,9 @@
 
 use delta_graphs::Graph;
 use local_model::wire::{gamma_bits, gamma_max_bits};
-use local_model::{BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec, WireParams};
+use local_model::{
+    compile, BitReader, BitWriter, Engine, Outbox, RoundDriver, RoundLedger, WireCodec, WireParams,
+};
 
 /// Wire format of Linial color reduction: one gamma-coded current
 /// color per round. Colors start below `n` and only shrink (to `q²`
@@ -142,7 +144,7 @@ pub fn linial_coloring(g: &Graph, ledger: &mut RoundLedger, phase: &str) -> Vec<
     // color, then pick an evaluation point differing from every
     // neighbor's polynomial. The algorithm is deterministic; the engine
     // seed is irrelevant.
-    let mut engine = Engine::new(g, 0, |v| v.0 as u64);
+    let mut engine = compile(Engine::new(g, 0, |v| v.0 as u64));
     let mut m = g.n() as u64;
     loop {
         let q = choose_field(m, delta);
@@ -151,7 +153,7 @@ pub fn linial_coloring(g: &Graph, ledger: &mut RoundLedger, phase: &str) -> Vec<
         }
         let d = poly_degree(m, q);
         debug_assert!(q > delta * d.max(1));
-        engine.step(
+        engine.round_step(
             ledger,
             phase,
             |_, color: &mut u64, out: &mut Outbox<LinialMsg>| {
@@ -178,7 +180,11 @@ pub fn linial_coloring(g: &Graph, ledger: &mut RoundLedger, phase: &str) -> Vec<
         );
         m = q * q;
     }
-    engine.into_states().iter().map(|&c| c as u32).collect()
+    engine
+        .into_node_states()
+        .iter()
+        .map(|&c| c as u32)
+        .collect()
 }
 
 /// Upper bound on the number of colors [`linial_coloring`] produces for

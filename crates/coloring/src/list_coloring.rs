@@ -147,13 +147,13 @@ pub fn list_color_randomized(
     if coloring.uncolored().next().is_none() {
         return Ok(coloring);
     }
-    let engine = Engine::new(g, seed, |v| LcState {
+    let engine = local_model::compile(Engine::new(g, seed, |v| LcState {
         color: coloring.get(v),
         announced: false,
         proposal: None,
         used: Vec::new(),
         stuck: false,
-    });
+    }));
     let out = list_color_randomized_core(engine, lists, coloring, ledger, phase)?;
     debug_assert!(out.validate_proper(g).is_ok());
     Ok(out)
@@ -178,13 +178,18 @@ pub fn list_color_randomized_within(
     if coloring.uncolored().next().is_none() {
         return Ok(coloring);
     }
-    let engine = OverlayEngine::new(g, InducedOverlay { members }, seed, |r| LcState {
-        color: coloring.get(r),
-        announced: false,
-        proposal: None,
-        used: Vec::new(),
-        stuck: false,
-    });
+    let engine = local_model::compile(OverlayEngine::new(
+        g,
+        InducedOverlay { members },
+        seed,
+        |r| LcState {
+            color: coloring.get(r),
+            announced: false,
+            proposal: None,
+            used: Vec::new(),
+            stuck: false,
+        },
+    ));
     list_color_randomized_core(engine, lists, coloring, ledger, phase)
 }
 

@@ -330,9 +330,19 @@ fn marking_core(
     // Round 1: every node privately flips its selection coin (no
     // traffic; the draw comes from the node's engine rng stream).
     let selected = match members {
-        None => selection_round(Engine::new(g, seed, |_| false), p, ledger, phase),
+        None => selection_round(
+            local_model::compile(Engine::new(g, seed, |_| false)),
+            p,
+            ledger,
+            phase,
+        ),
         Some(m) => selection_round(
-            OverlayEngine::new(g, InducedOverlay { members: m }, seed, |_| false),
+            local_model::compile(OverlayEngine::new(
+                g,
+                InducedOverlay { members: m },
+                seed,
+                |_| false,
+            )),
             p,
             ledger,
             phase,
@@ -429,9 +439,18 @@ fn marking_core(
         ..Default::default()
     };
     let states = match members {
-        None => placement_rounds(Engine::new(g, seed ^ 0x5151, res_init), ledger, phase),
+        None => placement_rounds(
+            local_model::compile(Engine::new(g, seed ^ 0x5151, res_init)),
+            ledger,
+            phase,
+        ),
         Some(m) => placement_rounds(
-            OverlayEngine::new(g, InducedOverlay { members: m }, seed ^ 0x5151, res_init),
+            local_model::compile(OverlayEngine::new(
+                g,
+                InducedOverlay { members: m },
+                seed ^ 0x5151,
+                res_init,
+            )),
             ledger,
             phase,
         ),

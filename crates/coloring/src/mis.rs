@@ -113,20 +113,20 @@ struct S {
 /// assert!(is_mis(&g, &mis));
 /// ```
 pub fn luby_mis(g: &Graph, seed: u64, ledger: &mut RoundLedger, phase: &str) -> Vec<bool> {
-    let engine = Engine::new(g, seed, |v| S {
+    let engine = local_model::compile(Engine::new(g, seed, |v| S {
         state: MisState::Undecided,
         draw: (0, v.0),
-    });
+    }));
     let engine = luby_core(engine, ledger, phase);
     // Deterministic cleanup (unreachable w.h.p.): greedily add remaining
     // undecided nodes in id order.
     let mut member: Vec<bool> = engine
-        .states()
+        .node_states()
         .iter()
         .map(|s| s.state == MisState::In)
         .collect();
     for v in g.nodes() {
-        if engine.states()[v.index()].state == MisState::Undecided
+        if engine.node_states()[v.index()].state == MisState::Undecided
             && !g.neighbors(v).iter().any(|&w| member[w.index()])
         {
             member[v.index()] = true;
@@ -211,17 +211,18 @@ fn luby_on_overlay<T: VirtualTopology>(
     ledger: &mut RoundLedger,
     phase: &str,
 ) -> Vec<bool> {
-    let engine = luby_core(engine, ledger, phase);
+    let engine = luby_core(local_model::compile(engine), ledger, phase);
     let mut member: Vec<bool> = engine
-        .states()
+        .node_states()
         .iter()
         .map(|s| s.state == MisState::In)
         .collect();
     // Deterministic cleanup (unreachable w.h.p.), on *virtual*
     // adjacency: greedily add remaining undecided ranks in id order.
     for r in 0..member.len() {
-        if engine.states()[r].state == MisState::Undecided
+        if engine.node_states()[r].state == MisState::Undecided
             && !engine
+                .inner()
                 .virtual_neighbors(NodeId::from_index(r))
                 .iter()
                 .any(|&w| member[w.index()])

@@ -11,7 +11,9 @@
 use crate::palette::PartialColoring;
 use delta_graphs::Graph;
 use local_model::wire::{gamma_bits, gamma_max_bits};
-use local_model::{BitReader, BitWriter, Engine, Outbox, RoundLedger, WireCodec, WireParams};
+use local_model::{
+    compile, BitReader, BitWriter, Engine, Outbox, RoundDriver, RoundLedger, WireCodec, WireParams,
+};
 
 /// Wire format of color-class reduction: each node gamma-codes its
 /// current color, which is bounded by the input color count (the
@@ -64,9 +66,9 @@ pub fn reduce_colors(
     // One engine round per class, top color down: the class is an
     // independent set, so all its nodes re-pick simultaneously from the
     // colors their neighbors broadcast. Deterministic; seed irrelevant.
-    let mut engine = Engine::new(g, 0, |v| colors[v.index()]);
+    let mut engine = compile(Engine::new(g, 0, |v| colors[v.index()]));
     for class in (target..m).rev() {
-        engine.step(
+        engine.round_step(
             ledger,
             phase,
             |_, c: &mut u32, out: &mut Outbox<ReduceMsg>| out.broadcast(ReduceMsg::Color(*c)),
@@ -88,7 +90,7 @@ pub fn reduce_colors(
             },
         );
     }
-    colors.copy_from_slice(&engine.into_states());
+    colors.copy_from_slice(&engine.into_node_states());
 }
 
 /// Converts a per-node `u32` color slice into a total [`PartialColoring`].

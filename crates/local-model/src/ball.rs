@@ -437,7 +437,9 @@ where
     if radius == 0 {
         return ball_phase_zero(graph.n(), seed, &adj_of, &payload_of, &rule);
     }
-    let engine = Engine::new(graph, seed, |v| ball_initial_state(v, &adj_of, &payload_of));
+    let engine = crate::congest::compile(Engine::new(graph, seed, |v| {
+        ball_initial_state(v, &adj_of, &payload_of)
+    }));
     ball_phase_core(engine, radius, rule, ledger, phase)
 }
 
@@ -486,9 +488,12 @@ where
     if radius == 0 {
         return ball_phase_zero(member_ids.len(), seed, &adj_of, &payload_of, &rule);
     }
-    let engine = OverlayEngine::new(graph, InducedOverlay { members }, seed, |r| {
-        ball_initial_state(r, &adj_of, &payload_of)
-    });
+    let engine = crate::congest::compile(OverlayEngine::new(
+        graph,
+        InducedOverlay { members },
+        seed,
+        |r| ball_initial_state(r, &adj_of, &payload_of),
+    ));
     ball_phase_core(engine, radius, rule, ledger, phase)
 }
 
@@ -693,9 +698,9 @@ where
         return reach_phase_zero(graph.n(), seed, &deg_of, &source, &init, &absorb, &finish);
     }
     let payloads = intern_sources(graph.n(), &source);
-    let engine = Engine::new(graph, seed, |v| {
+    let engine = crate::congest::compile(Engine::new(graph, seed, |v| {
         reach_initial_state(v, &payloads, &init, &absorb)
-    });
+    }));
     reach_phase_core(engine, radius, payloads, absorb, finish, ledger, phase)
 }
 
@@ -748,9 +753,12 @@ where
     }
     let member_count = members.iter().filter(|&&b| b).count();
     let payloads = intern_sources(member_count, &source);
-    let engine = OverlayEngine::new(graph, InducedOverlay { members }, seed, |r| {
-        reach_initial_state(r, &payloads, &init, &absorb)
-    });
+    let engine = crate::congest::compile(OverlayEngine::new(
+        graph,
+        InducedOverlay { members },
+        seed,
+        |r| reach_initial_state(r, &payloads, &init, &absorb),
+    ));
     reach_phase_core(engine, radius, payloads, absorb, finish, ledger, phase)
 }
 
@@ -1025,7 +1033,7 @@ pub fn collect_ball_centered(
         dist,
         adj: graph.neighbors(v).iter().map(|w| w.0).collect(),
     };
-    let mut engine = Engine::new(graph, 0, |v| {
+    let mut engine = crate::congest::compile(Engine::new(graph, 0, |v| {
         if v == center {
             let item = own_item(v, 0);
             CenterState {
@@ -1044,9 +1052,9 @@ pub fn collect_ball_centered(
                 frontier: Vec::new(),
             }
         }
-    });
+    }));
     for t in 1..=(2 * radius) as u32 {
-        engine.step(
+        engine.round_step(
             ledger,
             phase,
             |_, s: &mut CenterState, out: &mut Outbox<CenterMsg>| {
@@ -1092,7 +1100,7 @@ pub fn collect_ball_centered(
             },
         );
     }
-    let state = &engine.states()[center.index()];
+    let state = &engine.node_states()[center.index()];
     let mut order: Vec<usize> = (0..state.items.len()).collect();
     order.sort_unstable_by_key(|&i| state.items[i].id);
     let members: Vec<u32> = order.iter().map(|&i| state.items[i].id).collect();

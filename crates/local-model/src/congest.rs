@@ -1,0 +1,1096 @@
+//! True-CONGEST execution: fragmentation + pipelining of arbitrary
+//! [`WireCodec`] message streams onto a per-edge-per-round bit budget.
+//!
+//! The LOCAL-model engines deliver whole messages per round and merely
+//! *account* CONGEST violations ([`BandwidthPolicy::Congest`] never
+//! truncates). This module makes the budget real: a
+//! [`CongestEngine`] wraps any [`RoundDriver`] and compiles each
+//! logical round onto as many honest wire rounds as the budget demands,
+//! the way gossip protocols spread a big rumor through small messages —
+//! split, pipeline, reassemble.
+//!
+//! * [`Fragmenter`] — splits each encoded payload into chunks of at
+//!   most `budget` bits, framed as gamma-coded stream id, chunk index,
+//!   final flag, gamma-coded payload length, and the raw payload bits
+//!   (exact [`WireCodec::encoded_bits`] accounting; see
+//!   [`CongestChunk`]).
+//! * [`PipelineScheduler`] — per-sender chunk queues drained over
+//!   consecutive wire rounds in deterministic (stream id, chunk index)
+//!   order: the broadcast stream first (its chunks ride the inner
+//!   driver's broadcast), then one chunk per destination queue per
+//!   round — so no directed edge ever carries more than one chunk per
+//!   wire round, and the enforced budget is provably respected.
+//! * [`Reassembler`] — receive-side partial streams, keyed by (sender,
+//!   stream id); a message reaches the node program only on the wire
+//!   round its last chunk lands. Incomplete or gapped streams (chunk
+//!   faults) lose the whole message, mirroring message-level fault
+//!   semantics.
+//!
+//! One logical round therefore dilates into
+//! `max_v (B_v + max_d Q_{v,d})` wire rounds — the broadcast chunk
+//! count plus the deepest per-destination queue, each term
+//! `ceil(message bits / chunk payload capacity)` — all charged to the
+//! ledger under the algorithm's own phase name, exactly like the
+//! overlay charges `k` host rounds per virtual round. Delivery of the
+//! logical round happens on the wire round the *global* chunk backlog
+//! empties: every driver completes all sends before any recv, so a
+//! shared outstanding-chunk counter read in the recv phase is a
+//! race-free "last chunk landed" signal, deterministic across
+//! [`crate::ExecMode`]s.
+//!
+//! # Composition
+//!
+//! `CongestEngine` composes with every driver: [`crate::Engine`] (the
+//! budget binds per host edge), [`crate::OverlayEngine`] (per *virtual*
+//! edge — CONGEST on the overlay topology; the host relay envelopes
+//! remain the overlay's materialization mechanism and keep their own
+//! measured accounting), [`crate::ShardedEngine`], and
+//! [`crate::FaultyDriver`] *inside* the wrapper — drops, duplicates,
+//! and corruption then strike individual chunks, and a single lost
+//! chunk loses the whole reassembled message.
+//!
+//! # Enforcement scope
+//!
+//! [`enforce_congest`] arms a **thread-local** budget;
+//! [`compile`] — called at every internal engine construction site in
+//! the coloring crate — reads it and wraps the driver in an enforcing
+//! `CongestEngine` (switching the inner driver's accounting to
+//! [`BandwidthPolicy::Congest`], which the chunked traffic then
+//! satisfies with zero violations) or a transparent pass-through that
+//! is bit-identical to the unwrapped driver. Thread-locality keeps
+//! concurrent tests and parallel experiment cells from leaking
+//! enforcement into each other.
+//!
+//! # Determinism
+//!
+//! Program sends run once per logical round (wire round 1) with the
+//! node's own RNG stream; relay wire rounds never touch node state or
+//! randomness; reassembled inboxes are sorted by (sender, stream id),
+//! reproducing the engine's sender-sorted, broadcast-first inbox
+//! invariant. Final states, per-node RNG positions, and logical
+//! [`MessageStats`] are therefore seed-bit-identical to the
+//! unfragmented LOCAL run (`tests/congest_equivalence.rs`).
+
+use crate::engine::{BandwidthConfig, BandwidthPolicy, MessageStats, NodeCtx, Outbox, RoundDriver};
+use crate::ledger::RoundLedger;
+use crate::trace::VirtualRecord;
+use crate::wire::{gamma_bits, BitReader, BitWriter, WireCodec, WireParams};
+use delta_graphs::NodeId;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Smallest enforceable per-edge budget: room for the chunk frame plus
+/// a useful payload slice at realistic stream counts.
+pub const MIN_CONGEST_BITS: u64 = 32;
+
+/// Wire rounds without any backlog progress (every queue owner crashed)
+/// before the engine force-drains stuck queues. A backstop for
+/// permanent-crash fault plans, far above any legitimate stall.
+const STALL_LIMIT: u32 = 256;
+
+thread_local! {
+    /// The thread's armed enforcement budget (see [`enforce_congest`]).
+    static ENFORCED: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Scoped CONGEST enforcement (RAII): while the guard lives, every
+/// [`compile`] call *on this thread* wraps its driver in an enforcing
+/// [`CongestEngine`]. Dropping restores the previous setting, so guards
+/// nest.
+#[must_use = "enforcement ends when the guard is dropped"]
+pub struct CongestGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for CongestGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        ENFORCED.with(|c| c.set(prev));
+    }
+}
+
+/// Arms thread-local CONGEST enforcement at `bits` per edge per wire
+/// round for the guard's lifetime.
+///
+/// # Panics
+///
+/// Panics if `bits < MIN_CONGEST_BITS` — narrower budgets cannot carry
+/// a chunk frame plus payload.
+pub fn enforce_congest(bits: u64) -> CongestGuard {
+    assert!(
+        bits >= MIN_CONGEST_BITS,
+        "congest budget {bits} below the {MIN_CONGEST_BITS}-bit chunk-frame minimum"
+    );
+    let prev = ENFORCED.with(|c| c.replace(Some(bits)));
+    CongestGuard { prev }
+}
+
+/// The budget armed on this thread, if any.
+pub fn enforced_budget() -> Option<u64> {
+    ENFORCED.with(Cell::get)
+}
+
+/// Compiles a driver for the thread's current enforcement setting:
+/// an enforcing [`CongestEngine`] under a live [`enforce_congest`]
+/// guard, a bit-identical transparent pass-through otherwise. The
+/// coloring substrates call this at every internal engine construction
+/// site, which is what lets one guard flip a whole algorithm onto
+/// honest CONGEST wire rounds with zero call-site changes.
+pub fn compile<D: BandwidthConfig>(inner: D) -> CongestEngine<D> {
+    match enforced_budget() {
+        Some(bits) => CongestEngine::enforced(inner, bits),
+        None => CongestEngine::transparent(inner),
+    }
+}
+
+/// One fragment of an encoded message on the wire.
+///
+/// Frame: gamma(stream id) + gamma(chunk index) + final flag +
+/// gamma(payload bit length) + the raw payload bits. The payload is a
+/// borrowed slice (`off..off+len` bits) of a shared buffer holding the
+/// full encoded message, so fragmenting is one encode plus refcount
+/// bumps. `max_bits` is `None`: the bound is the *run-time* budget the
+/// [`Fragmenter`] was built with (every produced chunk satisfies
+/// `encoded_bits() <= budget`), not a type-level constant.
+#[derive(Debug, Clone)]
+pub struct CongestChunk {
+    stream: u64,
+    index: u64,
+    last: bool,
+    /// Payload slice length in bits.
+    len: u64,
+    /// Bit offset of the payload slice within `data`.
+    off: u64,
+    /// Shared buffer: the full encoded message on the sender side, the
+    /// extracted payload (offset 0) after decode.
+    data: Arc<Vec<u8>>,
+}
+
+impl CongestChunk {
+    /// The stream this chunk belongs to (0 = the round's broadcast;
+    /// directed messages get 1.. in send order).
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Position within the stream.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Whether this is the stream's final chunk.
+    pub fn is_last(&self) -> bool {
+        self.last
+    }
+
+    /// Payload length in bits.
+    pub fn payload_bits(&self) -> u64 {
+        self.len
+    }
+
+    fn payload_bit(&self, i: u64) -> u8 {
+        let at = self.off + i;
+        (self.data[(at / 8) as usize] >> (at % 8)) & 1
+    }
+}
+
+impl PartialEq for CongestChunk {
+    fn eq(&self, other: &Self) -> bool {
+        self.stream == other.stream
+            && self.index == other.index
+            && self.last == other.last
+            && self.len == other.len
+            && (0..self.len).all(|i| self.payload_bit(i) == other.payload_bit(i))
+    }
+}
+
+impl Eq for CongestChunk {}
+
+impl WireCodec for CongestChunk {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_gamma(self.stream);
+        w.write_gamma(self.index);
+        w.write_bool(self.last);
+        w.write_gamma(self.len);
+        w.write_raw(&self.data, self.off, self.len);
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Option<Self> {
+        let stream = r.read_gamma()?;
+        let index = r.read_gamma()?;
+        let last = r.read_bool()?;
+        let len = r.read_gamma()?;
+        let bytes = r.read_raw(len)?;
+        Some(CongestChunk {
+            stream,
+            index,
+            last,
+            len,
+            off: 0,
+            data: Arc::new(bytes),
+        })
+    }
+
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.stream) + gamma_bits(self.index) + 1 + gamma_bits(self.len) + self.len
+    }
+
+    fn max_bits(_p: &WireParams) -> Option<u64> {
+        None // bounded by the run-time budget, not the graph parameters
+    }
+}
+
+/// Splits encoded payloads into budget-sized [`CongestChunk`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fragmenter {
+    budget: u64,
+}
+
+impl Fragmenter {
+    /// A fragmenter for a `budget`-bit per-edge-per-round regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics below [`MIN_CONGEST_BITS`].
+    pub fn new(budget: u64) -> Self {
+        assert!(
+            budget >= MIN_CONGEST_BITS,
+            "congest budget {budget} below the {MIN_CONGEST_BITS}-bit chunk-frame minimum"
+        );
+        Fragmenter { budget }
+    }
+
+    /// The per-edge-per-round bit budget chunks are sized for.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Largest payload length a (stream, index) chunk can carry:
+    /// max `L` with `frame(stream, index, L) + L <= budget`.
+    fn capacity(&self, stream: u64, index: u64) -> u64 {
+        let fixed = gamma_bits(stream) + gamma_bits(index) + 1;
+        let Some(room) = self.budget.checked_sub(fixed) else {
+            return 0;
+        };
+        // gamma_bits is monotone, so start at the guaranteed-feasible
+        // room - gamma_bits(room) and walk up to the boundary.
+        let mut l = room.saturating_sub(gamma_bits(room));
+        while l < room && gamma_bits(l + 1) + (l + 1) <= room {
+            l += 1;
+        }
+        l
+    }
+
+    /// Fragments `msg` into the chunks of stream `stream`. Every chunk
+    /// satisfies `encoded_bits() <= budget`; a 0-bit message still
+    /// produces one (empty, final) chunk so the receiver learns it
+    /// exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame of some required (stream, index) pair
+    /// already exhausts the budget — a sign the budget is far too small
+    /// for the traffic (astronomical stream counts).
+    pub fn fragment<M: WireCodec>(&self, stream: u64, msg: &M) -> Vec<CongestChunk> {
+        let mut w = BitWriter::new();
+        msg.encode(&mut w);
+        let (bytes, bits) = w.finish();
+        debug_assert_eq!(bits, msg.encoded_bits(), "codec size honesty");
+        let data = Arc::new(bytes);
+        let mut chunks = Vec::new();
+        let mut off = 0u64;
+        let mut index = 0u64;
+        loop {
+            let cap = self.capacity(stream, index);
+            assert!(
+                cap > 0 || bits == 0,
+                "budget {} cannot frame chunk ({stream}, {index})",
+                self.budget
+            );
+            let take = cap.min(bits - off);
+            let last = off + take == bits;
+            chunks.push(CongestChunk {
+                stream,
+                index,
+                last,
+                len: take,
+                off,
+                data: Arc::clone(&data),
+            });
+            off += take;
+            index += 1;
+            if last {
+                return chunks;
+            }
+        }
+    }
+}
+
+/// A sender's outgoing chunk backlog, drained one wire round at a time
+/// in deterministic (stream id, chunk index) order: the broadcast
+/// stream's chunks ride the inner driver's broadcast and fully precede
+/// the directed queues (so an edge never carries a broadcast chunk and
+/// a directed chunk in the same round); then every destination queue
+/// advances by one chunk per round.
+#[derive(Debug, Default)]
+pub struct PipelineScheduler {
+    bcast: VecDeque<CongestChunk>,
+    /// Per-destination queues in first-send order; a destination's
+    /// chunks are enqueued stream-ascending, index-ascending.
+    dirq: Vec<(NodeId, VecDeque<CongestChunk>)>,
+}
+
+impl PipelineScheduler {
+    /// Queues the broadcast stream's chunks. Returns how many.
+    pub fn enqueue_broadcast(&mut self, chunks: Vec<CongestChunk>) -> u64 {
+        let n = chunks.len() as u64;
+        self.bcast.extend(chunks);
+        n
+    }
+
+    /// Queues a directed stream's chunks for `dest`. Returns how many.
+    pub fn enqueue_directed(&mut self, dest: NodeId, chunks: Vec<CongestChunk>) -> u64 {
+        let n = chunks.len() as u64;
+        let q = match self.dirq.iter_mut().find(|(d, _)| *d == dest) {
+            Some((_, q)) => q,
+            None => {
+                self.dirq.push((dest, VecDeque::new()));
+                &mut self.dirq.last_mut().expect("just pushed").1
+            }
+        };
+        q.extend(chunks);
+        n
+    }
+
+    /// Emits one wire round's worth of chunks into `out`; returns how
+    /// many chunks left the backlog.
+    pub fn pop_round(&mut self, out: &mut Outbox<CongestChunk>) -> u64 {
+        if let Some(c) = self.bcast.pop_front() {
+            out.broadcast(c);
+            return 1;
+        }
+        let mut popped = 0u64;
+        for (dest, q) in &mut self.dirq {
+            if let Some(c) = q.pop_front() {
+                out.send_to(*dest, c);
+                popped += 1;
+            }
+        }
+        self.dirq.retain(|(_, q)| !q.is_empty());
+        popped
+    }
+
+    /// Drops the whole backlog; returns how many chunks were discarded.
+    pub fn drain(&mut self) -> u64 {
+        let n =
+            self.bcast.len() as u64 + self.dirq.iter().map(|(_, q)| q.len() as u64).sum::<u64>();
+        self.bcast.clear();
+        self.dirq.clear();
+        n
+    }
+
+    /// Whether no chunk is queued.
+    pub fn is_empty(&self) -> bool {
+        self.bcast.is_empty() && self.dirq.is_empty()
+    }
+}
+
+/// One partially reassembled stream.
+#[derive(Debug)]
+struct RecvStream {
+    next_index: u64,
+    finished: bool,
+    /// A gap or post-final chunk was seen (chunk faults): the whole
+    /// message is lost.
+    dead: bool,
+    buf: BitWriter,
+}
+
+/// A receiver's partial streams, keyed by (sender, stream id). Chunks
+/// accumulate across wire rounds; [`Reassembler::take_round`] decodes
+/// every finished stream in (sender, stream) order — reproducing the
+/// engine's sender-sorted, broadcast-first inbox invariant — and drops
+/// incomplete or gapped ones (a dropped chunk loses the message).
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    streams: HashMap<(u32, u64), RecvStream>,
+}
+
+impl Reassembler {
+    /// Folds one delivered chunk in. Out-of-order or duplicate chunks
+    /// from fault injection are handled conservatively: an index below
+    /// the expected one is a duplicate (ignored); anything else
+    /// off-schedule kills the stream.
+    pub fn stash(&mut self, from: NodeId, chunk: &CongestChunk) {
+        let s = self
+            .streams
+            .entry((from.0, chunk.stream))
+            .or_insert_with(|| RecvStream {
+                next_index: 0,
+                finished: false,
+                dead: false,
+                buf: BitWriter::new(),
+            });
+        if s.dead || chunk.index < s.next_index {
+            return; // dead stream, or a re-delivered duplicate
+        }
+        if s.finished || chunk.index > s.next_index {
+            s.dead = true; // chunk after the final one, or a gap
+            return;
+        }
+        s.buf.write_raw(&chunk.data, chunk.off, chunk.len);
+        s.next_index += 1;
+        s.finished = chunk.last;
+    }
+
+    /// Number of streams currently tracked (finished or partial).
+    pub fn pending(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Clears stale streams (a crashed receiver that missed its
+    /// delivery round must not mix rounds).
+    pub fn reset(&mut self) {
+        self.streams.clear();
+    }
+
+    /// Decodes every finished stream into `(sender, message)` pairs in
+    /// (sender, stream id) order and clears the reassembler. Incomplete,
+    /// dead, or undecodable streams are dropped (fault semantics: the
+    /// decoded value of a bit-flipped stream may also simply differ,
+    /// mirroring message-level corruption).
+    pub fn take_round<M: WireCodec>(&mut self) -> Vec<(NodeId, M)> {
+        let mut done: Vec<((u32, u64), RecvStream)> = self.streams.drain().collect();
+        done.sort_unstable_by_key(|&((from, stream), _)| (from, stream));
+        let mut out = Vec::with_capacity(done.len());
+        for ((from, _), s) in done {
+            if s.dead || !s.finished {
+                continue;
+            }
+            let (bytes, bits) = s.buf.finish();
+            let mut r = BitReader::new(&bytes, bits);
+            if let Some(m) = M::decode(&mut r) {
+                out.push((NodeId(from), m));
+            }
+        }
+        out
+    }
+}
+
+/// Per-node chunk machinery: outgoing scheduler + incoming reassembler,
+/// behind one mutex (each node's lane is touched only by that node's
+/// send/recv closure within a phase, so the lock is uncontended — it
+/// exists to make the closures `Sync`).
+#[derive(Debug, Default)]
+struct Lane {
+    sched: PipelineScheduler,
+    asm: Reassembler,
+}
+
+/// Per-logical-round shared accumulators for the logical (unfragmented)
+/// traffic stats, mirroring the engine's bandwidth sweep sender-side.
+#[derive(Debug, Default)]
+struct RoundAcc {
+    broadcasts: AtomicU64,
+    directed: AtomicU64,
+    deliveries: AtomicU64,
+    bits: AtomicU64,
+    max_edge: AtomicU64,
+    violations: AtomicU64,
+    fragments: AtomicU64,
+    reassembled: AtomicU64,
+}
+
+impl RoundAcc {
+    fn max_edge_up_to(&self, v: u64) {
+        self.max_edge.fetch_max(v, Ordering::SeqCst);
+    }
+}
+
+/// A [`RoundDriver`] adapter that executes every logical round as a
+/// budget-honest sequence of chunked wire rounds on the inner driver
+/// (see the module docs). Transparent instances delegate verbatim and
+/// are bit-identical to the unwrapped driver.
+#[derive(Debug)]
+pub struct CongestEngine<D> {
+    inner: D,
+    /// `Some` = enforcing at the fragmenter's budget.
+    frag: Option<Fragmenter>,
+    /// Policy the *logical* (unfragmented) stats are judged against —
+    /// [`BandwidthPolicy::Local`] by default, so logical stats compare
+    /// bit-identically with a plain LOCAL run.
+    logical_policy: BandwidthPolicy,
+    lanes: Vec<Mutex<Lane>>,
+    /// Outstanding chunks across all lanes: staged at enqueue, released
+    /// at pop. Zero during a recv phase means the backlog emptied and
+    /// this wire round is the logical round's delivery round.
+    outstanding: AtomicU64,
+    logical_rounds: u64,
+    wire_rounds: u64,
+    force_drained: u64,
+    stats: MessageStats,
+}
+
+impl<D> CongestEngine<D> {
+    /// A pass-through wrapper: every call delegates to `inner`
+    /// untouched (bit-identical rounds, stats, and ledger charges).
+    pub fn transparent(inner: D) -> Self {
+        CongestEngine {
+            inner,
+            frag: None,
+            logical_policy: BandwidthPolicy::Local,
+            lanes: Vec::new(),
+            outstanding: AtomicU64::new(0),
+            logical_rounds: 0,
+            wire_rounds: 0,
+            force_drained: 0,
+            stats: MessageStats::default(),
+        }
+    }
+
+    /// Whether rounds are being fragmented and budget-enforced.
+    pub fn is_enforced(&self) -> bool {
+        self.frag.is_some()
+    }
+
+    /// The enforced budget, if enforcing.
+    pub fn budget(&self) -> Option<u64> {
+        self.frag.map(|f| f.budget())
+    }
+
+    /// Sets the policy the logical-level stats are judged against
+    /// (builder style; accounting only). Default
+    /// [`BandwidthPolicy::Local`].
+    pub fn with_logical_bandwidth(mut self, policy: BandwidthPolicy) -> Self {
+        self.logical_policy = policy;
+        self
+    }
+
+    /// Logical rounds executed (what the algorithm counts).
+    pub fn logical_rounds(&self) -> u64 {
+        self.logical_rounds
+    }
+
+    /// Honest wire rounds executed (what the ledger was charged).
+    pub fn wire_rounds(&self) -> u64 {
+        self.wire_rounds
+    }
+
+    /// Measured round blow-up factor in permille:
+    /// `1000 * wire_rounds / logical_rounds` (1000 = no dilation).
+    pub fn blowup_permille(&self) -> u64 {
+        (self.wire_rounds * 1000)
+            .checked_div(self.logical_rounds)
+            .unwrap_or(1000)
+    }
+
+    /// Chunks discarded by the stalled-backlog backstop (nonzero only
+    /// under permanent-crash fault plans).
+    pub fn force_drained(&self) -> u64 {
+        self.force_drained
+    }
+
+    /// The wrapped driver.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The wrapped driver, mutably.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwraps to the inner driver.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: BandwidthConfig> CongestEngine<D> {
+    /// An enforcing wrapper at `bits` per edge per wire round. The
+    /// inner driver's accounting policy is switched to
+    /// [`BandwidthPolicy::Congest`] at the same budget, so the ledger
+    /// *proves* compliance: chunked traffic accounts zero violations.
+    pub fn enforced(mut inner: D, bits: u64) -> Self {
+        inner.set_bandwidth_policy(BandwidthPolicy::Congest { bits });
+        let mut e = CongestEngine::transparent(inner);
+        e.frag = Some(Fragmenter::new(bits));
+        e
+    }
+}
+
+fn lock_lane(lane: &Mutex<Lane>) -> std::sync::MutexGuard<'_, Lane> {
+    lane.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Stages one node's logical outbox: accounts the logical (whole
+/// message) traffic exactly as the engine's bandwidth sweep would, then
+/// fragments every message into the lane's scheduler.
+fn stage_outbox<M: WireCodec>(
+    lane: &mut Lane,
+    frag: &Fragmenter,
+    out: &Outbox<M>,
+    degree: usize,
+    logical_budget: u64,
+    acc: &RoundAcc,
+) -> u64 {
+    let (bcast, directed) = out.parts();
+    let degree = degree as u64;
+    let mut staged = 0u64;
+    let mut bits = 0u64;
+    let mut deliveries = 0u64;
+    let mut violations = 0u64;
+    let bcast_bits = bcast.map_or(0, WireCodec::encoded_bits);
+    if let Some(m) = bcast {
+        acc.broadcasts.fetch_add(1, Ordering::SeqCst);
+        bits += bcast_bits * degree;
+        deliveries += degree;
+        staged += lane.sched.enqueue_broadcast(frag.fragment(0, m));
+    }
+    // Per-destination directed loads, in first-send order (few dests:
+    // linear scans match the scheduler's own queue lookup).
+    let mut dir_loads: Vec<(NodeId, u64)> = Vec::new();
+    for (i, (dest, m)) in directed.iter().enumerate() {
+        let mbits = m.encoded_bits();
+        acc.directed.fetch_add(1, Ordering::SeqCst);
+        bits += mbits;
+        deliveries += 1;
+        match dir_loads.iter_mut().find(|(d, _)| d == dest) {
+            Some((_, l)) => *l += mbits,
+            None => dir_loads.push((*dest, mbits)),
+        }
+        staged += lane
+            .sched
+            .enqueue_directed(*dest, frag.fragment(1 + i as u64, m));
+    }
+    // The engine's per-edge sweep: directed edges carry their directed
+    // load plus the broadcast; the remaining (broadcast-only) edges
+    // carry just the broadcast.
+    for &(_, dir) in &dir_loads {
+        let load = dir + bcast_bits;
+        acc.max_edge_up_to(load);
+        if load > logical_budget {
+            violations += 1;
+        }
+    }
+    let uncovered = degree - dir_loads.len() as u64;
+    if bcast.is_some() && uncovered > 0 {
+        acc.max_edge_up_to(bcast_bits);
+        if bcast_bits > logical_budget {
+            violations += uncovered;
+        }
+    }
+    acc.bits.fetch_add(bits, Ordering::SeqCst);
+    acc.deliveries.fetch_add(deliveries, Ordering::SeqCst);
+    acc.violations.fetch_add(violations, Ordering::SeqCst);
+    acc.fragments.fetch_add(staged, Ordering::SeqCst);
+    staged
+}
+
+impl<S: Send, D: RoundDriver<S>> RoundDriver<S> for CongestEngine<D> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn round_step<M, SEND, RECV>(
+        &mut self,
+        ledger: &mut RoundLedger,
+        phase: &str,
+        send: SEND,
+        recv: RECV,
+    ) where
+        M: Clone + Send + Sync + WireCodec + 'static,
+        SEND: Fn(&mut NodeCtx<'_>, &mut S, &mut Outbox<M>) + Sync,
+        RECV: Fn(&mut NodeCtx<'_>, &mut S, &[(NodeId, M)]) + Sync,
+    {
+        let Some(frag) = self.frag else {
+            self.logical_rounds += 1;
+            self.wire_rounds += 1;
+            self.inner.round_step(ledger, phase, send, recv);
+            return;
+        };
+        let n = self.inner.node_count();
+        if self.lanes.len() != n {
+            self.lanes = (0..n).map(|_| Mutex::new(Lane::default())).collect();
+        }
+        let logical_budget = match self.logical_policy {
+            BandwidthPolicy::Local => u64::MAX,
+            BandwidthPolicy::Congest { bits } => bits,
+        };
+        let acc = RoundAcc::default();
+        let t0 = ledger.tracing().then(Instant::now);
+        let lanes = &self.lanes;
+        let outstanding = &self.outstanding;
+        // Shared recv-phase logic for every wire round: stash this
+        // round's chunks; if the global backlog is empty, every chunk
+        // of the logical round has landed — decode and deliver.
+        let acc_ref = &acc;
+        let recv_ref = &recv;
+        let deliver =
+            move |ctx: &mut NodeCtx<'_>, state: &mut S, inbox: &[(NodeId, CongestChunk)]| {
+                let mut lane = lock_lane(&lanes[ctx.id.index()]);
+                for (from, chunk) in inbox {
+                    lane.asm.stash(*from, chunk);
+                }
+                if outstanding.load(Ordering::SeqCst) == 0 {
+                    let logical: Vec<(NodeId, M)> = lane.asm.take_round();
+                    drop(lane);
+                    acc_ref
+                        .reassembled
+                        .fetch_add(logical.len() as u64, Ordering::SeqCst);
+                    recv_ref(ctx, state, &logical);
+                }
+            };
+        // Wire round 1: run the program's send once (same RNG stream
+        // position as the plain run), account the logical traffic,
+        // fragment, and emit each lane's first chunks.
+        let send_ref = &send;
+        self.inner.round_step::<CongestChunk, _, _>(
+            ledger,
+            phase,
+            move |ctx, state, out| {
+                let mut logical: Outbox<M> = Outbox::new();
+                send_ref(ctx, state, &mut logical);
+                let mut lane = lock_lane(&lanes[ctx.id.index()]);
+                // A crashed receiver may have missed a delivery round;
+                // its stale partial streams must not mix into this one.
+                lane.asm.reset();
+                let staged = stage_outbox(
+                    &mut lane,
+                    &frag,
+                    &logical,
+                    ctx.degree,
+                    logical_budget,
+                    acc_ref,
+                );
+                outstanding.fetch_add(staged, Ordering::SeqCst);
+                let popped = lane.sched.pop_round(out);
+                outstanding.fetch_sub(popped, Ordering::SeqCst);
+            },
+            &deliver,
+        );
+        let mut wire = 1u64;
+        // Relay wire rounds: drain the backlog one chunk per queue per
+        // round; the round that empties it also fires the delivery.
+        let mut prev = self.outstanding.load(Ordering::SeqCst);
+        let mut stalled = 0u32;
+        while prev > 0 {
+            if stalled >= STALL_LIMIT {
+                // Every remaining queue's owner is (permanently)
+                // crashed: discard the stuck chunks so delivery of what
+                // did land can fire.
+                let mut dropped = 0u64;
+                for lane in &self.lanes {
+                    dropped += lock_lane(lane).sched.drain();
+                }
+                self.outstanding.fetch_sub(dropped, Ordering::SeqCst);
+                self.force_drained += dropped;
+                ledger.trace_observe("congest.force_drained", dropped);
+            }
+            self.inner.round_step::<CongestChunk, _, _>(
+                ledger,
+                phase,
+                move |ctx, _state, out| {
+                    let mut lane = lock_lane(&lanes[ctx.id.index()]);
+                    let popped = lane.sched.pop_round(out);
+                    outstanding.fetch_sub(popped, Ordering::SeqCst);
+                },
+                &deliver,
+            );
+            wire += 1;
+            let now = self.outstanding.load(Ordering::SeqCst);
+            stalled = if now < prev { 0 } else { stalled + 1 };
+            prev = now;
+        }
+        // Fold the logical accounting into the cumulative stats (the
+        // inner driver accumulated only chunk-level traffic).
+        self.stats.broadcasts += acc.broadcasts.into_inner();
+        self.stats.directed += acc.directed.into_inner();
+        self.stats.deliveries += acc.deliveries.into_inner();
+        self.stats.bits_sent += acc.bits.into_inner();
+        self.stats.max_edge_bits = self.stats.max_edge_bits.max(acc.max_edge.into_inner());
+        self.stats.congest_violations += acc.violations.into_inner();
+        let vround = self.logical_rounds;
+        self.logical_rounds += 1;
+        self.wire_rounds += wire;
+        if let Some(t0) = t0 {
+            ledger.trace_virtual(&VirtualRecord {
+                level: crate::trace::CONGEST_LEVEL.to_string(),
+                vround,
+                host_rounds: wire,
+                bits: self.stats.bits_sent,
+                deliveries: acc.reassembled.load(Ordering::SeqCst),
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            });
+            ledger.trace_observe("congest.fragments", acc.fragments.load(Ordering::SeqCst));
+            ledger.trace_observe("congest.wire_rounds", wire);
+        }
+    }
+
+    fn node_states(&self) -> &[S] {
+        self.inner.node_states()
+    }
+
+    /// Enforced: the **logical** (whole-message) counters — comparable
+    /// bit-for-bit with an unfragmented run — with the inner driver's
+    /// fault counters carried through. Transparent: the inner driver's
+    /// stats verbatim.
+    fn round_stats(&self) -> MessageStats {
+        let inner = self.inner.round_stats();
+        if self.frag.is_none() {
+            return inner;
+        }
+        MessageStats {
+            dropped: inner.dropped,
+            duplicated: inner.duplicated,
+            corrupted: inner.corrupted,
+            crashed_rounds: inner.crashed_rounds,
+            ..self.stats
+        }
+    }
+
+    fn into_node_states(self) -> Vec<S> {
+        self.inner.into_node_states()
+    }
+}
+
+impl<D> CongestEngine<D> {
+    /// The inner driver's own (chunk-level, when enforcing) counters.
+    pub fn wire_stats(&self) -> MessageStats
+    where
+        D: RoundDriverStats,
+    {
+        self.inner.driver_stats()
+    }
+}
+
+/// Stats access without the [`RoundDriver`] state parameter (blanket:
+/// any driver for the unit state works; concrete engines also expose
+/// `message_stats` directly).
+pub trait RoundDriverStats {
+    /// The driver's cumulative message counters.
+    fn driver_stats(&self) -> MessageStats;
+}
+
+impl<D: RoundDriver<()>> RoundDriverStats for D {
+    fn driver_stats(&self) -> MessageStats {
+        self.round_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::wire::encode_to_bytes;
+    use delta_graphs::generators;
+
+    #[test]
+    fn chunk_codec_roundtrip_and_size_honesty() {
+        let frag = Fragmenter::new(64);
+        let msg: Vec<u32> = (0..200).map(|i| i * 7919).collect();
+        let chunks = frag.fragment(3, &msg);
+        assert!(chunks.len() > 1, "200 ids must not fit one 64-bit chunk");
+        for c in &chunks {
+            assert!(c.encoded_bits() <= 64, "chunk over budget");
+            let (bytes, bits) = encode_to_bytes(c);
+            assert_eq!(bits, c.encoded_bits(), "size honesty");
+            let back: CongestChunk =
+                crate::wire::decode_from_bytes(&bytes, bits).expect("roundtrip");
+            assert_eq!(&back, c);
+        }
+        assert!(chunks.last().expect("nonempty").is_last());
+        assert_eq!(
+            chunks.iter().filter(|c| c.is_last()).count(),
+            1,
+            "exactly one final chunk"
+        );
+    }
+
+    #[test]
+    fn fragment_reassemble_identity() {
+        let frag = Fragmenter::new(48);
+        let msg: Vec<u32> = (0..500).rev().collect();
+        let mut asm = Reassembler::default();
+        for c in frag.fragment(1, &msg) {
+            asm.stash(NodeId(9), &c);
+        }
+        let out: Vec<(NodeId, Vec<u32>)> = asm.take_round();
+        assert_eq!(out, vec![(NodeId(9), msg)]);
+    }
+
+    #[test]
+    fn zero_bit_messages_still_arrive() {
+        let frag = Fragmenter::new(MIN_CONGEST_BITS);
+        let chunks = frag.fragment(0, &());
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].payload_bits(), 0);
+        assert!(chunks[0].is_last());
+        let mut asm = Reassembler::default();
+        asm.stash(NodeId(2), &chunks[0]);
+        assert_eq!(asm.take_round::<()>(), vec![(NodeId(2), ())]);
+    }
+
+    #[test]
+    fn capacity_is_maximal_within_budget() {
+        for budget in [32u64, 48, 64, 160, 352, 1000] {
+            let frag = Fragmenter::new(budget);
+            for stream in [0u64, 1, 5, 100] {
+                for index in [0u64, 1, 9, 257] {
+                    let fixed = gamma_bits(stream) + gamma_bits(index) + 1;
+                    let l = frag.capacity(stream, index);
+                    assert!(fixed + gamma_bits(l) + l <= budget, "capacity over budget");
+                    assert!(
+                        fixed + gamma_bits(l + 1) + (l + 1) > budget,
+                        "capacity {l} not maximal for budget {budget}, frame ({stream}, {index})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gapped_stream_loses_the_message() {
+        let frag = Fragmenter::new(40);
+        let msg: Vec<u32> = (0..100).collect();
+        let chunks = frag.fragment(1, &msg);
+        assert!(chunks.len() > 2);
+        let mut asm = Reassembler::default();
+        for (i, c) in chunks.iter().enumerate() {
+            if i != 1 {
+                asm.stash(NodeId(0), c); // chunk 1 dropped on the wire
+            }
+        }
+        assert!(asm.take_round::<Vec<u32>>().is_empty(), "gap must kill it");
+        // Duplicates, by contrast, are harmless.
+        let mut asm = Reassembler::default();
+        for c in &chunks {
+            asm.stash(NodeId(0), c);
+            asm.stash(NodeId(0), c);
+        }
+        assert_eq!(asm.take_round::<Vec<u32>>(), vec![(NodeId(0), msg)]);
+    }
+
+    #[test]
+    fn enforcement_guard_is_scoped_and_nests() {
+        assert_eq!(enforced_budget(), None);
+        {
+            let _g = enforce_congest(100);
+            assert_eq!(enforced_budget(), Some(100));
+            {
+                let _h = enforce_congest(64);
+                assert_eq!(enforced_budget(), Some(64));
+            }
+            assert_eq!(enforced_budget(), Some(100));
+        }
+        assert_eq!(enforced_budget(), None);
+    }
+
+    /// Floods neighbor-id lists for `rounds` rounds and returns the
+    /// final states; the payload (every neighbor's accumulated set)
+    /// quickly outgrows any fixed budget.
+    fn flood_sets<D: RoundDriver<Vec<u32>>>(
+        mut drv: D,
+        ledger: &mut RoundLedger,
+        rounds: usize,
+    ) -> (Vec<Vec<u32>>, MessageStats) {
+        for _ in 0..rounds {
+            drv.round_step(
+                ledger,
+                "flood-sets",
+                |_, s: &mut Vec<u32>, out: &mut Outbox<Vec<u32>>| out.broadcast(s.clone()),
+                |_, s, inbox| {
+                    for (_, m) in inbox {
+                        for &v in m {
+                            if !s.contains(&v) {
+                                s.push(v);
+                            }
+                        }
+                    }
+                    s.sort_unstable();
+                },
+            );
+        }
+        let stats = drv.round_stats();
+        (drv.into_node_states(), stats)
+    }
+
+    #[test]
+    fn enforced_run_matches_local_run_and_dilates() {
+        let g = generators::cycle(16);
+        let mut plain_ledger = RoundLedger::new();
+        let (plain_states, plain_stats) =
+            flood_sets(Engine::new(&g, 7, |v| vec![v.0]), &mut plain_ledger, 4);
+        let budget = 48;
+        let mut cong_ledger = RoundLedger::new();
+        let mut drv = CongestEngine::enforced(Engine::new(&g, 7, |v| vec![v.0]), budget);
+        for _ in 0..4 {
+            drv.round_step(
+                &mut cong_ledger,
+                "flood-sets",
+                |_, s: &mut Vec<u32>, out: &mut Outbox<Vec<u32>>| out.broadcast(s.clone()),
+                |_, s, inbox| {
+                    for (_, m) in inbox {
+                        for &v in m {
+                            if !s.contains(&v) {
+                                s.push(v);
+                            }
+                        }
+                    }
+                    s.sort_unstable();
+                },
+            );
+        }
+        assert_eq!(drv.round_stats(), plain_stats, "logical stats identical");
+        assert_eq!(drv.logical_rounds(), 4);
+        assert!(
+            drv.wire_rounds() > 4,
+            "oversized payloads must dilate ({} wire rounds)",
+            drv.wire_rounds()
+        );
+        assert_eq!(
+            cong_ledger.total(),
+            drv.wire_rounds(),
+            "ledger charged per wire round"
+        );
+        assert_eq!(cong_ledger.congest_violations(), 0, "chunks fit the budget");
+        assert!(cong_ledger.max_edge_bits() <= budget, "no edge over budget");
+        let states = drv.into_node_states();
+        assert_eq!(states, plain_states, "states bit-identical");
+        assert!(plain_ledger.max_edge_bits() > budget, "plain run violates");
+    }
+
+    #[test]
+    fn transparent_wrapper_is_bit_identical() {
+        let g = generators::complete(6);
+        let mut a_ledger = RoundLedger::new();
+        let (a_states, a_stats) = flood_sets(Engine::new(&g, 3, |v| vec![v.0]), &mut a_ledger, 3);
+        let mut b_ledger = RoundLedger::new();
+        let (b_states, b_stats) = flood_sets(
+            CongestEngine::transparent(Engine::new(&g, 3, |v| vec![v.0])),
+            &mut b_ledger,
+            3,
+        );
+        assert_eq!(a_states, b_states);
+        assert_eq!(a_stats, b_stats);
+        assert_eq!(a_ledger.total(), b_ledger.total());
+        assert_eq!(a_ledger.bits_sent(), b_ledger.bits_sent());
+    }
+
+    #[test]
+    fn compile_reads_the_thread_local_guard() {
+        let g = generators::cycle(4);
+        let off = compile(Engine::new(&g, 1, |_| ()));
+        assert!(!off.is_enforced());
+        let _guard = enforce_congest(64);
+        let on = compile(Engine::new(&g, 1, |_| ()));
+        assert_eq!(on.budget(), Some(64));
+        assert_eq!(
+            on.inner().bandwidth_policy(),
+            BandwidthPolicy::Congest { bits: 64 }
+        );
+    }
+}

@@ -378,6 +378,23 @@ impl BandwidthPolicy {
     }
 }
 
+/// Post-construction access to a driver's [`BandwidthPolicy`] — the
+/// hook [`crate::congest::CongestEngine`] uses to switch an inner
+/// driver it wraps onto the CONGEST accounting regime. Separate from
+/// [`RoundDriver`] because it does not depend on the state type.
+pub trait BandwidthConfig {
+    /// Replaces the policy the driver's accounting runs under (for an
+    /// overlay: its virtual-level policy; accounting only — delivery is
+    /// never truncated).
+    fn set_bandwidth_policy(&mut self, policy: BandwidthPolicy);
+}
+
+impl<S: Send> BandwidthConfig for Engine<'_, S> {
+    fn set_bandwidth_policy(&mut self, policy: BandwidthPolicy) {
+        self.policy = policy;
+    }
+}
+
 /// Message-volume and bandwidth counters, accumulated across rounds.
 /// One broadcast counts once in `broadcasts` and `degree(sender)` times
 /// in `deliveries`; a directed message counts once in each. Bits are

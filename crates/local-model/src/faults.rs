@@ -392,6 +392,12 @@ impl<D> FaultyDriver<D> {
     }
 }
 
+impl<D: crate::engine::BandwidthConfig> crate::engine::BandwidthConfig for FaultyDriver<D> {
+    fn set_bandwidth_policy(&mut self, policy: crate::engine::BandwidthPolicy) {
+        self.inner.set_bandwidth_policy(policy);
+    }
+}
+
 impl<S: Send, D: RoundDriver<S>> RoundDriver<S> for FaultyDriver<D> {
     fn node_count(&self) -> usize {
         self.inner.node_count()

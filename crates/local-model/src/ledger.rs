@@ -179,6 +179,16 @@ impl RoundLedger {
         self.congest_violations
     }
 
+    /// Measured round blow-up in permille relative to `logical` rounds:
+    /// `1000 * total() / logical` (1000 = no dilation). Under
+    /// [`crate::congest`] enforcement every logical round is charged as
+    /// the honest wire rounds it dilated into, so with the algorithm's
+    /// own logical round count this reads off the end-to-end CONGEST
+    /// dilation factor.
+    pub fn blowup_permille(&self, logical: u64) -> u64 {
+        (self.total * 1000).checked_div(logical).unwrap_or(1000)
+    }
+
     /// Total rounds charged to phases with the given name. O(1): reads
     /// the keyed accumulator maintained by [`RoundLedger::charge`].
     pub fn phase_total(&self, phase: &str) -> u64 {

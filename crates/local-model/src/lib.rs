@@ -59,6 +59,17 @@
 //!   charge calls — zero-allocation when no sink is attached
 //!   (`tests/alloc_audit.rs`) and total-exact against the ledger on
 //!   every substrate (`tests/trace_equivalence.rs`);
+//! * **true-CONGEST execution** ([`congest`]) — a [`CongestEngine`]
+//!   wrapper fragments every oversized [`WireCodec`] payload into
+//!   budget-sized gamma-framed chunks ([`Fragmenter`]), pipelines them
+//!   over consecutive honest wire rounds ([`PipelineScheduler`]), and
+//!   delivers each message only on the round its last chunk lands
+//!   ([`Reassembler`]) — so one logical round dilates into the wire
+//!   rounds the budget demands, charged to the ledger, while final
+//!   states and logical [`MessageStats`] stay seed-bit-identical to the
+//!   unfragmented run (`tests/congest_equivalence.rs`); a thread-local
+//!   [`enforce_congest`] guard flips every [`compile`]d engine
+//!   construction in the coloring crate onto this mode at once;
 //! * central ball materialization through [`Graph::ball`]
 //!   (`delta_graphs`) with explicit round charging on a
 //!   [`RoundLedger`], packaged as [`BallOracle`] — the reference oracle
@@ -78,6 +89,7 @@
 //! [`BandwidthPolicy::Congest`]).
 
 pub mod ball;
+pub mod congest;
 pub mod engine;
 pub mod faults;
 pub mod ledger;
@@ -91,9 +103,13 @@ pub use ball::{
     collect_ball_centered, collect_ball_views, run_ball_phase, run_ball_phase_within,
     run_reach_phase, run_reach_phase_within, BallMsg, BallView, CenterMsg, ReachMsg,
 };
+pub use congest::{
+    compile, enforce_congest, enforced_budget, CongestChunk, CongestEngine, CongestGuard,
+    Fragmenter, PipelineScheduler, Reassembler, MIN_CONGEST_BITS,
+};
 pub use engine::{
-    force_exec_mode, BandwidthPolicy, Engine, EngineError, ExecMode, ExecModeGuard, MessageStats,
-    NodeCtx, NodeProgram, Outbox, RoundDriver, PARALLEL_THRESHOLD,
+    force_exec_mode, BandwidthConfig, BandwidthPolicy, Engine, EngineError, ExecMode,
+    ExecModeGuard, MessageStats, NodeCtx, NodeProgram, Outbox, RoundDriver, PARALLEL_THRESHOLD,
 };
 pub use faults::{CrashWindow, FaultCounters, FaultEvent, FaultKind, FaultPlan, FaultyDriver, PPM};
 pub use ledger::RoundLedger;
@@ -106,6 +122,6 @@ pub use shard::{BoundaryStats, ShardedEngine};
 pub use trace::{
     parse_trace_line, Histogram, JsonlSink, MetricsRegistry, PhaseSpan, ProgressSink, RoundMeta,
     RoundRecord, RunManifest, SpanAgg, SpanRecord, TraceLine, TraceSink, TraceSummary, TraceTotals,
-    Tracer, VirtualRecord, TRACE_SCHEMA,
+    Tracer, VirtualRecord, CONGEST_LEVEL, TRACE_SCHEMA,
 };
 pub use wire::{congest_budget, BitReader, BitWriter, WireCodec, WireParams};

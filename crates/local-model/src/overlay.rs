@@ -638,6 +638,11 @@ impl<'g, S: Send, T: VirtualTopology> OverlayEngine<'g, S, T> {
         self
     }
 
+    /// The virtual-level bandwidth policy accounting runs under.
+    pub fn bandwidth_policy(&self) -> BandwidthPolicy {
+        self.policy
+    }
+
     /// The host graph the overlay compiles onto.
     pub fn host(&self) -> &Graph {
         self.host
@@ -1209,6 +1214,14 @@ struct FloodInboxes<M> {
     payloads: Arc<Vec<Option<Arc<M>>>>,
     /// Per origin rank: its payload's exact wire size (0 if none).
     bits_of: Vec<u64>,
+}
+
+impl<S, T: VirtualTopology> crate::engine::BandwidthConfig for OverlayEngine<'_, S, T> {
+    /// Replaces the **virtual-level** policy (host relay accounting is
+    /// unaffected, as with [`OverlayEngine::with_bandwidth`]).
+    fn set_bandwidth_policy(&mut self, policy: BandwidthPolicy) {
+        self.policy = policy;
+    }
 }
 
 impl<S: Send, T: VirtualTopology> RoundDriver<S> for OverlayEngine<'_, S, T> {

@@ -539,6 +539,11 @@ impl<'g, S: Send> ShardedEngine<'g, S> {
         self
     }
 
+    /// The bandwidth policy accounting runs under.
+    pub fn bandwidth_policy(&self) -> BandwidthPolicy {
+        self.policy
+    }
+
     /// The communication graph.
     pub fn graph(&self) -> &Graph {
         self.graph
@@ -762,6 +767,12 @@ impl<'g, S: Send> ShardedEngine<'g, S> {
             Some((from, to)) => Err(EngineError::InvalidDirectedTarget { from, to }),
             None => Ok(()),
         }
+    }
+}
+
+impl<S> crate::engine::BandwidthConfig for ShardedEngine<'_, S> {
+    fn set_bandwidth_policy(&mut self, policy: BandwidthPolicy) {
+        self.policy = policy;
     }
 }
 

@@ -109,13 +109,21 @@ pub struct RoundRecord {
     pub meta: Option<RoundMeta>,
 }
 
+/// Level label on the [`VirtualRecord`]s a
+/// [`crate::congest::CongestEngine`] emits: one record per logical
+/// round, with `host_rounds` carrying the measured wire-round dilation.
+pub const CONGEST_LEVEL: &str = "congest";
+
 /// One overlay virtual round: level-tagged, with virtual-level bits.
 /// Informational only — the host relay rounds behind it already emitted
 /// their own [`RoundRecord`]s, so virtual records are excluded from the
-/// round/bit totals.
+/// round/bit totals. CONGEST-enforced engines reuse the same shape for
+/// their per-logical-round dilation records (level
+/// [`CONGEST_LEVEL`], `host_rounds` = honest wire rounds).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VirtualRecord {
-    /// Overlay level label: `G^k`, `G[S]`, or `(G[S])^k`.
+    /// Overlay level label: `G^k`, `G[S]`, or `(G[S])^k` — or
+    /// [`CONGEST_LEVEL`] for fragmentation dilation records.
     pub level: String,
     /// Virtual round index on the overlay engine.
     pub vround: u64,

@@ -134,6 +134,34 @@ impl BitWriter {
         }
     }
 
+    /// Appends `len_bits` bits copied verbatim from `bytes`, starting at
+    /// bit offset `start_bit` (LSB-first addressing, matching the
+    /// writer's own layout). The bulk path behind chunk fragmentation
+    /// and reassembly ([`crate::congest`]): payload bits move between
+    /// buffers without a per-field re-encode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `start_bit + len_bits` bits.
+    pub fn write_raw(&mut self, bytes: &[u8], start_bit: u64, len_bits: u64) {
+        assert!(
+            start_bit + len_bits <= bytes.len() as u64 * 8,
+            "raw copy of {len_bits} bits at offset {start_bit} overruns the source"
+        );
+        let mut done = 0u64;
+        while done < len_bits {
+            let take = (len_bits - done).min(64) as u32;
+            let mut word = 0u64;
+            for i in 0..take {
+                let at = start_bit + done + u64::from(i);
+                let bit = (bytes[(at / 8) as usize] >> (at % 8)) & 1;
+                word |= u64::from(bit) << i;
+            }
+            self.write_bits(word, take);
+            done += u64::from(take);
+        }
+    }
+
     /// The written bytes (last byte zero-padded) and the exact bit count.
     pub fn finish(self) -> (Vec<u8>, u64) {
         (self.bytes, self.bits)
@@ -188,6 +216,25 @@ impl<'a> BitReader<'a> {
     /// Reads one bit.
     pub fn read_bool(&mut self) -> Option<bool> {
         self.read_bits(1).map(|b| b == 1)
+    }
+
+    /// Reads `len_bits` bits verbatim into a fresh buffer (LSB-first
+    /// layout, zero-padded final byte); `None` past the end. Inverse of
+    /// [`BitWriter::write_raw`] for chunk-payload extraction.
+    pub fn read_raw(&mut self, len_bits: u64) -> Option<Vec<u8>> {
+        if len_bits > self.len_bits - self.cursor {
+            return None;
+        }
+        let mut w = BitWriter::new();
+        let mut done = 0u64;
+        while done < len_bits {
+            let take = (len_bits - done).min(64) as u32;
+            w.write_bits(self.read_bits(take)?, take);
+            done += u64::from(take);
+        }
+        let (bytes, bits) = w.finish();
+        debug_assert_eq!(bits, len_bits);
+        Some(bytes)
     }
 
     /// Reads one Elias gamma code.
@@ -533,6 +580,37 @@ mod tests {
         // Degenerate graphs still get a positive budget.
         assert_eq!(congest_budget(0), 16);
         assert_eq!(congest_budget(1), 16);
+    }
+
+    #[test]
+    fn raw_copy_roundtrips_at_odd_offsets() {
+        // Build a source buffer with a known bit pattern, then copy an
+        // unaligned slice of it through write_raw/read_raw and check the
+        // bits survive verbatim.
+        let mut src = BitWriter::new();
+        src.write_bits(0b101, 3);
+        src.write_gamma(977);
+        src.write_bits(0xdead_beef_cafe, 48);
+        let (bytes, bits) = src.finish();
+        for (start, len) in [(0, bits), (3, bits - 3), (5, 17), (7, 0), (1, 64)] {
+            let mut w = BitWriter::new();
+            w.write_bits(0b11, 2); // misalign the destination too
+            w.write_raw(&bytes, start, len);
+            assert_eq!(w.bits(), 2 + len, "size honesty of write_raw");
+            let (out, out_bits) = w.finish();
+            let mut r = BitReader::new(&out, out_bits);
+            assert_eq!(r.read_bits(2), Some(0b11));
+            let copied = r.read_raw(len).expect("in range");
+            for i in 0..len {
+                let want = (bytes[((start + i) / 8) as usize] >> ((start + i) % 8)) & 1;
+                let got = (copied[(i / 8) as usize] >> (i % 8)) & 1;
+                assert_eq!(got, want, "bit {i} of ({start}, {len})");
+            }
+            assert!(r.is_exhausted());
+        }
+        // Overrun is a clean None on the reader side.
+        let mut r = BitReader::new(&bytes, bits);
+        assert!(r.read_raw(bits + 1).is_none());
     }
 
     #[test]

@@ -98,25 +98,37 @@ fn warm_engine_rounds_do_not_allocate() {
         mixed_round(&mut engine, &g, &mut ledger);
     }
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..32 {
-        mixed_round(&mut engine, &g, &mut ledger);
+    // The counter is process-global and libtest's worker threads
+    // allocate (spawn bookkeeping, output capture) concurrently with
+    // this window, so a noisy window is retried: a real delivery-path
+    // allocation repeats in every window, harness noise does not.
+    let mut rounds = 3u64;
+    let mut leaked = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..32 {
+            mixed_round(&mut engine, &g, &mut ledger);
+        }
+        rounds += 32;
+        leaked = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if leaked == 0 {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-
     assert_eq!(
-        after - before,
-        0,
-        "delivery path allocated {} times across 32 warm rounds",
-        after - before
+        leaked, 0,
+        "delivery path allocated {leaked} times across 32 warm rounds in every window"
     );
     // The rounds actually ran and delivered: 512 broadcasts + 512
     // directed messages per round.
-    assert_eq!(engine.rounds_run(), 35);
-    assert_eq!(engine.message_stats().directed, 35 * 512);
+    assert_eq!(engine.rounds_run(), rounds);
+    assert_eq!(engine.message_stats().directed, rounds * 512);
     // Bandwidth accounting ran on the same allocation-free pass: every
     // u64 payload is 64 bits, broadcast to 4 neighbors + 1 directed.
-    assert_eq!(engine.message_stats().bits_sent, 35 * 512 * (4 + 1) * 64);
+    assert_eq!(
+        engine.message_stats().bits_sent,
+        rounds * 512 * (4 + 1) * 64
+    );
 }
 
 /// The trace layer must be zero-cost when disabled: with no sink
@@ -145,19 +157,26 @@ fn warm_rounds_with_no_trace_sink_do_not_allocate() {
         traced_round(&mut engine, &mut ledger);
     }
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..32 {
-        traced_round(&mut engine, &mut ledger);
+    // Retried for the same reason as the sequential audit: the window
+    // shares the process-global counter with libtest's own threads.
+    let mut rounds = 3u64;
+    let mut leaked = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..32 {
+            traced_round(&mut engine, &mut ledger);
+        }
+        rounds += 32;
+        leaked = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if leaked == 0 {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-
     assert_eq!(
-        after - before,
-        0,
-        "disabled trace layer allocated {} times across 32 warm rounds",
-        after - before
+        leaked, 0,
+        "disabled trace layer allocated {leaked} times across 32 warm rounds in every window"
     );
-    assert_eq!(engine.rounds_run(), 35);
+    assert_eq!(engine.rounds_run(), rounds);
     assert_eq!(tracer.totals(), local_model::TraceTotals::default());
 }
 
